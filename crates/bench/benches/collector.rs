@@ -1,0 +1,65 @@
+//! Criterion bench: central collector ingestion, sequential vs concurrent.
+//!
+//! Backs the Figure-5 discussion: per-cycle collection cost as the
+//! monitored-node count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppc_node::{Level, NodeId, OperatingState};
+use ppc_simkit::SimTime;
+use ppc_telemetry::{Collector, NodeSample};
+
+fn samples(n: u32, at: u64) -> Vec<NodeSample> {
+    (0..n)
+        .map(|i| NodeSample {
+            node: NodeId(i),
+            at: SimTime::from_secs(at),
+            state: OperatingState {
+                cpu_util: 0.7,
+                mem_used_bytes: 8 << 30,
+                nic_bytes: 1_000_000,
+            },
+            level: Level::new(9),
+            power_w: 250.0 + i as f64,
+        })
+        .collect()
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_ingest");
+    for n in [16u32, 128, 1_024] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            let collector = Collector::new();
+            let mut at = 0;
+            b.iter(|| {
+                at += 1;
+                for s in samples(n, at) {
+                    collector.ingest(s);
+                }
+                black_box(collector.estimated_total_w())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("concurrent", n), &n, |b, &n| {
+            let collector = Collector::new();
+            let mut at = 0;
+            b.iter(|| {
+                at += 1;
+                collector.ingest_concurrent(samples(n, at));
+                black_box(collector.estimated_total_w())
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("aggregate_power_22_nodes", |b| {
+        let collector = Collector::new();
+        for s in samples(128, 1) {
+            collector.ingest(s);
+        }
+        let nodes: Vec<NodeId> = (0..22).map(NodeId).collect();
+        b.iter(|| black_box(collector.aggregate_power(black_box(&nodes))))
+    });
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

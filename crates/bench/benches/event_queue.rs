@@ -1,0 +1,66 @@
+//! Criterion bench: the simulation substrate's event queue and RNG.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ppc_simkit::{DetRng, EventQueue, SimTime};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("push_pop_10k_random_times", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(t), i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, p)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("push_pop_10k_fifo_ties", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            let t = SimTime::from_secs(1);
+            for i in 0..10_000 {
+                q.push(t, i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, p)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("xoshiro_100k_u64", |b| {
+        let mut rng = DetRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(rng.next_u64_raw());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("normal_100k", |b| {
+        let mut rng = DetRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.standard_normal();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

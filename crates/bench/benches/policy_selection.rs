@@ -1,0 +1,62 @@
+//! Criterion bench: target-set selection policies.
+//!
+//! Selection runs once per Yellow control cycle over every running job's
+//! candidate nodes; Figure 5's management cost is dominated by this plus
+//! collection. Benchmarked at the paper scale (128 nodes, ~17 jobs) and
+//! at 8× scale to show the growth trend.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppc_core::observe::{JobObservation, NodeObservation, SelectionContext};
+use ppc_core::PolicyKind;
+use ppc_node::{Level, NodeId};
+use ppc_workload::JobId;
+
+/// Builds a context with `jobs` jobs of `nodes_per_job` nodes each.
+fn ctx(jobs: usize, nodes_per_job: usize) -> SelectionContext {
+    let mut next_node = 0u32;
+    let jobs = (0..jobs)
+        .map(|j| {
+            let nodes = (0..nodes_per_job)
+                .map(|k| {
+                    let id = next_node;
+                    next_node += 1;
+                    NodeObservation {
+                        node: NodeId(id),
+                        level: Level::new((3 + (j + k) % 7) as u8),
+                        power_w: 180.0 + ((j * 31 + k * 17) % 160) as f64,
+                        saving_w: 8.0 + ((j + k) % 9) as f64,
+                    }
+                })
+                .collect();
+            JobObservation {
+                id: JobId(j as u64),
+                nodes,
+                prev_power_w: (j % 3 != 0).then(|| 1_500.0 + j as f64 * 10.0),
+            }
+        })
+        .collect();
+    SelectionContext {
+        jobs,
+        power_w: 33_000.0,
+        p_low_w: 31_000.0,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    for (label, jobs, npj) in [("paper_scale", 17, 8), ("8x_scale", 136, 8)] {
+        let context = ctx(jobs, npj);
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build();
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), label),
+                &context,
+                |b, context| b.iter(|| black_box(policy.select(black_box(context)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: Formula-(1) power-model evaluation.
+//!
+//! The model is evaluated once per node per sampling interval by the node
+//! simulation, once per sample by the agents, and once per candidate node
+//! by the `P'(x)` estimator — it is the hottest leaf of the whole system.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ppc_node::spec::NodeSpec;
+use ppc_node::{Level, OperatingState};
+
+fn bench_power_model(c: &mut Criterion) {
+    let spec = NodeSpec::tianhe_1a();
+    let model = spec.power_model(1.0);
+    let states: Vec<OperatingState> = (0..1024)
+        .map(|i| OperatingState {
+            cpu_util: (i % 100) as f64 / 100.0,
+            mem_used_bytes: (i as u64 % 24) << 30,
+            nic_bytes: (i as u64 * 7_919) % 5_000_000_000,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("power_model");
+    group.throughput(Throughput::Elements(states.len() as u64));
+    group.bench_function("power_w_1024_states", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (i, s) in states.iter().enumerate() {
+                acc += model.power_w(Level::new((i % 10) as u8), black_box(s));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("saving_one_level_1024_states", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (i, s) in states.iter().enumerate() {
+                acc += model.saving_one_level_w(Level::new((i % 10) as u8), black_box(s));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    c.bench_function("calibrate_power_table", |b| {
+        b.iter(|| black_box(spec.calibrate()))
+    });
+}
+
+criterion_group!(benches, bench_power_model);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: one full simulation tick of the paper-scale cluster,
+//! managed and unmanaged. This is the end-to-end hot loop — 1 simulated
+//! hour = 3600 of these.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc_simkit::SimDuration;
+
+fn warmed_sim(managed: bool) -> ClusterSim {
+    let spec = ClusterSpec::tianhe_1a_variant();
+    let sim = if managed {
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+        };
+        let manager = PowerManager::new(config, sets).expect("valid");
+        ClusterSim::new(spec).with_manager(manager)
+    } else {
+        ClusterSim::new(spec)
+    };
+    let mut sim = sim;
+    // Warm up: fill the cluster with running jobs.
+    sim.run_for(SimDuration::from_mins(10));
+    sim
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut unmanaged = warmed_sim(false);
+    c.bench_function("sim_step_128_nodes_unmanaged", |b| {
+        b.iter(|| {
+            unmanaged.step();
+            black_box(unmanaged.now())
+        })
+    });
+
+    let mut managed = warmed_sim(true);
+    c.bench_function("sim_step_128_nodes_managed_mpc", |b| {
+        b.iter(|| {
+            managed.step();
+            black_box(managed.now())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim_step);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Extension — per-application and per-size performance breakdown.
+//!
+//! The paper reports one aggregate Performance(cap) number; breaking it
+//! down by benchmark exposes *why* capping is cheap: DVFS hurts
+//! compute-bound codes (EP, α=0.95, time ∝ 1/f) far more than
+//! memory-/communication-bound ones (CG, α=0.40, nearly
+//! frequency-insensitive). Large jobs also suffer more under MPC — they
+//! *are* the most power consuming job the policy keeps selecting.
+
+use ppc_bench::{paper_config, run_labeled};
+use ppc_cluster::output::render_table;
+use ppc_core::PolicyKind;
+use ppc_metrics::performance::performance_by;
+use ppc_workload::NpbApp;
+
+fn main() {
+    let mpc = run_labeled(&paper_config(Some(PolicyKind::Mpc), None));
+    let hri = run_labeled(&paper_config(Some(PolicyKind::Hri), None));
+
+    println!("Extension — performance breakdown (measurement window)\n");
+
+    println!("by application (compute-boundness α in parentheses):\n");
+    let by_app_mpc = performance_by(&mpc.records, |r| r.app);
+    let by_app_hri = performance_by(&hri.records, |r| r.app);
+    let mut rows = Vec::new();
+    for app in NpbApp::ALL {
+        let alpha = app.profile().compute_alpha;
+        rows.push(vec![
+            format!("{app} (α={alpha:.2})"),
+            by_app_mpc
+                .get(&app)
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            by_app_hri
+                .get(&app)
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["app", "Performance (MPC)", "Performance (HRI)"], &rows)
+    );
+
+    println!("by NPROCS (node footprint in parentheses):\n");
+    let by_size_mpc = performance_by(&mpc.records, |r| r.nprocs);
+    let by_size_hri = performance_by(&hri.records, |r| r.nprocs);
+    let mut rows = Vec::new();
+    for nprocs in [8u32, 16, 32, 64, 128, 256] {
+        let nodes = nprocs.div_ceil(12);
+        rows.push(vec![
+            format!("{nprocs} ({nodes} nodes)"),
+            by_size_mpc
+                .get(&nprocs)
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            by_size_hri
+                .get(&nprocs)
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["NPROCS", "Performance (MPC)", "Performance (HRI)"], &rows)
+    );
+    println!(
+        "Reading: compute-bound EP pays the most for each DVFS step; CG barely\n\
+         notices. MPC concentrates its cuts on the biggest jobs (they are the\n\
+         most power-consuming), so large-NPROCS rows dip furthest under MPC."
+    );
+}

@@ -1,0 +1,96 @@
+//! Extension — the paper's architecture vs the prior art.
+//!
+//! Related work (paper §I.B) caps clusters budget-first: divide the
+//! budget across *all* nodes proportionally every cycle (Femal,
+//! Ranganathan, Wang). The paper's architecture instead monitors a
+//! candidate subset and throttles job-aware target sets. This binary runs
+//! both on the identical workload — with the *same* thresholds, so only
+//! the control architecture differs — and compares:
+//!
+//! * performance / CPLJ (what job-awareness buys);
+//! * P_max and ΔP×T (is the cap equally safe?);
+//! * monitored-node count and per-cycle management cost (what the
+//!   candidate subset saves).
+
+use ppc_bench::{default_measurement, default_training, paper_config, run_labeled};
+use ppc_cluster::output::render_table;
+use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_core::{PolicyKind, ProportionalBudgetController, Thresholds};
+use ppc_metrics::RunMetrics;
+use ppc_telemetry::cost::ManagementCostModel;
+
+fn main() {
+    // The paper's architecture (MPC) and the unmanaged baseline, via the
+    // standard experiment runner.
+    let uncapped = run_labeled(&paper_config(None, None));
+    let mpc = run_labeled(&paper_config(Some(PolicyKind::Mpc), None));
+    // The architecture's cost lever: a 48-node candidate subset retains
+    // most of the effect (Figure 6) at a quarter of the monitoring bill.
+    let mpc48 = run_labeled(&paper_config(Some(PolicyKind::Mpc), Some(48)));
+
+    // The budget baseline gets the very thresholds MPC learned, so the two
+    // architectures protect the same envelope.
+    let (pl, ph) = mpc.thresholds_w;
+    let thresholds = Thresholds::new(pl, ph).expect("learned thresholds are valid");
+    eprintln!("running proportional-budget baseline …");
+    let spec = ClusterSpec::tianhe_1a_variant();
+    let provision_w = spec.provision_w();
+    let mut sim = ClusterSim::new(spec)
+        .with_budget_controller(ProportionalBudgetController::new(thresholds));
+    sim.run_for(default_training());
+    let t0 = sim.now();
+    let finished_at_t0 = sim.finished().len();
+    sim.run_for(default_measurement());
+    let trace = sim.true_power().since(t0);
+    let records = sim.finished()[finished_at_t0..].to_vec();
+    let budget_metrics = RunMetrics::compute("BUDGET", &trace, &records, provision_w, 0.01);
+    let budget_stats = sim.budget_controller().unwrap().stats();
+
+    println!("Extension — architecture comparison on identical thresholds\n");
+    let cost_model = ManagementCostModel::tianhe_1a();
+    let mut rows = Vec::new();
+    for (m, monitored) in [
+        (&uncapped.metrics, 0usize),
+        (&mpc.metrics, mpc.candidate_count),
+        (&mpc48.metrics, mpc48.candidate_count),
+        (&budget_metrics, 128usize),
+    ] {
+        rows.push(vec![
+            m.label.clone(),
+            format!("{:.4}", m.performance),
+            format!("{:.1}%", m.cplj_fraction * 100.0),
+            format!("{:.2}", m.p_max_w / 1e3),
+            format!("{:.5}", m.overspend),
+            monitored.to_string(),
+            format!("{:.1}%", cost_model.utilization(monitored) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "architecture",
+                "Performance",
+                "CPLJ %",
+                "P_max kW",
+                "ΔP×T",
+                "monitored nodes",
+                "mgmt util (modeled)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "budget controller: {} of {} cycles active, {} commands issued",
+        budget_stats.active_cycles, budget_stats.cycles, budget_stats.commands_issued
+    );
+    println!(
+        "\nReading: the budget baseline shaves every node a little (CPLJ drops)\n\
+         and its instant full-restoration lets spikes pass through whole —\n\
+         P_max stays near uncapped. Algorithm 1's asymmetric control (one\n\
+         level down on a job-aware target set, gradual T_g-gated recovery)\n\
+         is what actually clips the peak. And MPC/48 shows the candidate\n\
+         subset retaining most of the effect at a quarter of the monitoring\n\
+         cost — the architecture's two claims, quantified."
+    );
+}

@@ -1,0 +1,95 @@
+//! Extension — statistical robustness of the headline results.
+//!
+//! The paper reports one 12-hour run per policy. This binary replicates
+//! the Figure-7 experiment over five independent seeds and reports each
+//! headline metric as mean ± sample standard deviation, plus a bootstrap
+//! 95% CI of the per-job performance ratio within the canonical seed —
+//! showing that the reproduction's conclusions do not hinge on one lucky
+//! workload draw.
+
+use ppc_bench::paper_config;
+use ppc_cluster::experiment::run_replicated;
+use ppc_cluster::output::render_table;
+use ppc_core::PolicyKind;
+use ppc_metrics::bootstrap_mean_ci;
+use ppc_simkit::RngFactory;
+
+const SEEDS: [u64; 5] = [20120521, 1, 2, 3, 4];
+
+fn main() {
+    println!("Extension — five-seed replications of the Figure-7 experiment\n");
+    let mut rows = Vec::new();
+    let mut per_policy = Vec::new();
+    for policy in [None, Some(PolicyKind::Mpc), Some(PolicyKind::Hri)] {
+        let label = policy.map(|p| p.to_string()).unwrap_or("uncapped".into());
+        eprintln!("replicating {label} over {} seeds …", SEEDS.len());
+        let rep = run_replicated(&paper_config(policy, None), &SEEDS);
+        rows.push(vec![
+            label.clone(),
+            format!("{:.4} ± {:.4}", rep.performance.mean, rep.performance.std_dev),
+            format!(
+                "{:.1}% ± {:.1}%",
+                rep.cplj_fraction.mean * 100.0,
+                rep.cplj_fraction.std_dev * 100.0
+            ),
+            format!(
+                "{:.2} ± {:.2}",
+                rep.p_max_w.mean / 1e3,
+                rep.p_max_w.std_dev / 1e3
+            ),
+            format!("{:.5} ± {:.5}", rep.overspend.mean, rep.overspend.std_dev),
+        ]);
+        per_policy.push((label, rep));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["policy", "Performance", "CPLJ", "P_max kW", "ΔP×T"],
+            &rows
+        )
+    );
+
+    // Cross-seed conclusions.
+    let find = |name: &str| {
+        per_policy
+            .iter()
+            .find(|(l, _)| l == name)
+            .map(|(_, r)| r)
+            .expect("ran above")
+    };
+    let (unc, mpc, hri) = (find("uncapped"), find("MPC"), find("HRI"));
+    let mpc_wins_overspend = mpc
+        .outcomes
+        .iter()
+        .zip(&hri.outcomes)
+        .filter(|(m, h)| m.metrics.overspend <= h.metrics.overspend)
+        .count();
+    let capped_every_seed = mpc
+        .outcomes
+        .iter()
+        .zip(&unc.outcomes)
+        .all(|(m, u)| m.metrics.p_max_w < u.metrics.p_max_w);
+    println!(
+        "MPC beats HRI on ΔP×T in {}/{} seeds; capping reduced P_max in {}",
+        mpc_wins_overspend,
+        SEEDS.len(),
+        if capped_every_seed { "every seed" } else { "NOT every seed" },
+    );
+
+    // Within-run bootstrap of the canonical seed's per-job ratios.
+    let canonical = &mpc.outcomes[0];
+    let ratios: Vec<f64> = canonical
+        .records
+        .iter()
+        .map(|r| r.performance_ratio())
+        .collect();
+    let mut rng = RngFactory::new(99).stream("bootstrap", 0);
+    let ci = bootstrap_mean_ci(&ratios, 2_000, 0.95, &mut rng);
+    println!(
+        "canonical-seed MPC Performance(cap): {:.4}, bootstrap 95% CI [{:.4}, {:.4}] over {} jobs",
+        ci.mean,
+        ci.lo,
+        ci.hi,
+        ratios.len()
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 4 — the accumulative effect of overspending (ΔP×T).
+//!
+//! Regenerates the figure's construction on a synthetic power curve: a
+//! trace with two excursions above the provision threshold, the overspent
+//! (dark-grey) area, the total energy area, and the ratio between them.
+//! Also prints the metric at several thresholds to show its monotonicity.
+
+use ppc_cluster::output::render_table;
+use ppc_metrics::overspend::{overspend_energy_j, overspend_ratio, time_above_fraction};
+use ppc_simkit::{SimTime, TimeSeries};
+
+fn main() {
+    // A stylized P(t): baseline load with two spikes of different height
+    // and duration, mirroring the shape of the paper's Figure 4.
+    let mut trace = TimeSeries::new();
+    let profile: &[(u64, f64)] = &[
+        (0, 800.0),
+        (60, 850.0),
+        (120, 1_150.0), // first excursion
+        (180, 1_250.0),
+        (240, 900.0),
+        (300, 820.0),
+        (420, 1_050.0), // second, milder excursion
+        (480, 1_080.0),
+        (540, 860.0),
+        (600, 800.0),
+    ];
+    for &(t, p) in profile {
+        trace.push(SimTime::from_secs(t), p);
+    }
+    let p_th = 1_000.0;
+
+    println!("Figure 4 — accumulative effect of overspending (ΔP×T)\n");
+    println!("threshold P_th = {p_th} W, trace span = {} s\n", 600);
+    let total_j = trace.integrate(ppc_simkit::series::Interp::Step);
+    let over_j = overspend_energy_j(&trace, p_th);
+    let rows = vec![
+        vec!["total energy (grey area)".to_string(), format!("{total_j:.0} J")],
+        vec!["overspent energy (dark grey)".to_string(), format!("{over_j:.0} J")],
+        vec!["ΔP×T".to_string(), format!("{:.5}", overspend_ratio(&trace, p_th))],
+        vec![
+            "time above P_th".to_string(),
+            format!("{:.1}%", time_above_fraction(&trace, p_th) * 100.0),
+        ],
+    ];
+    println!("{}", render_table(&["quantity", "value"], &rows));
+
+    println!("ΔP×T vs threshold (monotone non-increasing):\n");
+    let rows: Vec<Vec<String>> = [800.0, 900.0, 1_000.0, 1_100.0, 1_200.0, 1_300.0]
+        .iter()
+        .map(|&th| {
+            vec![
+                format!("{th:.0} W"),
+                format!("{:.5}", overspend_ratio(&trace, th)),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["P_th", "ΔP×T"], &rows));
+}

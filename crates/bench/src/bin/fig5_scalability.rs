@@ -1,0 +1,143 @@
+//! Figure 5 — scalability of the global manager.
+//!
+//! "The CPU utilizations of the central management node increase
+//! non-linearly with the sizes of A_candidate."
+//!
+//! Two series over |A_candidate| ∈ {0, 8, 16, 32, 48, 64, 96, 128}:
+//!
+//! * **measured** — wall-clock cost of the *real* management code path
+//!   (collector ingestion → job-observation building → Algorithm 1 with
+//!   MPC selection) per control cycle, on synthetic samples, expressed as
+//!   utilization of one management core at the paper's 1 s cycle;
+//! * **modeled** — the calibrated analytic curve used inside simulations
+//!   (`ppc_telemetry::cost::ManagementCostModel`), which matches the
+//!   testbed's convex shape.
+
+use ppc_cluster::output::render_table;
+use ppc_core::capping::LevelView;
+use ppc_core::observe::observe_jobs;
+use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc_node::spec::NodeSpec;
+use ppc_node::{Level, NodeId, OperatingState};
+use ppc_simkit::{RngFactory, SimTime};
+use ppc_telemetry::cost::{CycleCostMeter, ManagementCostModel};
+use ppc_telemetry::AggregationTree;
+use ppc_telemetry::{Collector, NodeSample};
+use ppc_workload::JobId;
+use std::sync::Arc;
+
+struct FlatView;
+impl LevelView for FlatView {
+    fn level_of(&self, _: NodeId) -> Level {
+        Level::new(5)
+    }
+    fn highest_of(&self, _: NodeId) -> Level {
+        Level::new(9)
+    }
+}
+
+/// Measured per-cycle management cost for `n` monitored nodes, seconds.
+fn measure_cycle_cost(n: usize, cycles: u64) -> f64 {
+    let spec = NodeSpec::tianhe_1a();
+    let model = spec.power_model(1.0);
+    let factory = RngFactory::new(42);
+    let mut rng = factory.stream("fig5", n as u64);
+    let sets = NodeSets::new((0..n as u32).map(NodeId), []);
+    let mut manager = PowerManager::new(
+        ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(30_000.0, PolicyKind::Mpc)
+        },
+        sets,
+    )
+    .expect("valid config");
+    let candidates = manager.sets().candidates();
+    let collector = Collector::new();
+    // Jobs of 8 nodes each, covering the monitored pool.
+    let jobs: Vec<(JobId, Vec<NodeId>)> = (0..n / 8)
+        .map(|j| {
+            (
+                JobId(j as u64),
+                (0..8).map(|k| NodeId((j * 8 + k) as u32)).collect(),
+            )
+        })
+        .collect();
+
+    let mut meter = CycleCostMeter::new();
+    for cycle in 0..cycles {
+        let at = SimTime::from_secs(cycle);
+        let samples: Vec<NodeSample> = (0..n as u32)
+            .map(|i| {
+                let state = OperatingState {
+                    cpu_util: 0.5 + 0.4 * rng.f64(),
+                    mem_used_bytes: 8 << 30,
+                    nic_bytes: (rng.f64() * 1e8) as u64,
+                };
+                NodeSample {
+                    node: NodeId(i),
+                    at,
+                    state,
+                    level: Level::new(5),
+                    power_w: model.power_w(Level::new(5), &state),
+                }
+            })
+            .collect();
+        // Always-yellow power keeps the selection policy on the hot path.
+        let power_w = 26_000.0;
+        let m = Arc::clone(&model);
+        meter.measure(|| {
+            // Sequential ingest: one management node's own CPU cost (the
+            // quantity Figure 5 plots). The simulation's concurrent path
+            // adds thread fan-out that would only distort this series.
+            for s in samples {
+                collector.ingest(s);
+            }
+            let obs = observe_jobs(&collector, &jobs, &candidates, &|_| Arc::clone(&m));
+            manager.control_cycle(power_w, obs, &FlatView)
+        });
+    }
+    meter.mean_cycle_secs()
+}
+
+fn main() {
+    let sizes = [0usize, 8, 16, 32, 48, 64, 96, 128];
+    let cycle_period_secs = 1.0;
+    let model = ManagementCostModel::tianhe_1a();
+    let tree = AggregationTree::management_ethernet();
+
+    println!("Figure 5 — scalability of the global manager\n");
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        // Warm up, then measure.
+        measure_cycle_cost(n, 50);
+        let cost = measure_cycle_cost(n, 400);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", cost * 1e6),
+            format!("{:.3}%", cost / cycle_period_secs * 100.0),
+            format!("{:.1}%", tree.utilization(n, cycle_period_secs) * 100.0),
+            format!("{:.1}%", model.utilization(n) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "|A_candidate|",
+                "measured us/cycle",
+                "measured util (1s cycle)",
+                "incast-tree util (mechanistic)",
+                "modeled util (testbed-calibrated)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "The measured series is this implementation's in-process cost (near-linear,\n\
+         microseconds — modern hardware; the paper's testbed also paid per-node\n\
+         management-network collection). The modeled series is calibrated to the\n\
+         testbed's convex curve, which includes aggregation/incast contention that\n\
+         grows super-linearly with the monitored-node count. Either way the lesson\n\
+         of Figure 5 holds: monitor a candidate subset, not the whole machine."
+    );
+}

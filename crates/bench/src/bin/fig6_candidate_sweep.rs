@@ -1,0 +1,60 @@
+//! Figure 6 — power capping effect at different sizes of A_candidate.
+//!
+//! Sweeps |A_candidate| ∈ {0, 8, 16, 32, 48, 64, 96, 128} for the MPC and
+//! HRI policies on the 128-node Tianhe-1A variant and reports `P_max` and
+//! `ΔP×T` normalized against the size-0 (unmanaged) run, as the paper
+//! plots them. Expected shape: both metrics improve monotonically with
+//! candidate count, with strongly diminishing returns past ~48 nodes
+//! (first-fit packing concentrates the running jobs on low-index nodes,
+//! which enter the candidate set first).
+
+use ppc_bench::{paper_config, run_labeled};
+use ppc_cluster::output::{render_csv, render_table};
+use ppc_core::PolicyKind;
+
+fn main() {
+    let sizes = [0usize, 8, 16, 32, 48, 64, 96, 128];
+    let baseline = run_labeled(&paper_config(None, None));
+
+    println!("Figure 6 — power capping effect vs |A_candidate|");
+    println!(
+        "(normalized against the unmanaged run: P_max {:.1} kW, ΔP×T {:.5})\n",
+        baseline.metrics.p_max_w / 1e3,
+        baseline.metrics.overspend
+    );
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for policy in [PolicyKind::Mpc, PolicyKind::Hri] {
+        for &size in &sizes {
+            let (label, norm_pmax, norm_over) = if size == 0 {
+                (format!("{policy}/0"), 1.0, 1.0)
+            } else {
+                let out = run_labeled(&paper_config(Some(policy), Some(size)));
+                let n = out.metrics.normalize_against(&baseline.metrics);
+                (out.label.clone(), n.p_max, n.overspend)
+            };
+            rows.push(vec![
+                label.clone(),
+                policy.to_string(),
+                size.to_string(),
+                format!("{norm_pmax:.4}"),
+                format!("{norm_over:.4}"),
+            ]);
+            csv_rows.push(vec![
+                policy.to_string(),
+                size.to_string(),
+                format!("{norm_pmax:.6}"),
+                format!("{norm_over:.6}"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["run", "policy", "|A_candidate|", "P_max (norm.)", "ΔP×T (norm.)"],
+            &rows
+        )
+    );
+    println!("CSV:\n{}", render_csv(&["policy", "size", "pmax_norm", "overspend_norm"], &csv_rows));
+}

@@ -1,0 +1,80 @@
+//! # ppc-bench — figure regenerators and criterion benches
+//!
+//! One binary per table/figure of the paper's evaluation section (run with
+//! `cargo run --release -p ppc-bench --bin <name>`):
+//!
+//! | binary                  | regenerates                                   |
+//! |-------------------------|-----------------------------------------------|
+//! | `fig4_overspend_demo`   | Fig. 4 — the ΔP×T metric on a synthetic trace |
+//! | `fig5_scalability`      | Fig. 5 — manager CPU cost vs \|A_candidate\|  |
+//! | `fig6_candidate_sweep`  | Fig. 6 — capping effect vs \|A_candidate\|    |
+//! | `fig7_policy_comparison`| Fig. 7 — MPC vs HRI vs uncapped               |
+//! | `headline_claims`       | §V.D in-text claims (2% loss, −10% P_max, …)  |
+//! | `ext_policy_matrix`     | §VI future work: all seven policies           |
+//! | `ablation_sweeps`       | T_g / margins / think-time / noise ablations  |
+//!
+//! Criterion benches live in `benches/` and measure the hot paths (power
+//! model, policy selection, event queue, collector, whole sim step).
+
+use ppc_cluster::experiment::{run_experiment, ExperimentConfig, ExperimentOutcome};
+use ppc_core::PolicyKind;
+use ppc_simkit::SimDuration;
+
+/// Training length used by all figure regenerators. The paper trains for
+/// 24 h of wall time; one simulated hour of our job mix already shows the
+/// converged peak (hundreds of job events), so regenerators use this
+/// compressed-but-shape-preserving default.
+pub fn default_training() -> SimDuration {
+    SimDuration::from_hours(1)
+}
+
+/// Measurement length used by all figure regenerators (paper: 12 h).
+pub fn default_measurement() -> SimDuration {
+    SimDuration::from_hours(6)
+}
+
+/// Builds the paper experiment config with the harness defaults.
+pub fn paper_config(policy: Option<PolicyKind>, candidate_cap: Option<usize>) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(policy);
+    cfg.candidate_cap = candidate_cap;
+    cfg.training = default_training();
+    cfg.measurement = default_measurement();
+    cfg
+}
+
+/// Runs one experiment, echoing progress to stderr.
+pub fn run_labeled(cfg: &ExperimentConfig) -> ExperimentOutcome {
+    let label = match (cfg.policy, cfg.candidate_cap) {
+        (None, _) => "uncapped".to_string(),
+        (Some(p), None) => p.to_string(),
+        (Some(p), Some(c)) => format!("{p}/{c}"),
+    };
+    eprintln!("running {label} …");
+    let t0 = std::time::Instant::now();
+    let out = run_experiment(cfg);
+    eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+    out
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_applies_overrides() {
+        let cfg = paper_config(Some(PolicyKind::Hri), Some(48));
+        assert_eq!(cfg.candidate_cap, Some(48));
+        assert_eq!(cfg.training, default_training());
+        assert_eq!(cfg.measurement, default_measurement());
+    }
+
+    #[test]
+    fn formatter() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,327 @@
+//! The paper's experiment protocol.
+//!
+//! A run has two phases on one continuous simulation:
+//!
+//! 1. **Training** — the cluster executes the random job mix with every
+//!    node at its highest power state; the manager only observes, and at
+//!    the end of the period adopts the recorded peak as `P_peak`
+//!    (thresholds become `93%/84% · P_peak`).
+//! 2. **Measurement** — capping is live; all metrics (`Performance`,
+//!    CPLJ, `P_max`, ΔP×T) are computed over this window only.
+//!
+//! The unmanaged baseline (`policy = None`) runs the same seed and
+//! durations with no manager attached; Figures 6 and 7 normalize against
+//! it. ΔP×T always uses the provision capability `P_Max` as `P_th`.
+
+use crate::sim::ClusterSim;
+use crate::spec::ClusterSpec;
+use ppc_core::manager::ManagerStats;
+use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager, PowerState};
+use ppc_metrics::RunMetrics;
+use ppc_simkit::{SimDuration, TimeSeries};
+use ppc_telemetry::cost::ManagementCostModel;
+use ppc_workload::JobRecord;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one experimental run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The cluster under test.
+    pub spec: ClusterSpec,
+    /// Selection policy; `None` = unmanaged baseline run.
+    pub policy: Option<PolicyKind>,
+    /// Candidate-set size cap (`None` = all controllable nodes).
+    pub candidate_cap: Option<usize>,
+    /// Training-phase length.
+    pub training: SimDuration,
+    /// Measurement-phase length.
+    pub measurement: SimDuration,
+    /// `T_g` in control cycles (paper: 10).
+    pub t_g_cycles: u64,
+    /// `t_p` in control cycles.
+    pub t_p_cycles: u64,
+    /// CPLJ tolerance for tick quantization of finish times.
+    pub lossless_tolerance: f64,
+    /// Override of the lower-threshold margin (default: paper's 16%).
+    pub low_margin: Option<f64>,
+    /// Override of the upper-threshold margin (default: paper's 7%).
+    pub high_margin: Option<f64>,
+    /// Pin the thresholds to the provision-derived pair (admin mode).
+    pub frozen_thresholds: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's setup on the Tianhe-1A variant. The wall-clock protocol
+    /// (24 h training + 12 h measurement) is compressed to 2 h + 6 h of
+    /// simulated time — enough for hundreds of finished jobs and a
+    /// converged peak estimate — with every period expressed in control
+    /// cycles exactly as in the paper.
+    pub fn paper(policy: Option<PolicyKind>) -> Self {
+        ExperimentConfig {
+            spec: ClusterSpec::tianhe_1a_variant(),
+            policy,
+            candidate_cap: None,
+            training: SimDuration::from_hours(2),
+            measurement: SimDuration::from_hours(6),
+            t_g_cycles: 10,
+            t_p_cycles: 3_600,
+            lossless_tolerance: 0.01,
+            low_margin: None,
+            high_margin: None,
+            frozen_thresholds: false,
+        }
+    }
+
+    /// A fast variant for tests and the quickstart (minutes, small cluster).
+    pub fn quick(policy: Option<PolicyKind>, nodes: u32) -> Self {
+        ExperimentConfig {
+            spec: ClusterSpec::mini(nodes),
+            policy,
+            candidate_cap: None,
+            training: SimDuration::from_mins(5),
+            measurement: SimDuration::from_mins(20),
+            t_g_cycles: 10,
+            t_p_cycles: 600,
+            lossless_tolerance: 0.02,
+            low_margin: None,
+            high_margin: None,
+            frozen_thresholds: false,
+        }
+    }
+
+    /// Control cycles in the training phase.
+    fn training_cycles(&self) -> u64 {
+        self.training.as_millis() / self.spec.tick.as_millis()
+    }
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// Run label (policy name or "uncapped").
+    pub label: String,
+    /// Metrics over the measurement window.
+    pub metrics: RunMetrics,
+    /// Measurement-window power trace (true power).
+    pub trace: TimeSeries,
+    /// Jobs finished during the measurement window.
+    pub records: Vec<JobRecord>,
+    /// Manager cycle stats over the measurement window (`None` for the
+    /// baseline run).
+    pub manager_stats: Option<ManagerStats>,
+    /// Red cycles observed during measurement (the paper's safety claim:
+    /// this stays 0 under capping).
+    pub red_cycles_measured: u64,
+    /// Learned `P_peak`, watts (provision capability for the baseline).
+    pub p_peak_w: f64,
+    /// `(P_L, P_H)` in force at the end, watts.
+    pub thresholds_w: (f64, f64),
+    /// Provision capability `P_Max` used as the ΔP×T threshold, watts.
+    pub provision_w: f64,
+    /// Measured mean management cost per control cycle, seconds.
+    pub mgmt_cost_secs: f64,
+    /// Modeled management-node CPU utilization for this candidate count.
+    pub modeled_mgmt_util: f64,
+    /// Candidate-set size in force.
+    pub candidate_count: usize,
+}
+
+/// Runs one experiment (training + measurement) and computes its metrics.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
+    let spec = &config.spec;
+    spec.validate();
+    let provision_w = spec.provision_w();
+
+    let (label, mut sim) = match config.policy {
+        None => ("uncapped".to_string(), ClusterSim::new(spec.clone())),
+        Some(policy) => {
+            let sets = NodeSets::new(spec.node_ids(), spec.privileged.iter().copied())
+                .with_candidate_cap(config.candidate_cap);
+            let defaults = ManagerConfig::paper_defaults(provision_w, policy);
+            let mconfig = ManagerConfig {
+                t_g_cycles: config.t_g_cycles,
+                t_p_cycles: config.t_p_cycles,
+                training_cycles: config.training_cycles(),
+                low_margin: config.low_margin.unwrap_or(defaults.low_margin),
+                high_margin: config.high_margin.unwrap_or(defaults.high_margin),
+                frozen_thresholds: config.frozen_thresholds,
+                ..defaults
+            };
+            let manager = PowerManager::new(mconfig, sets).expect("validated config");
+            let label = match config.candidate_cap {
+                Some(cap) => format!("{policy}/{cap}"),
+                None => policy.to_string(),
+            };
+            (label, ClusterSim::new(spec.clone()).with_manager(manager))
+        }
+    };
+
+    // Phase 1: training (runs even for the baseline so both see the same
+    // warmed-up cluster at measurement start).
+    sim.run_for(config.training);
+    let t0 = sim.now();
+    let stats_at_t0 = sim.manager().map(|m| m.stats());
+    let finished_at_t0 = sim.finished().len();
+
+    // Phase 2: measurement.
+    sim.run_for(config.measurement);
+
+    let trace = sim.true_power().since(t0);
+    let records: Vec<JobRecord> = sim.finished()[finished_at_t0..].to_vec();
+    let metrics = RunMetrics::compute(
+        label.clone(),
+        &trace,
+        &records,
+        provision_w,
+        config.lossless_tolerance,
+    );
+
+    let manager_stats = match (sim.manager().map(|m| m.stats()), stats_at_t0) {
+        (Some(end), Some(start)) => Some(ManagerStats {
+            cycles: end.cycles - start.cycles,
+            green_cycles: end.green_cycles - start.green_cycles,
+            yellow_cycles: end.yellow_cycles - start.yellow_cycles,
+            red_cycles: end.red_cycles - start.red_cycles,
+            commands_issued: end.commands_issued - start.commands_issued,
+            threshold_adjustments: end.threshold_adjustments - start.threshold_adjustments,
+        }),
+        _ => None,
+    };
+    let red_cycles_measured = sim
+        .state_log()
+        .iter()
+        .filter(|(at, s)| *at > t0 && *s == PowerState::Red)
+        .count() as u64;
+
+    let candidate_count = sim
+        .manager()
+        .map(|m| m.sets().candidate_count())
+        .unwrap_or(0);
+    let (p_peak_w, thresholds_w) = match sim.manager() {
+        Some(m) => {
+            let t = m.thresholds();
+            (m.learner().p_peak_w(), (t.p_low_w(), t.p_high_w()))
+        }
+        None => (provision_w, (0.0, 0.0)),
+    };
+
+    ExperimentOutcome {
+        label,
+        metrics,
+        trace,
+        records,
+        manager_stats,
+        red_cycles_measured,
+        p_peak_w,
+        thresholds_w,
+        provision_w,
+        mgmt_cost_secs: sim.mean_mgmt_cost_secs(),
+        modeled_mgmt_util: ManagementCostModel::tianhe_1a().utilization(candidate_count),
+        candidate_count,
+    }
+}
+
+/// Runs the same experiment under several seeds and summarizes the
+/// headline metrics (mean ± sample std over replications).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicatedOutcome {
+    /// One outcome per seed, in input order.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Performance(cap) across seeds.
+    pub performance: ppc_metrics::ReplicationSummary,
+    /// CPLJ fraction across seeds.
+    pub cplj_fraction: ppc_metrics::ReplicationSummary,
+    /// P_max (watts) across seeds.
+    pub p_max_w: ppc_metrics::ReplicationSummary,
+    /// ΔP×T across seeds.
+    pub overspend: ppc_metrics::ReplicationSummary,
+}
+
+/// Runs `config` once per seed and summarizes.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn run_replicated(config: &ExperimentConfig, seeds: &[u64]) -> ReplicatedOutcome {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let outcomes: Vec<ExperimentOutcome> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut cfg = config.clone();
+            cfg.spec.seed = seed;
+            run_experiment(&cfg)
+        })
+        .collect();
+    let collect = |f: &dyn Fn(&ExperimentOutcome) -> f64| -> Vec<f64> {
+        outcomes.iter().map(f).collect()
+    };
+    ReplicatedOutcome {
+        performance: ppc_metrics::summarize_replications(&collect(&|o| o.metrics.performance)),
+        cplj_fraction: ppc_metrics::summarize_replications(&collect(&|o| o.metrics.cplj_fraction)),
+        p_max_w: ppc_metrics::summarize_replications(&collect(&|o| o.metrics.p_max_w)),
+        overspend: ppc_metrics::summarize_replications(&collect(&|o| o.metrics.overspend)),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_run_produces_metrics() {
+        let cfg = ExperimentConfig::quick(None, 4);
+        let out = run_experiment(&cfg);
+        assert_eq!(out.label, "uncapped");
+        assert!(out.manager_stats.is_none());
+        assert!(out.metrics.p_max_w > 0.0);
+        assert!(!out.trace.is_empty());
+        assert_eq!(out.candidate_count, 0);
+        // Uncapped jobs run at full speed: performance is 1 up to the
+        // millisecond resolution of recorded finish times.
+        assert!(out.metrics.performance > 0.9999, "{}", out.metrics.performance);
+        assert_eq!(out.metrics.cplj, out.metrics.jobs_finished);
+    }
+
+    #[test]
+    fn managed_run_learns_thresholds_from_training() {
+        let mut cfg = ExperimentConfig::quick(Some(PolicyKind::Mpc), 4);
+        cfg.spec.provision_fraction = 0.70;
+        let out = run_experiment(&cfg);
+        let stats = out.manager_stats.expect("managed run has stats");
+        assert!(stats.cycles > 0);
+        // The learned peak must be at most the provision seed and
+        // positive; with a busy mini cluster it reflects real draw.
+        assert!(out.p_peak_w > 0.0);
+        let (pl, ph) = out.thresholds_w;
+        assert!(pl <= ph && ph <= out.p_peak_w * 0.93 + 1e-6);
+    }
+
+    #[test]
+    fn replication_summary_spans_seeds() {
+        let cfg = ExperimentConfig::quick(Some(PolicyKind::Mpc), 6);
+        let rep = run_replicated(&cfg, &[1, 2, 3]);
+        assert_eq!(rep.outcomes.len(), 3);
+        assert_eq!(rep.performance.n, 3);
+        // Different seeds genuinely differ.
+        assert!(rep.p_max_w.max > rep.p_max_w.min);
+        // Every replication stays in the sane band.
+        assert!(rep.performance.min > 0.5 && rep.performance.max <= 1.0);
+    }
+
+    #[test]
+    fn capping_improves_overspend_vs_baseline() {
+        let mut base_cfg = ExperimentConfig::quick(None, 4);
+        base_cfg.spec.provision_fraction = 0.70;
+        let mut cap_cfg = ExperimentConfig::quick(Some(PolicyKind::Mpc), 4);
+        cap_cfg.spec.provision_fraction = 0.70;
+        let base = run_experiment(&base_cfg);
+        let capped = run_experiment(&cap_cfg);
+        assert!(
+            capped.metrics.p_max_w <= base.metrics.p_max_w,
+            "capped {} vs uncapped {}",
+            capped.metrics.p_max_w,
+            base.metrics.p_max_w
+        );
+        assert!(capped.metrics.overspend <= base.metrics.overspend + 1e-9);
+    }
+}

@@ -1,0 +1,724 @@
+//! The cluster simulation loop.
+//!
+//! One tick (= the sampling interval τ = one control cycle):
+//!
+//! 1. refill the job queue if empty (paper protocol) and start queued
+//!    jobs on free nodes (first-fit, lowest indices);
+//! 2. derive each node's operating state from the job phase it hosts and
+//!    advance all node states **in parallel** (device counters, `/proc`);
+//! 3. advance every running job at the minimum rate over its member nodes
+//!    (SPMD bottleneck semantics), collecting finished-job records;
+//! 4. sum true node power, push it to the trace, and take a (noisy)
+//!    facility-meter reading;
+//! 5. run the profiling agents on candidate nodes, feed the collector,
+//!    build job observations, and run the power manager's control cycle;
+//! 6. apply the resulting throttling commands to the nodes — unless the
+//!    manager is still in its training period, during which "all nodes are
+//!    running at highest power state without any power management".
+
+use crate::spec::ClusterSpec;
+use ppc_core::capping::LevelView;
+use ppc_core::observe::observe_jobs;
+use ppc_core::{BudgetNodeView, PowerManager, PowerState, ProportionalBudgetController};
+use ppc_node::node::Node;
+use ppc_node::{Level, NodeId, OperatingState, PowerModel};
+use ppc_simkit::journal::{Journal, Severity};
+use ppc_simkit::par::{par_for_each_mut, par_sum_f64};
+use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries};
+use ppc_telemetry::cost::CycleCostMeter;
+use ppc_telemetry::{Collector, NodeSample, ProfilingAgent, SystemPowerMeter};
+use ppc_workload::{
+    AdmissionPolicy, JobGenerator, JobId, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
+};
+use std::sync::Arc;
+
+/// Level lookup over the node array.
+struct NodesView<'a>(&'a [Node]);
+
+impl LevelView for NodesView<'_> {
+    fn level_of(&self, node: NodeId) -> Level {
+        self.0[node.0 as usize].level()
+    }
+    fn highest_of(&self, node: NodeId) -> Level {
+        self.0[node.0 as usize].highest_level()
+    }
+}
+
+/// The integrated cluster simulation.
+pub struct ClusterSim {
+    spec: ClusterSpec,
+    clock: TickClock,
+    /// Per-node power model (group-shared Arcs).
+    models: Vec<Arc<PowerModel>>,
+    nodes: Vec<Node>,
+    scheduler: Scheduler,
+    queue: JobQueue,
+    generator: JobGenerator,
+    /// Fixed-trace replay source (replaces the generator when present).
+    trace_source: Option<TraceSource>,
+    agents: Vec<ProfilingAgent>,
+    meter: SystemPowerMeter,
+    collector: Collector,
+    manager: Option<PowerManager>,
+    /// Alternative control architecture: the related-work proportional
+    /// budget controller (mutually exclusive with `manager`).
+    budget_controller: Option<ProportionalBudgetController>,
+    true_power: TimeSeries,
+    finished: Vec<JobRecord>,
+    cost_meter: CycleCostMeter,
+    commands_applied: u64,
+    /// `(state, at)` log of control-cycle classifications.
+    state_log: Vec<(SimTime, PowerState)>,
+    /// Earliest instant the next job may be submitted (think time).
+    next_submit_at: SimTime,
+    arrival_rng: ppc_simkit::DetRng,
+    /// Bounded audit trail of notable events.
+    journal: Journal,
+    /// Power state at the previous control cycle (for edge detection).
+    last_state: Option<PowerState>,
+    /// Peak die temperature seen so far, °C (thermal model only).
+    peak_temp_c: f64,
+    /// `∫ mean relative-failure-rate dt` (reference = ambient), in
+    /// rate-seconds (thermal model only).
+    failure_integral: f64,
+}
+
+impl ClusterSim {
+    /// Builds an unmanaged cluster (baseline runs, training substrate).
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate();
+        let factory = RngFactory::new(spec.seed);
+        let tau = spec.tick.as_secs_f64();
+        // One (spec, model) pair per partition, shared by its nodes.
+        let mut groups: Vec<(Arc<ppc_node::NodeSpec>, Arc<PowerModel>, u32)> = Vec::new();
+        let base = Arc::new(spec.node_spec.clone());
+        groups.push((Arc::clone(&base), base.power_model(tau), spec.node_count));
+        for g in &spec.extra_groups {
+            let gs = Arc::new(g.spec.clone());
+            let gm = gs.power_model(tau);
+            groups.push((gs, gm, g.count));
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(spec.total_nodes() as usize);
+        let mut models: Vec<Arc<PowerModel>> = Vec::with_capacity(nodes.capacity());
+        let mut next_id = 0u32;
+        for (gspec, gmodel, count) in &groups {
+            for _ in 0..*count {
+                nodes.push(Node::new(
+                    NodeId(next_id),
+                    Arc::clone(gspec),
+                    Arc::clone(gmodel),
+                ));
+                models.push(Arc::clone(gmodel));
+                next_id += 1;
+            }
+        }
+        for &p in &spec.privileged {
+            nodes[p.0 as usize].set_privileged(true);
+        }
+        let admission = if spec.backfill {
+            AdmissionPolicy::Backfill
+        } else {
+            AdmissionPolicy::FifoFirstFit
+        };
+        let scheduler = Scheduler::new(spec.node_ids(), base.cores()).with_admission(admission);
+        let admissible_nprocs = spec.max_nprocs().min(256);
+        let generator = JobGenerator::new(factory, spec.class, admissible_nprocs)
+            .with_critical_fraction(spec.critical_job_fraction);
+        let trace_source = spec
+            .job_trace
+            .as_ref()
+            .map(|entries| TraceSource::new(entries.clone(), factory));
+        let agents = spec
+            .node_ids()
+            .map(|id| ProfilingAgent::new(spec.agent_noise, factory.stream("agent", id.0 as u64)))
+            .collect();
+        let meter = SystemPowerMeter::new(spec.meter_noise, factory.stream("meter", 0));
+        ClusterSim {
+            clock: TickClock::new(spec.tick),
+            models,
+            nodes,
+            scheduler,
+            queue: JobQueue::new(),
+            generator,
+            trace_source,
+            agents,
+            meter,
+            collector: Collector::new(),
+            manager: None,
+            budget_controller: None,
+            true_power: TimeSeries::new(),
+            finished: Vec::new(),
+            cost_meter: CycleCostMeter::new(),
+            commands_applied: 0,
+            state_log: Vec::new(),
+            next_submit_at: SimTime::ZERO,
+            arrival_rng: factory.stream("arrivals", 0),
+            journal: Journal::new(16_384).with_min_severity(Severity::Info),
+            last_state: None,
+            peak_temp_c: f64::NEG_INFINITY,
+            failure_integral: 0.0,
+            spec,
+        }
+    }
+
+    /// Attaches a power manager (built by the caller from a
+    /// [`ppc_core::ManagerConfig`] and node classification).
+    ///
+    /// # Panics
+    /// Panics if a budget controller is already attached.
+    pub fn with_manager(mut self, manager: PowerManager) -> Self {
+        assert!(
+            self.budget_controller.is_none(),
+            "manager and budget controller are mutually exclusive"
+        );
+        self.manager = Some(manager);
+        self
+    }
+
+    /// Attaches the related-work proportional-budget controller instead of
+    /// the paper's power manager (architecture baseline: monitors *every*
+    /// node, splits the budget proportionally each cycle, job-blind).
+    ///
+    /// # Panics
+    /// Panics if a power manager is already attached.
+    pub fn with_budget_controller(mut self, controller: ProportionalBudgetController) -> Self {
+        assert!(
+            self.manager.is_none(),
+            "manager and budget controller are mutually exclusive"
+        );
+        self.budget_controller = Some(controller);
+        self
+    }
+
+    /// The attached budget controller, if any.
+    pub fn budget_controller(&self) -> Option<&ProportionalBudgetController> {
+        self.budget_controller.as_ref()
+    }
+
+    /// The cluster spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The true (unmetered) power trace.
+    pub fn true_power(&self) -> &TimeSeries {
+        &self.true_power
+    }
+
+    /// The facility meter (noisy readings, history).
+    pub fn meter(&self) -> &SystemPowerMeter {
+        &self.meter
+    }
+
+    /// Finished-job records, in completion order.
+    pub fn finished(&self) -> &[JobRecord] {
+        &self.finished
+    }
+
+    /// The attached manager, if any.
+    pub fn manager(&self) -> Option<&PowerManager> {
+        self.manager.as_ref()
+    }
+
+    /// Mutable access to the manager (runtime candidate-set changes).
+    pub fn manager_mut(&mut self) -> Option<&mut PowerManager> {
+        self.manager.as_mut()
+    }
+
+    /// Measured mean management cost per control cycle, seconds.
+    pub fn mean_mgmt_cost_secs(&self) -> f64 {
+        self.cost_meter.mean_cycle_secs()
+    }
+
+    /// Throttling commands actually applied to nodes.
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied
+    }
+
+    /// The bounded event journal (job lifecycle, state flips, thresholds).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Control-cycle state classifications (time, state).
+    pub fn state_log(&self) -> &[(SimTime, PowerState)] {
+        &self.state_log
+    }
+
+    /// Node power levels (index = node id), for assertions and reports.
+    pub fn node_levels(&self) -> Vec<Level> {
+        self.nodes.iter().map(Node::level).collect()
+    }
+
+    /// Fraction of nodes currently allocated to jobs.
+    pub fn utilization(&self) -> f64 {
+        self.scheduler.utilization()
+    }
+
+    /// Number of running jobs.
+    pub fn running_jobs(&self) -> usize {
+        self.scheduler.running_jobs().len()
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn step(&mut self) {
+        let dt = self.clock.dt_secs();
+        let now0 = self.clock.now();
+
+        // 1. Job arrival and placement. With a replay trace, jobs arrive
+        //    at their recorded times; otherwise an empty queue is refilled
+        //    (paper protocol), gated by the think-time gap.
+        match self.trace_source.as_mut() {
+            Some(src) => {
+                for job in src.due_jobs(now0) {
+                    self.queue.push(job);
+                }
+            }
+            None => {
+                if now0 >= self.next_submit_at
+                    && self
+                        .generator
+                        .refill_to(&mut self.queue, self.spec.queue_depth, now0)
+                    && !self.spec.think_time_mean.is_zero()
+                {
+                    let gap = self
+                        .arrival_rng
+                        .exponential(self.spec.think_time_mean.as_secs_f64());
+                    self.next_submit_at = now0 + ppc_simkit::SimDuration::from_secs_f64(gap);
+                }
+            }
+        }
+        let started = self.scheduler.try_start(&mut self.queue, now0);
+        for &id in &started {
+            let job = self
+                .scheduler
+                .running_jobs()
+                .iter()
+                .find(|j| j.id() == id)
+                .expect("just started");
+            self.journal.record(
+                now0,
+                Severity::Info,
+                "job",
+                format!(
+                    "{id} started: {} class {} x{} on {} nodes ({:?})",
+                    job.app(),
+                    job.class(),
+                    job.nprocs(),
+                    job.nodes().len(),
+                    job.priority()
+                ),
+            );
+        }
+        // SLA protection: a critical job's nodes join A_uncontrollable for
+        // its lifetime (the paper's dynamic candidate set).
+        if self.spec.critical_job_fraction > 0.0 && !started.is_empty() {
+            for id in started {
+                let job = self
+                    .scheduler
+                    .running_jobs()
+                    .iter()
+                    .find(|j| j.id() == id)
+                    .expect("just started");
+                if job.priority() == JobPriority::Critical {
+                    let members = job.nodes().to_vec();
+                    for n in members {
+                        let node = &mut self.nodes[n.0 as usize];
+                        if node.is_privileged() {
+                            // Already protected (statically privileged, or
+                            // shared start tick with another critical job).
+                            continue;
+                        }
+                        // SLA work gets full performance: restore the node
+                        // to its top level (it may carry a degradation from
+                        // earlier capping), then freeze it.
+                        let top = node.highest_level();
+                        node.set_level(top)
+                            .expect("node checked not privileged");
+                        node.set_privileged(true);
+                        if let Some(m) = self.manager.as_mut() {
+                            m.sets_mut().set_privileged(n, true);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Node operating states for this tick, derived from the phase
+        //    each node's job is in. Computed serially (borrows the
+        //    scheduler), applied to nodes in parallel.
+        let loads: Vec<OperatingState> = self
+            .nodes
+            .iter()
+            .map(|n| match self.scheduler.load_on(n.id()) {
+                Some(load) => OperatingState {
+                    cpu_util: load.cpu_util,
+                    mem_used_bytes: load.mem_bytes,
+                    nic_bytes: (load.nic_fraction
+                        * n.spec().nic.bandwidth_bytes_per_sec
+                        * dt) as u64,
+                },
+                None => OperatingState::IDLE,
+            })
+            .collect();
+        par_for_each_mut(&mut self.nodes, |i, node| {
+            node.run_interval(loads[i], dt);
+        });
+
+        // 3. Jobs progress at the min rate over their members' speeds.
+        let speeds: Vec<f64> = self.nodes.iter().map(Node::relative_speed).collect();
+        let now1 = self.clock.advance();
+        let speed_of = |n: NodeId| speeds[n.0 as usize];
+        let mut records = self.scheduler.advance(dt, now1, &speed_of);
+        // Release SLA protection when critical jobs complete — unless the
+        // node is statically privileged in the cluster spec.
+        for r in &records {
+            if r.priority == JobPriority::Critical {
+                for &n in &r.nodes {
+                    if self.spec.privileged.contains(&n) {
+                        continue;
+                    }
+                    self.nodes[n.0 as usize].set_privileged(false);
+                    if let Some(m) = self.manager.as_mut() {
+                        m.sets_mut().set_privileged(n, false);
+                    }
+                }
+            }
+        }
+        for r in &records {
+            self.journal.record(
+                now1,
+                Severity::Info,
+                "job",
+                format!(
+                    "{} finished: T={:.1}s (baseline {:.1}s, throttled {:.0}s)",
+                    r.id, r.actual_secs, r.baseline_secs, r.throttled_secs
+                ),
+            );
+        }
+        self.finished.append(&mut records);
+
+        // 3b. Thermal accounting (extension; no-op without thermal models).
+        let mut rate_sum = 0.0;
+        let mut thermal_nodes = 0u32;
+        for n in &self.nodes {
+            let Some(t) = n.temperature_c() else { continue };
+            let ambient = n.spec().thermal.expect("thermal node has spec").ambient_c;
+            self.peak_temp_c = self.peak_temp_c.max(t);
+            rate_sum += n.relative_failure_rate(ambient).expect("thermal");
+            thermal_nodes += 1;
+        }
+        if thermal_nodes > 0 {
+            self.failure_integral += rate_sum / thermal_nodes as f64 * dt;
+        }
+
+        // 4. Power sensing.
+        let true_power_w = par_sum_f64(&self.nodes, |_, n| n.power_w());
+        self.true_power.push(now1, true_power_w);
+        let metered_w = self.meter.read(true_power_w, now1);
+
+        // 5/6. Profiling, collection, control, actuation.
+        if self.manager.is_some() {
+            self.control_cycle(now1, metered_w);
+        } else if self.budget_controller.is_some() {
+            self.budget_cycle(now1, metered_w);
+        }
+    }
+
+    /// Runs the proportional-budget baseline's cycle: sample **all**
+    /// controllable nodes (this architecture has no candidate subset),
+    /// split the budget, and apply the resulting absolute levels.
+    fn budget_cycle(&mut self, now: SimTime, metered_w: f64) {
+        let controller = self.budget_controller.as_mut().expect("checked by caller");
+        let mut views: Vec<BudgetNodeView> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            if node.is_privileged() {
+                continue;
+            }
+            let idx = node.id().0 as usize;
+            let Some(sample) = self.agents[idx].sample(node, now) else {
+                continue; // dropped sample: the node keeps its level this cycle
+            };
+            self.collector.ingest(sample);
+            views.push(BudgetNodeView {
+                node: node.id(),
+                level: node.level(),
+                highest: node.highest_level(),
+                state: sample.state,
+                power_w: sample.power_w,
+            });
+        }
+        let models = &self.models;
+        let (state, commands) = self.cost_meter.measure(|| {
+            controller.cycle(metered_w, &views, &|n: NodeId| {
+                Arc::clone(&models[n.0 as usize])
+            })
+        });
+        self.state_log.push((now, state));
+        if self.last_state != Some(state) {
+            self.journal.record(
+                now,
+                if state == PowerState::Red {
+                    Severity::Warn
+                } else {
+                    Severity::Info
+                },
+                "state",
+                format!("budget controller: state -> {state} at {:.2} kW", metered_w / 1e3),
+            );
+            self.last_state = Some(state);
+        }
+        for cmd in &commands {
+            self.nodes[cmd.node.0 as usize]
+                .set_level(cmd.level)
+                .expect("budget commands target controllable nodes on their own ladders");
+            self.commands_applied += 1;
+        }
+    }
+
+    /// Runs the sampling agents and the manager's control cycle, applying
+    /// the resulting commands.
+    fn control_cycle(&mut self, now: SimTime, metered_w: f64) {
+        let manager = self.manager.as_mut().expect("checked by caller");
+        let candidates = manager.sets().candidates();
+
+        // Agents run on candidate nodes only; monitoring everything would
+        // be the unscalable design Figure 5 warns about.
+        let samples: Vec<NodeSample> = candidates
+            .iter()
+            .filter_map(|&id| {
+                let idx = id.0 as usize;
+                self.agents[idx].sample(&self.nodes[idx], now)
+            })
+            .collect();
+
+        let jobs: Vec<(JobId, Vec<NodeId>)> = self
+            .scheduler
+            .running_jobs()
+            .iter()
+            .map(|j| (j.id(), j.nodes().to_vec()))
+            .collect();
+
+        // Everything the management node computes per cycle is measured:
+        // ingestion, observation building, classification, selection.
+        let models = &self.models;
+        let collector = &self.collector;
+        let nodes = &self.nodes;
+        let outcome = self.cost_meter.measure(|| {
+            collector.ingest_concurrent(samples);
+            let observations = observe_jobs(collector, &jobs, &candidates, &|n: NodeId| {
+                Arc::clone(&models[n.0 as usize])
+            });
+            manager.control_cycle(metered_w, observations, &NodesView(nodes))
+        });
+        self.state_log.push((now, outcome.state));
+        if self.last_state != Some(outcome.state) {
+            let severity = match outcome.state {
+                PowerState::Red => Severity::Warn,
+                _ => Severity::Info,
+            };
+            self.journal.record(
+                now,
+                severity,
+                "state",
+                format!("power state -> {} at {:.2} kW", outcome.state, metered_w / 1e3),
+            );
+            self.last_state = Some(outcome.state);
+        }
+        if outcome.thresholds_adjusted {
+            self.journal.record(
+                now,
+                Severity::Info,
+                "threshold",
+                format!(
+                    "adjusted: P_L={:.2} kW, P_H={:.2} kW",
+                    outcome.thresholds.p_low_w() / 1e3,
+                    outcome.thresholds.p_high_w() / 1e3
+                ),
+            );
+        }
+
+        // Training period: observe only, never throttle.
+        let in_training = self
+            .manager
+            .as_ref()
+            .expect("checked by caller")
+            .learner()
+            .in_training();
+        if in_training {
+            return;
+        }
+        for cmd in &outcome.commands {
+            // Privileged nodes are never candidates, so set_level cannot
+            // hit the Privileged error; InvalidLevel cannot happen because
+            // commands derive from the node's own ladder.
+            self.nodes[cmd.node.0 as usize]
+                .set_level(cmd.level)
+                .expect("manager commands are validated against the ladder");
+            self.commands_applied += 1;
+        }
+    }
+
+    /// Peak die temperature observed, °C (`None` without a thermal model).
+    pub fn peak_temperature_c(&self) -> Option<f64> {
+        self.thermal_enabled().then_some(self.peak_temp_c)
+    }
+
+    /// True if any node carries a thermal model.
+    fn thermal_enabled(&self) -> bool {
+        self.spec.node_spec.thermal.is_some()
+            || self.spec.extra_groups.iter().any(|g| g.spec.thermal.is_some())
+    }
+
+    /// Integral of the cluster-mean relative failure rate over time, in
+    /// rate-seconds (`None` without a thermal model). A machine held at
+    /// ambient for T seconds scores exactly T; running hot scores more —
+    /// the reliability analogue of ΔP×T.
+    pub fn failure_rate_integral(&self) -> Option<f64> {
+        self.thermal_enabled().then_some(self.failure_integral)
+    }
+
+    /// Runs the simulation for `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let ticks = self.clock.ticks_in(duration);
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_core::{ManagerConfig, NodeSets, PolicyKind};
+
+    fn managed_mini(nodes: u32, policy: PolicyKind, provision_fraction: f64) -> ClusterSim {
+        let mut spec = ClusterSpec::mini(nodes);
+        spec.provision_fraction = provision_fraction;
+        let sets = NodeSets::new(spec.node_ids(), spec.privileged.iter().copied());
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), policy)
+        };
+        let manager = PowerManager::new(config, sets).unwrap();
+        ClusterSim::new(spec).with_manager(manager)
+    }
+
+    #[test]
+    fn unmanaged_sim_runs_jobs_and_records_power() {
+        let mut sim = ClusterSim::new(ClusterSpec::mini(4));
+        sim.run_for(SimDuration::from_secs(300));
+        assert_eq!(sim.true_power().len(), 300);
+        assert!(sim.utilization() > 0.0, "jobs should be running");
+        // All nodes stay at the top level without a manager.
+        assert!(sim
+            .node_levels()
+            .iter()
+            .all(|&l| l == Level::new(9)));
+        let p = sim.true_power().max().unwrap();
+        // 4 busy Tianhe nodes: somewhere between idle (4×145) and max (4×341).
+        assert!(p > 580.0 && p < 1_370.0, "peak={p}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = ClusterSim::new(ClusterSpec::mini(4));
+            sim.run_for(SimDuration::from_secs(200));
+            (
+                sim.true_power().values().to_vec(),
+                sim.finished().len(),
+                sim.utilization(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "power traces must be bit-identical");
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn tight_provision_forces_throttling() {
+        // Provision at 55% of theoretical peak: the busy mini cluster
+        // overshoots P_H quickly, forcing red/yellow cycles.
+        let mut sim = managed_mini(4, PolicyKind::Mpc, 0.55);
+        sim.run_for(SimDuration::from_secs(300));
+        assert!(sim.commands_applied() > 0, "capping must engage");
+        let stats = sim.manager().unwrap().stats();
+        assert!(stats.yellow_cycles + stats.red_cycles > 0);
+        // Some node must have been degraded at some point; after red
+        // cycles at least the state log shows non-green.
+        assert!(sim
+            .state_log()
+            .iter()
+            .any(|(_, s)| *s != PowerState::Green));
+    }
+
+    #[test]
+    fn capping_caps_the_peak() {
+        let run = |policy: Option<PolicyKind>| {
+            let mut sim = match policy {
+                Some(p) => managed_mini(4, p, 0.70),
+                None => ClusterSim::new({
+                    let mut s = ClusterSpec::mini(4);
+                    s.provision_fraction = 0.70;
+                    s
+                }),
+            };
+            sim.run_for(SimDuration::from_secs(600));
+            sim.true_power().max().unwrap()
+        };
+        let uncapped = run(None);
+        let capped = run(Some(PolicyKind::Mpc));
+        assert!(
+            capped < uncapped,
+            "capped peak {capped} must be below uncapped {uncapped}"
+        );
+    }
+
+    #[test]
+    fn training_period_never_throttles() {
+        let mut spec = ClusterSpec::mini(4);
+        spec.provision_fraction = 0.55; // would throttle immediately if active
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let config = ManagerConfig {
+            training_cycles: 200,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+        };
+        let manager = PowerManager::new(config, sets).unwrap();
+        let mut sim = ClusterSim::new(spec).with_manager(manager);
+        sim.run_for(SimDuration::from_secs(150));
+        assert_eq!(sim.commands_applied(), 0, "training must not throttle");
+        assert!(sim.manager().unwrap().learner().in_training());
+        // Peak observation is happening.
+        assert!(sim.manager().unwrap().learner().observed_peak_w() > 0.0);
+    }
+
+    #[test]
+    fn privileged_nodes_keep_top_level_under_red_pressure() {
+        let mut spec = ClusterSpec::mini(4);
+        spec.provision_fraction = 0.55;
+        spec.privileged = vec![NodeId(0)];
+        let sets = NodeSets::new(spec.node_ids(), [NodeId(0)]);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::MpcC)
+        };
+        let manager = PowerManager::new(config, sets).unwrap();
+        let mut sim = ClusterSim::new(spec).with_manager(manager);
+        sim.run_for(SimDuration::from_secs(300));
+        assert!(sim.commands_applied() > 0);
+        let levels = sim.node_levels();
+        assert_eq!(levels[0], Level::new(9), "privileged node untouched");
+        assert!(
+            levels[1..].iter().any(|&l| l < Level::new(9)),
+            "other nodes were throttled"
+        );
+    }
+}

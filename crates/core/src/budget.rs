@@ -1,0 +1,205 @@
+//! The proportional-budget controller — a related-work *architecture*
+//! baseline (not just a selection policy).
+//!
+//! Prior cluster power managers (Femal's two-level allocation,
+//! Ranganathan's ensemble controller) work budget-first: the cluster
+//! budget is divided across **all** nodes each cycle — proportionally to
+//! their current draws — and every node locally picks the highest
+//! operating point that fits its share. All nodes are equally important,
+//! all nodes are monitored, and jobs are invisible.
+//!
+//! Running this controller against the paper's Algorithm 1 quantifies the
+//! two claims the paper makes for its architecture: (1) job-aware target
+//! selection loses less performance for the same cap, and (2) monitoring
+//! a candidate subset is dramatically cheaper than the whole machine.
+
+use crate::capping::NodeCommand;
+use crate::state::{PowerState, Thresholds};
+use ppc_node::budget::level_for_budget;
+use ppc_node::{Level, NodeId, OperatingState, PowerModel};
+use std::sync::Arc;
+
+/// Per-node inputs to the budget controller (one per monitored node).
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetNodeView {
+    /// The node.
+    pub node: NodeId,
+    /// Its current power level.
+    pub level: Level,
+    /// Its highest level.
+    pub highest: Level,
+    /// Its sampled operating state.
+    pub state: OperatingState,
+    /// Its sampled power draw, watts.
+    pub power_w: f64,
+}
+
+/// Cycle statistics of the budget controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetStats {
+    /// Control cycles run.
+    pub cycles: u64,
+    /// Cycles spent above the activation threshold (capping active).
+    pub active_cycles: u64,
+    /// Commands issued.
+    pub commands_issued: u64,
+}
+
+/// The ensemble/two-level budget controller.
+#[derive(Debug, Clone)]
+pub struct ProportionalBudgetController {
+    thresholds: Thresholds,
+    stats: BudgetStats,
+}
+
+impl ProportionalBudgetController {
+    /// Creates the controller with administrator-set thresholds (budget
+    /// controllers do not learn; they protect the configured budget).
+    pub fn new(thresholds: Thresholds) -> Self {
+        ProportionalBudgetController {
+            thresholds,
+            stats: BudgetStats::default(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Cycle statistics.
+    pub fn stats(&self) -> BudgetStats {
+        self.stats
+    }
+
+    /// Runs one control cycle over every monitored node.
+    ///
+    /// Above `P_L`, the budget `P_L` is split across nodes proportionally
+    /// to their draws and each node is set to the highest level that fits
+    /// its share. At or below `P_L`, all nodes are restored to their tops
+    /// (budget controllers re-derive the full allocation every cycle;
+    /// there is no gradual recovery).
+    pub fn cycle(
+        &mut self,
+        metered_w: f64,
+        nodes: &[BudgetNodeView],
+        model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+    ) -> (PowerState, Vec<NodeCommand>) {
+        self.stats.cycles += 1;
+        let state = self.thresholds.classify(metered_w);
+        let mut commands = Vec::new();
+        if state == PowerState::Green {
+            // Full restoration: budget is not under pressure.
+            for v in nodes {
+                if v.level < v.highest {
+                    commands.push(NodeCommand {
+                        node: v.node,
+                        level: v.highest,
+                    });
+                }
+            }
+        } else {
+            self.stats.active_cycles += 1;
+            let budget_total = self.thresholds.p_low_w();
+            let draws: Vec<f64> = nodes.iter().map(|v| v.power_w).collect();
+            let budgets = ppc_node::budget::proportional_budgets(&draws, budget_total);
+            for (v, &budget) in nodes.iter().zip(&budgets) {
+                let model = model_of(v.node);
+                let (level, _fit) = level_for_budget(&model, &v.state, budget);
+                if level != v.level {
+                    commands.push(NodeCommand {
+                        node: v.node,
+                        level,
+                    });
+                }
+            }
+        }
+        self.stats.commands_issued += commands.len() as u64;
+        (state, commands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_node::spec::NodeSpec;
+
+    fn setup() -> (Arc<PowerModel>, Vec<BudgetNodeView>, Thresholds) {
+        let spec = NodeSpec::tianhe_1a();
+        let model = spec.power_model(1.0);
+        let busy = OperatingState {
+            cpu_util: 0.9,
+            mem_used_bytes: 12 << 30,
+            nic_bytes: 100_000_000,
+        };
+        let nodes: Vec<BudgetNodeView> = (0..4)
+            .map(|i| BudgetNodeView {
+                node: NodeId(i),
+                level: Level::new(9),
+                highest: Level::new(9),
+                state: busy,
+                power_w: model.power_w(Level::new(9), &busy),
+            })
+            .collect();
+        // P_L = 4 × ~200 W: forces real throttling on ~300 W draws.
+        let thresholds = Thresholds::new(800.0, 1_000.0).unwrap();
+        (model, nodes, thresholds)
+    }
+
+    #[test]
+    fn over_budget_throttles_everyone_proportionally() {
+        let (model, nodes, thresholds) = setup();
+        let mut c = ProportionalBudgetController::new(thresholds);
+        let total: f64 = nodes.iter().map(|v| v.power_w).sum();
+        let m = model.clone();
+        let (state, commands) = c.cycle(total, &nodes, &|_| m.clone());
+        assert_eq!(state, PowerState::Red);
+        // Identical nodes, identical shares: every node commanded down.
+        assert_eq!(commands.len(), 4);
+        let level = commands[0].level;
+        assert!(commands.iter().all(|cmd| cmd.level == level));
+        assert!(level < Level::new(9));
+        // The commanded level fits the per-node share (200 W).
+        let p = model.power_w(level, &nodes[0].state);
+        assert!(p <= 200.0 + 1e-9, "p={p}");
+        assert_eq!(c.stats().active_cycles, 1);
+    }
+
+    #[test]
+    fn under_budget_restores_everything_at_once() {
+        let (model, mut nodes, thresholds) = setup();
+        for v in &mut nodes {
+            v.level = Level::new(2); // previously throttled
+        }
+        let mut c = ProportionalBudgetController::new(thresholds);
+        let m = model.clone();
+        let (state, commands) = c.cycle(500.0, &nodes, &|_| m.clone());
+        assert_eq!(state, PowerState::Green);
+        assert_eq!(commands.len(), 4, "all nodes restored");
+        assert!(commands.iter().all(|cmd| cmd.level == Level::new(9)));
+    }
+
+    #[test]
+    fn no_redundant_commands_at_steady_state() {
+        let (model, nodes, thresholds) = setup();
+        let mut c = ProportionalBudgetController::new(thresholds);
+        let m = model.clone();
+        let (_, commands) = c.cycle(500.0, &nodes, &|_| m.clone());
+        assert!(commands.is_empty(), "already at top under budget");
+    }
+
+    #[test]
+    fn idle_nodes_share_budget_equally() {
+        let (model, mut nodes, thresholds) = setup();
+        for v in &mut nodes {
+            v.state = OperatingState::IDLE;
+            v.power_w = 0.0;
+        }
+        let mut c = ProportionalBudgetController::new(thresholds);
+        let m = model.clone();
+        // Metered above P_L but the per-node equal share (200 W) fits idle
+        // draw (~160 W) at the top level: no commands needed.
+        let (_, commands) = c.cycle(900.0, &nodes, &|_| m.clone());
+        assert!(commands.is_empty());
+    }
+}

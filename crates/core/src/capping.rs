@@ -1,0 +1,476 @@
+//! Algorithm 1 — the power capping algorithm.
+//!
+//! Runs once per control cycle on the classified power state:
+//!
+//! * **Green** — increment the steady-green timer `Time_g`; once the
+//!   system has stayed Green for `T_g` cycles and some nodes are still
+//!   degraded, promote every degraded node one level (removing those that
+//!   reach their top level from `A_degraded`) — gradual recovery that also
+//!   lets the machine cool down after an excursion.
+//! * **Yellow** — reset `Time_g`; ask the selection policy for `A_target`
+//!   and degrade each target one level, recording it in `A_degraded`.
+//!   One level at a time is deliberately mild to avoid over-correction.
+//! * **Red** — reset `Time_g`; force *every* candidate node to its lowest
+//!   power state. Under the Controllability assumption this is guaranteed
+//!   to bring the system back under the provision capability.
+//!
+//! The algorithm works on any ladder height per node (heterogeneous
+//! clusters), never commands a privileged node (they are not candidates),
+//! never degrades below the lowest level, and never promotes above the
+//! highest.
+
+use crate::observe::SelectionContext;
+use crate::policy::TargetSelectionPolicy;
+use crate::state::PowerState;
+use ppc_node::{Level, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One throttling command: set `node` to `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCommand {
+    /// The commanded node.
+    pub node: NodeId,
+    /// The absolute level to apply.
+    pub level: Level,
+}
+
+/// Read-only node facts the algorithm needs each cycle.
+pub trait LevelView {
+    /// The node's current power level.
+    fn level_of(&self, node: NodeId) -> Level;
+    /// The node's highest (unthrottled) level.
+    fn highest_of(&self, node: NodeId) -> Level;
+}
+
+/// Convenience [`LevelView`] over closures.
+pub struct FnLevelView<'a> {
+    /// Returns a node's current level.
+    pub level_of: &'a dyn Fn(NodeId) -> Level,
+    /// Returns a node's highest level.
+    pub highest_of: &'a dyn Fn(NodeId) -> Level,
+}
+
+impl LevelView for FnLevelView<'_> {
+    fn level_of(&self, node: NodeId) -> Level {
+        (self.level_of)(node)
+    }
+    fn highest_of(&self, node: NodeId) -> Level {
+        (self.highest_of)(node)
+    }
+}
+
+/// Algorithm 1's persistent state across cycles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CappingAlgorithm {
+    /// `A_degraded`: candidate nodes currently below their top level due
+    /// to capping.
+    degraded: BTreeSet<NodeId>,
+    /// `Time_g`: consecutive Green cycles.
+    time_g: u64,
+    /// `T_g`: Green cycles required before recovery starts.
+    t_g: u64,
+}
+
+impl CappingAlgorithm {
+    /// Creates the algorithm with recovery patience `T_g` (in cycles).
+    pub fn new(t_g: u64) -> Self {
+        CappingAlgorithm {
+            degraded: BTreeSet::new(),
+            time_g: 0,
+            t_g,
+        }
+    }
+
+    /// Current `A_degraded`.
+    pub fn degraded(&self) -> &BTreeSet<NodeId> {
+        &self.degraded
+    }
+
+    /// Current `Time_g`.
+    pub fn time_g(&self) -> u64 {
+        self.time_g
+    }
+
+    /// Runs one cycle of Algorithm 1 and returns the commands to issue.
+    ///
+    /// `candidates` is the current `A_candidate`; membership may have
+    /// changed since the last cycle, so `A_degraded` is pruned to it first
+    /// (a node that left the candidate set is no longer ours to manage).
+    pub fn cycle(
+        &mut self,
+        state: PowerState,
+        ctx: &SelectionContext,
+        policy: &mut dyn TargetSelectionPolicy,
+        candidates: &BTreeSet<NodeId>,
+        view: &dyn LevelView,
+    ) -> Vec<NodeCommand> {
+        self.degraded.retain(|n| candidates.contains(n));
+        match state {
+            PowerState::Green => self.green_cycle(view),
+            PowerState::Yellow => self.yellow_cycle(ctx, policy, candidates, view),
+            PowerState::Red => self.red_cycle(candidates, view),
+        }
+    }
+
+    fn green_cycle(&mut self, view: &dyn LevelView) -> Vec<NodeCommand> {
+        self.time_g += 1;
+        if self.time_g < self.t_g || self.degraded.is_empty() {
+            return Vec::new();
+        }
+        // Steady green: promote every degraded node one level.
+        let mut commands = Vec::with_capacity(self.degraded.len());
+        let mut recovered = Vec::new();
+        for &node in &self.degraded {
+            let current = view.level_of(node);
+            let highest = view.highest_of(node);
+            if current >= highest {
+                // Already back at the top (e.g. externally reset): just
+                // drop it from the degraded set.
+                recovered.push(node);
+                continue;
+            }
+            let next = current.up();
+            commands.push(NodeCommand { node, level: next });
+            if next >= highest {
+                recovered.push(node);
+            }
+        }
+        for node in recovered {
+            self.degraded.remove(&node);
+        }
+        commands
+    }
+
+    fn yellow_cycle(
+        &mut self,
+        ctx: &SelectionContext,
+        policy: &mut dyn TargetSelectionPolicy,
+        candidates: &BTreeSet<NodeId>,
+        view: &dyn LevelView,
+    ) -> Vec<NodeCommand> {
+        self.time_g = 0;
+        let targets = policy.select(ctx);
+        let mut commands = Vec::with_capacity(targets.len());
+        let mut seen = BTreeSet::new();
+        for node in targets {
+            // Defensive screening of policy output: must be a candidate,
+            // not a duplicate, and still degradable.
+            if !candidates.contains(&node) || !seen.insert(node) {
+                debug_assert!(false, "policy returned invalid target {node}");
+                continue;
+            }
+            let Some(lower) = view.level_of(node).down() else {
+                debug_assert!(false, "policy returned floored target {node}");
+                continue;
+            };
+            commands.push(NodeCommand { node, level: lower });
+            self.degraded.insert(node);
+        }
+        commands
+    }
+
+    fn red_cycle(
+        &mut self,
+        candidates: &BTreeSet<NodeId>,
+        view: &dyn LevelView,
+    ) -> Vec<NodeCommand> {
+        self.time_g = 0;
+        // Emergency: every candidate to its lowest state, even those
+        // already there (the command is idempotent; re-sending costs
+        // nothing and tolerates lost earlier commands).
+        let commands = candidates
+            .iter()
+            .map(|&node| NodeCommand {
+                node,
+                level: Level::LOWEST,
+            })
+            .collect();
+        // A_degraded := A_candidate — but only nodes whose ladder has more
+        // than one level can ever recover; all candidates qualify by the
+        // Controllability assumption.
+        self.degraded = candidates
+            .iter()
+            .copied()
+            .filter(|&n| view.highest_of(n) > Level::LOWEST)
+            .collect();
+        commands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+    use crate::policy::PolicyKind;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    /// Mutable level store standing in for the cluster.
+    struct Levels {
+        map: RefCell<HashMap<NodeId, Level>>,
+        highest: Level,
+    }
+
+    impl Levels {
+        fn new(nodes: &[u32], highest: u8) -> Self {
+            Levels {
+                map: RefCell::new(
+                    nodes
+                        .iter()
+                        .map(|&n| (NodeId(n), Level::new(highest)))
+                        .collect(),
+                ),
+                highest: Level::new(highest),
+            }
+        }
+        fn apply(&self, commands: &[NodeCommand]) {
+            let mut map = self.map.borrow_mut();
+            for c in commands {
+                map.insert(c.node, c.level);
+            }
+        }
+        fn level(&self, n: u32) -> Level {
+            self.map.borrow()[&NodeId(n)]
+        }
+    }
+
+    impl LevelView for Levels {
+        fn level_of(&self, node: NodeId) -> Level {
+            self.map.borrow()[&node]
+        }
+        fn highest_of(&self, _node: NodeId) -> Level {
+            self.highest
+        }
+    }
+
+    fn cands(ids: &[u32]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn yellow_degrades_policy_targets_one_level() {
+        let levels = Levels::new(&[0, 1, 2], 9);
+        let mut alg = CappingAlgorithm::new(10);
+        let mut policy = PolicyKind::Mpc.build();
+        let c = ctx(
+            vec![jobs_obs(1, vec![nobs(0, 9, 300.0), nobs(1, 9, 300.0)], None)],
+            1_100.0,
+            1_000.0,
+        );
+        let commands = alg.cycle(PowerState::Yellow, &c, policy.as_mut(), &cands(&[0, 1, 2]), &levels);
+        levels.apply(&commands);
+        assert_eq!(commands.len(), 2);
+        assert_eq!(levels.level(0), Level::new(8));
+        assert_eq!(levels.level(1), Level::new(8));
+        assert_eq!(levels.level(2), Level::new(9), "non-target untouched");
+        assert_eq!(alg.degraded().len(), 2);
+        assert_eq!(alg.time_g(), 0);
+    }
+
+    #[test]
+    fn red_forces_all_candidates_to_lowest() {
+        let levels = Levels::new(&[0, 1, 2, 3], 9);
+        let mut alg = CappingAlgorithm::new(10);
+        let mut policy = PolicyKind::Hri.build();
+        let c = ctx(vec![], 2_000.0, 1_000.0);
+        let commands = alg.cycle(PowerState::Red, &c, policy.as_mut(), &cands(&[0, 1, 2]), &levels);
+        levels.apply(&commands);
+        assert_eq!(commands.len(), 3);
+        for n in [0, 1, 2] {
+            assert_eq!(levels.level(n), Level::LOWEST);
+        }
+        assert_eq!(levels.level(3), Level::new(9), "non-candidate untouched");
+        assert_eq!(alg.degraded().len(), 3);
+    }
+
+    #[test]
+    fn green_recovery_waits_for_t_g_then_steps_up() {
+        let levels = Levels::new(&[0], 2);
+        let mut alg = CappingAlgorithm::new(3);
+        let mut policy = PolicyKind::Mpc.build();
+        let cand = cands(&[0]);
+        // Degrade twice via red.
+        let c_red = ctx(vec![], 9_999.0, 1_000.0);
+        let cmds = alg.cycle(PowerState::Red, &c_red, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(levels.level(0), Level::new(0));
+
+        let c_green = ctx(vec![], 1.0, 1_000.0);
+        // Two green cycles: below T_g, nothing happens.
+        for expected_tg in [1, 2] {
+            let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+            assert!(cmds.is_empty());
+            assert_eq!(alg.time_g(), expected_tg);
+        }
+        // Third green cycle: promote 0 → 1.
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(levels.level(0), Level::new(1));
+        assert_eq!(alg.degraded().len(), 1, "not yet at top");
+        // Fourth green cycle: promote 1 → 2 (top) and forget the node.
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(levels.level(0), Level::new(2));
+        assert!(alg.degraded().is_empty());
+        // Fifth: nothing left to do.
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn yellow_resets_green_timer() {
+        let levels = Levels::new(&[0], 9);
+        let mut alg = CappingAlgorithm::new(5);
+        let mut policy = PolicyKind::Mpc.build();
+        let cand = cands(&[0]);
+        let c_green = ctx(vec![], 1.0, 1_000.0);
+        for _ in 0..3 {
+            alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        }
+        assert_eq!(alg.time_g(), 3);
+        let c_yellow = ctx(
+            vec![jobs_obs(1, vec![nobs(0, 9, 300.0)], None)],
+            1_100.0,
+            1_000.0,
+        );
+        let cmds = alg.cycle(PowerState::Yellow, &c_yellow, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(alg.time_g(), 0);
+    }
+
+    #[test]
+    fn degraded_set_prunes_nodes_leaving_candidates() {
+        let levels = Levels::new(&[0, 1], 9);
+        let mut alg = CappingAlgorithm::new(1);
+        let mut policy = PolicyKind::Mpc.build();
+        let c_red = ctx(vec![], 9_999.0, 1_000.0);
+        let cmds = alg.cycle(PowerState::Red, &c_red, policy.as_mut(), &cands(&[0, 1]), &levels);
+        levels.apply(&cmds);
+        assert_eq!(alg.degraded().len(), 2);
+        // Node 1 becomes privileged (leaves the candidate set).
+        let c_green = ctx(vec![], 1.0, 1_000.0);
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cands(&[0]), &levels);
+        assert!(alg.degraded().iter().all(|&n| n == NodeId(0)));
+        // Only node 0 gets a recovery command.
+        assert!(cmds.iter().all(|c| c.node == NodeId(0)));
+    }
+
+    #[test]
+    fn externally_restored_node_is_dropped_without_command() {
+        let levels = Levels::new(&[0], 9);
+        let mut alg = CappingAlgorithm::new(1);
+        let mut policy = PolicyKind::Mpc.build();
+        let cand = cands(&[0]);
+        let c_yellow = ctx(
+            vec![jobs_obs(1, vec![nobs(0, 9, 300.0)], None)],
+            1_100.0,
+            1_000.0,
+        );
+        let cmds = alg.cycle(PowerState::Yellow, &c_yellow, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(alg.degraded().len(), 1);
+        // An operator resets the node to top level out-of-band.
+        levels.apply(&[NodeCommand {
+            node: NodeId(0),
+            level: Level::new(9),
+        }]);
+        let c_green = ctx(vec![], 1.0, 1_000.0);
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        assert!(cmds.is_empty());
+        assert!(alg.degraded().is_empty());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Drives the algorithm through an arbitrary state sequence on a
+        /// mutable level store, checking the structural invariants after
+        /// every cycle.
+        fn drive(states: Vec<u8>, n_nodes: u32, highest: u8) {
+            let levels = Levels::new(&(0..n_nodes).collect::<Vec<_>>(), highest);
+            let cand = cands(&(0..n_nodes).collect::<Vec<_>>());
+            let mut alg = CappingAlgorithm::new(3);
+            let mut policy = PolicyKind::MpcC.build();
+            for code in states {
+                let state = match code % 3 {
+                    0 => PowerState::Green,
+                    1 => PowerState::Yellow,
+                    _ => PowerState::Red,
+                };
+                // Build a context reflecting the *current* levels so the
+                // policy only sees degradable nodes.
+                let nodes: Vec<crate::observe::NodeObservation> = (0..n_nodes)
+                    .map(|i| {
+                        let l = levels.level(i);
+                        crate::observe::NodeObservation {
+                            node: NodeId(i),
+                            level: l,
+                            power_w: 200.0 + i as f64,
+                            saving_w: if l > Level::LOWEST { 10.0 } else { 0.0 },
+                        }
+                    })
+                    .collect();
+                let c = ctx(
+                    vec![jobs_obs(1, nodes, None)],
+                    1_100.0,
+                    1_000.0,
+                );
+                let commands = alg.cycle(state, &c, policy.as_mut(), &cand, &levels);
+                // Invariants on the issued commands.
+                for cmd in &commands {
+                    assert!(cand.contains(&cmd.node), "command to non-candidate");
+                    assert!(cmd.level.index() <= highest as usize, "level off ladder");
+                    match state {
+                        PowerState::Yellow => {
+                            assert_eq!(
+                                cmd.level.index() + 1,
+                                levels.level(cmd.node.0).index(),
+                                "yellow degrades exactly one level"
+                            );
+                        }
+                        PowerState::Red => assert_eq!(cmd.level, Level::LOWEST),
+                        PowerState::Green => {
+                            assert_eq!(
+                                cmd.level.index(),
+                                levels.level(cmd.node.0).index() + 1,
+                                "green promotes exactly one level"
+                            );
+                        }
+                    }
+                }
+                levels.apply(&commands);
+                // A_degraded ⊆ candidates, and every degraded node is
+                // actually below its top level (or about to recover).
+                for &d in alg.degraded() {
+                    assert!(cand.contains(&d));
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn prop_invariants_hold_over_random_state_sequences(
+                states in proptest::collection::vec(0u8..3, 1..60),
+                n_nodes in 1u32..12,
+                highest in 1u8..10,
+            ) {
+                drive(states, n_nodes, highest);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_is_inert() {
+        let levels = Levels::new(&[], 9);
+        let mut alg = CappingAlgorithm::new(1);
+        let mut policy = PolicyKind::MpcC.build();
+        let none = BTreeSet::new();
+        for state in [PowerState::Green, PowerState::Yellow, PowerState::Red] {
+            let cmds = alg.cycle(state, &ctx(vec![], 5_000.0, 1_000.0), policy.as_mut(), &none, &levels);
+            assert!(cmds.is_empty(), "{state}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Manager configuration.
+
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::thresholds::{HIGH_MARGIN, LOW_MARGIN};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the power manager (all periods in control cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagerConfig {
+    /// Power provision capability `P_Max`, watts — the initial `P_peak`.
+    pub p_provision_w: f64,
+    /// Green cycles required before recovery (`T_g`; the paper uses 10).
+    pub t_g_cycles: u64,
+    /// Threshold-adjustment period after training (`t_p`).
+    pub t_p_cycles: u64,
+    /// Length of the initial training period.
+    pub training_cycles: u64,
+    /// Lower-threshold margin (`P_L = (1−m)·P_peak`; paper: 16%).
+    pub low_margin: f64,
+    /// Upper-threshold margin (`P_H = (1−m)·P_peak`; paper: 7%).
+    pub high_margin: f64,
+    /// The target-set selection policy.
+    pub policy: PolicyKind,
+    /// When true, thresholds stay pinned at the administrator-set pair
+    /// derived from `p_provision_w` (no training, no adjustment) — the
+    /// paper's manual-configuration mode.
+    pub frozen_thresholds: bool,
+}
+
+impl ManagerConfig {
+    /// Paper defaults, parameterized by the provision capability.
+    pub fn paper_defaults(p_provision_w: f64, policy: PolicyKind) -> Self {
+        ManagerConfig {
+            p_provision_w,
+            t_g_cycles: 10,
+            t_p_cycles: 3_600,
+            training_cycles: 0,
+            low_margin: LOW_MARGIN,
+            high_margin: HIGH_MARGIN,
+            policy,
+            frozen_thresholds: false,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.p_provision_w > 0.0 && self.p_provision_w.is_finite()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "provision capability must be positive, got {}",
+                self.p_provision_w
+            )));
+        }
+        if self.t_p_cycles == 0 {
+            return Err(CoreError::InvalidConfig("t_p must be >= 1".to_string()));
+        }
+        if self.t_g_cycles == 0 {
+            return Err(CoreError::InvalidConfig("T_g must be >= 1".to_string()));
+        }
+        if !(0.0..1.0).contains(&self.high_margin)
+            || !(self.high_margin..1.0).contains(&self.low_margin)
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "margins must satisfy 0 <= high ({}) <= low ({}) < 1",
+                self.high_margin, self.low_margin
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        let c = ManagerConfig::paper_defaults(40_000.0, PolicyKind::Mpc);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.t_g_cycles, 10);
+        assert_eq!(c.low_margin, 0.16);
+        assert_eq!(c.high_margin, 0.07);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let base = ManagerConfig::paper_defaults(40_000.0, PolicyKind::Mpc);
+        assert!(ManagerConfig { p_provision_w: 0.0, ..base }.validate().is_err());
+        assert!(ManagerConfig { t_p_cycles: 0, ..base }.validate().is_err());
+        assert!(ManagerConfig { t_g_cycles: 0, ..base }.validate().is_err());
+        assert!(ManagerConfig { low_margin: 0.05, ..base }.validate().is_err(), "low < high");
+        assert!(ManagerConfig { high_margin: -0.1, ..base }.validate().is_err());
+    }
+}

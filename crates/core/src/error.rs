@@ -1,0 +1,46 @@
+//! Core-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the power-management core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// A threshold pair violated `0 < P_L ≤ P_H`.
+    InvalidThresholds {
+        /// Offending lower threshold, watts.
+        p_low_w: f64,
+        /// Offending upper threshold, watts.
+        p_high_w: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid manager config: {msg}"),
+            CoreError::InvalidThresholds { p_low_w, p_high_w } => write!(
+                f,
+                "invalid thresholds: need 0 < P_L <= P_H, got P_L={p_low_w} P_H={p_high_w}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidThresholds {
+            p_low_w: 5.0,
+            p_high_w: 4.0,
+        };
+        assert!(e.to_string().contains("P_L=5"));
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

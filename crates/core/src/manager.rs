@@ -1,0 +1,274 @@
+//! The power manager: the per-cycle control loop.
+//!
+//! Each control cycle the manager
+//!
+//! 1. feeds the metered system power to the threshold learner (peak
+//!    observation + periodic adjustment),
+//! 2. classifies the power state against the current `(P_L, P_H)`,
+//! 3. runs Algorithm 1 with the configured selection policy,
+//! 4. returns the throttling commands for the actuation layer to apply,
+//!
+//! and keeps cycle statistics (state occupancy, commands issued,
+//! adjustments) for the evaluation reports.
+
+use crate::capping::{CappingAlgorithm, LevelView, NodeCommand};
+use crate::config::ManagerConfig;
+use crate::error::CoreError;
+use crate::observe::{JobObservation, SelectionContext};
+use crate::policy::TargetSelectionPolicy;
+use crate::sets::NodeSets;
+use crate::state::{PowerState, Thresholds};
+use crate::thresholds::ThresholdLearner;
+use serde::{Deserialize, Serialize};
+
+/// What one control cycle decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleOutcome {
+    /// The classified power state this cycle.
+    pub state: PowerState,
+    /// Commands to apply to nodes.
+    pub commands: Vec<NodeCommand>,
+    /// Thresholds in force this cycle.
+    pub thresholds: Thresholds,
+    /// True if the thresholds were re-derived this cycle.
+    pub thresholds_adjusted: bool,
+}
+
+/// Running statistics over all cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerStats {
+    /// Total control cycles run.
+    pub cycles: u64,
+    /// Cycles classified Green.
+    pub green_cycles: u64,
+    /// Cycles classified Yellow.
+    pub yellow_cycles: u64,
+    /// Cycles classified Red.
+    pub red_cycles: u64,
+    /// Total throttling commands issued.
+    pub commands_issued: u64,
+    /// Threshold adjustments performed.
+    pub threshold_adjustments: u64,
+}
+
+/// The cluster-level power manager.
+pub struct PowerManager {
+    config: ManagerConfig,
+    sets: NodeSets,
+    learner: ThresholdLearner,
+    capping: CappingAlgorithm,
+    policy: Box<dyn TargetSelectionPolicy>,
+    stats: ManagerStats,
+}
+
+impl PowerManager {
+    /// Builds a manager from a validated config and node classification.
+    pub fn new(config: ManagerConfig, sets: NodeSets) -> Result<Self, CoreError> {
+        config.validate()?;
+        let learner = ThresholdLearner::with_margins(
+            config.p_provision_w,
+            // Frozen mode: no training period, no adjustment — the pair
+            // derived from the provision capability stands forever.
+            if config.frozen_thresholds { 0 } else { config.training_cycles },
+            config.t_p_cycles,
+            config.low_margin,
+            config.high_margin,
+        )?;
+        let learner = if config.frozen_thresholds {
+            learner.frozen()
+        } else {
+            learner
+        };
+        Ok(PowerManager {
+            learner,
+            capping: CappingAlgorithm::new(config.t_g_cycles),
+            policy: config.policy.build(),
+            config,
+            sets,
+            stats: ManagerStats::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// The node classification (mutable: the candidate set may vary at
+    /// runtime, per the architecture).
+    pub fn sets_mut(&mut self) -> &mut NodeSets {
+        &mut self.sets
+    }
+
+    /// The node classification.
+    pub fn sets(&self) -> &NodeSets {
+        &self.sets
+    }
+
+    /// Current thresholds.
+    pub fn thresholds(&self) -> Thresholds {
+        self.learner.thresholds()
+    }
+
+    /// The threshold learner (peak observations etc.).
+    pub fn learner(&self) -> &ThresholdLearner {
+        &self.learner
+    }
+
+    /// Cycle statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// `A_degraded` (for reports/tests).
+    pub fn degraded_count(&self) -> usize {
+        self.capping.degraded().len()
+    }
+
+    /// Runs one control cycle.
+    ///
+    /// * `power_w` — the metered total system power;
+    /// * `jobs` — this cycle's job observations (built via
+    ///   [`crate::observe::observe_jobs`]);
+    /// * `view` — current/highest level lookup for candidate nodes.
+    pub fn control_cycle(
+        &mut self,
+        power_w: f64,
+        jobs: Vec<JobObservation>,
+        view: &dyn LevelView,
+    ) -> CycleOutcome {
+        let thresholds_adjusted = self.learner.observe_cycle(power_w);
+        let thresholds = self.learner.thresholds();
+        let state = thresholds.classify(power_w);
+
+        let candidates = self.sets.candidates();
+        let ctx = SelectionContext {
+            jobs,
+            power_w,
+            p_low_w: thresholds.p_low_w(),
+        };
+        let commands = if candidates.is_empty() {
+            // Size-0 candidate set: monitoring-only deployment, no capping.
+            Vec::new()
+        } else {
+            self.capping
+                .cycle(state, &ctx, self.policy.as_mut(), &candidates, view)
+        };
+
+        self.stats.cycles += 1;
+        match state {
+            PowerState::Green => self.stats.green_cycles += 1,
+            PowerState::Yellow => self.stats.yellow_cycles += 1,
+            PowerState::Red => self.stats.red_cycles += 1,
+        }
+        self.stats.commands_issued += commands.len() as u64;
+        self.stats.threshold_adjustments += u64::from(thresholds_adjusted);
+
+        CycleOutcome {
+            state,
+            commands,
+            thresholds,
+            thresholds_adjusted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{jobs_obs, nobs};
+    use crate::policy::PolicyKind;
+    use ppc_node::{Level, NodeId};
+
+    struct FlatView(Level, Level);
+    impl LevelView for FlatView {
+        fn level_of(&self, _: NodeId) -> Level {
+            self.0
+        }
+        fn highest_of(&self, _: NodeId) -> Level {
+            self.1
+        }
+    }
+
+    fn manager(policy: PolicyKind, candidate_cap: Option<usize>) -> PowerManager {
+        let sets = NodeSets::new((0..8).map(NodeId), []).with_candidate_cap(candidate_cap);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(1_000.0, policy)
+        };
+        PowerManager::new(config, sets).unwrap()
+    }
+
+    #[test]
+    fn green_cycle_issues_nothing_and_counts() {
+        let mut m = manager(PolicyKind::Mpc, None);
+        // P_L = 840: 500 W is Green.
+        let out = m.control_cycle(500.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        assert_eq!(out.state, PowerState::Green);
+        assert!(out.commands.is_empty());
+        assert_eq!(m.stats().green_cycles, 1);
+        assert_eq!(m.stats().cycles, 1);
+    }
+
+    #[test]
+    fn yellow_cycle_degrades_target_job() {
+        let mut m = manager(PolicyKind::Mpc, None);
+        let jobs = vec![jobs_obs(1, vec![nobs(0, 9, 300.0), nobs(1, 9, 280.0)], None)];
+        // P in [840, 930): Yellow.
+        let out = m.control_cycle(900.0, jobs, &FlatView(Level::new(9), Level::new(9)));
+        assert_eq!(out.state, PowerState::Yellow);
+        assert_eq!(out.commands.len(), 2);
+        assert!(out.commands.iter().all(|c| c.level == Level::new(8)));
+        assert_eq!(m.degraded_count(), 2);
+        assert_eq!(m.stats().commands_issued, 2);
+    }
+
+    #[test]
+    fn red_cycle_floors_all_candidates() {
+        let mut m = manager(PolicyKind::Hri, None);
+        let out = m.control_cycle(950.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        assert_eq!(out.state, PowerState::Red);
+        assert_eq!(out.commands.len(), 8);
+        assert!(out.commands.iter().all(|c| c.level == Level::LOWEST));
+    }
+
+    #[test]
+    fn zero_candidate_cap_never_commands() {
+        let mut m = manager(PolicyKind::Mpc, Some(0));
+        let out = m.control_cycle(5_000.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        assert_eq!(out.state, PowerState::Red);
+        assert!(out.commands.is_empty(), "monitoring-only mode");
+    }
+
+    #[test]
+    fn training_then_adjustment_counts() {
+        let sets = NodeSets::new((0..2).map(NodeId), []);
+        let config = ManagerConfig {
+            training_cycles: 2,
+            t_p_cycles: 3,
+            ..ManagerConfig::paper_defaults(1_000.0, PolicyKind::Mpc)
+        };
+        let mut m = PowerManager::new(config, sets).unwrap();
+        let view = FlatView(Level::new(9), Level::new(9));
+        m.control_cycle(700.0, vec![], &view);
+        let out = m.control_cycle(750.0, vec![], &view);
+        assert!(out.thresholds_adjusted, "training ends on cycle 2");
+        assert_eq!(m.learner().p_peak_w(), 750.0);
+        assert_eq!(m.stats().threshold_adjustments, 1);
+        // Next adjustment after t_p = 3 more cycles.
+        m.control_cycle(740.0, vec![], &view);
+        m.control_cycle(740.0, vec![], &view);
+        let out = m.control_cycle(740.0, vec![], &view);
+        assert!(out.thresholds_adjusted);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let sets = NodeSets::new((0..2).map(NodeId), []);
+        let config = ManagerConfig {
+            t_g_cycles: 0,
+            ..ManagerConfig::paper_defaults(1_000.0, PolicyKind::Mpc)
+        };
+        assert!(PowerManager::new(config, sets).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! The per-cycle observation the selection policies consume.
+//!
+//! Each control cycle, the manager condenses the collector's view into a
+//! list of [`JobObservation`]s: for every running job `J`, the subset
+//! `Nodes(J)` of *non-idle candidate* member nodes, each with its sampled
+//! power `P(x)` and predicted one-level-down saving `P(x) − P'(x)`
+//! (Formula (1) at level `l−1`, as Algorithm 2 requires), plus the
+//! previous-interval job power `P^{t−1}(J)` for change-based policies.
+
+use ppc_node::{Level, NodeId, PowerModel};
+use ppc_telemetry::Collector;
+use ppc_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One candidate node of a job, as seen this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeObservation {
+    /// The node.
+    pub node: NodeId,
+    /// Its power level when sampled.
+    pub level: Level,
+    /// Estimated power `P(x)`, watts.
+    pub power_w: f64,
+    /// Predicted saving `P(x) − P'(x)` from one level down, watts
+    /// (0 at the lowest level).
+    pub saving_w: f64,
+}
+
+impl NodeObservation {
+    /// True if this node can still be degraded.
+    pub fn is_degradable(&self) -> bool {
+        self.level > Level::LOWEST
+    }
+}
+
+/// One running job, as seen this cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobObservation {
+    /// The job.
+    pub id: JobId,
+    /// `Nodes(J)`: non-idle candidate member nodes.
+    pub nodes: Vec<NodeObservation>,
+    /// `P^{t−1}(J)`, if every member node has a previous sample.
+    pub prev_power_w: Option<f64>,
+}
+
+impl JobObservation {
+    /// `Power(J) = Σ_{x ∈ Nodes(J)} P(x)`, watts.
+    pub fn power_w(&self) -> f64 {
+        self.nodes.iter().map(|n| n.power_w).sum()
+    }
+
+    /// Total achievable one-level saving over degradable nodes, watts.
+    pub fn saving_w(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_degradable())
+            .map(|n| n.saving_w)
+            .sum()
+    }
+
+    /// The degradable member nodes.
+    pub fn degradable_nodes(&self) -> impl Iterator<Item = &NodeObservation> {
+        self.nodes.iter().filter(|n| n.is_degradable())
+    }
+
+    /// True if at least one member node can be degraded.
+    pub fn has_degradable(&self) -> bool {
+        self.nodes.iter().any(NodeObservation::is_degradable)
+    }
+
+    /// Rate of increase `ΔP^t(J) = (P^t(J) − P^{t−1}(J)) / P^{t−1}(J)`,
+    /// or `None` without previous data.
+    pub fn power_rate(&self) -> Option<f64> {
+        let prev = self.prev_power_w?;
+        if prev <= 0.0 {
+            return None;
+        }
+        Some((self.power_w() - prev) / prev)
+    }
+}
+
+/// Everything a selection policy sees in one cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionContext {
+    /// Observations of all running jobs with candidate nodes.
+    pub jobs: Vec<JobObservation>,
+    /// Current metered system power `P`, watts.
+    pub power_w: f64,
+    /// The lower threshold `P_L`, watts.
+    pub p_low_w: f64,
+}
+
+impl SelectionContext {
+    /// The power cut needed to return to Green: `P − P_L` (≥ 0).
+    pub fn deficit_w(&self) -> f64 {
+        (self.power_w - self.p_low_w).max(0.0)
+    }
+}
+
+/// Builds job observations from the collector's current view.
+///
+/// `jobs` lists each running job with its full member-node set;
+/// `model_of` resolves a node's power model (heterogeneous clusters return
+/// per-model Arcs; homogeneous ones return clones of a shared Arc).
+/// Idle nodes and nodes outside `candidates` are excluded per the paper's
+/// definition of `Nodes(J)`; jobs left with no observable nodes are
+/// dropped entirely.
+pub fn observe_jobs(
+    collector: &Collector,
+    jobs: &[(JobId, Vec<NodeId>)],
+    candidates: &BTreeSet<NodeId>,
+    model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+) -> Vec<JobObservation> {
+    let mut out = Vec::with_capacity(jobs.len());
+    for (id, members) in jobs {
+        let mut nodes = Vec::new();
+        let mut prev_sum = 0.0;
+        let mut prev_complete = true;
+        for &n in members {
+            if !candidates.contains(&n) {
+                continue;
+            }
+            let Some(sample) = collector.latest(n) else {
+                continue;
+            };
+            if sample.is_idle() {
+                continue;
+            }
+            let model = model_of(n);
+            let saving_w = model.saving_one_level_w(sample.level, &sample.state);
+            nodes.push(NodeObservation {
+                node: n,
+                level: sample.level,
+                power_w: sample.power_w,
+                saving_w,
+            });
+            match collector.prev_power_of(n) {
+                Some(p) => prev_sum += p,
+                None => prev_complete = false,
+            }
+        }
+        if nodes.is_empty() {
+            continue;
+        }
+        out.push(JobObservation {
+            id: *id,
+            nodes,
+            prev_power_w: (prev_complete && prev_sum > 0.0).then_some(prev_sum),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for policy and capping tests.
+    use super::*;
+
+    /// Builds a node observation at the given level with a saving
+    /// proportional to the level (0 at the bottom).
+    pub fn nobs(node: u32, level: u8, power_w: f64) -> NodeObservation {
+        NodeObservation {
+            node: NodeId(node),
+            level: Level::new(level),
+            power_w,
+            saving_w: if level == 0 { 0.0 } else { 10.0 },
+        }
+    }
+
+    /// Builds a job observation.
+    pub fn jobs_obs(
+        id: u64,
+        nodes: Vec<NodeObservation>,
+        prev_power_w: Option<f64>,
+    ) -> JobObservation {
+        JobObservation {
+            id: JobId(id),
+            nodes,
+            prev_power_w,
+        }
+    }
+
+    /// A context with the given jobs, power and P_L.
+    pub fn ctx(jobs: Vec<JobObservation>, power_w: f64, p_low_w: f64) -> SelectionContext {
+        SelectionContext {
+            jobs,
+            power_w,
+            p_low_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use ppc_node::spec::NodeSpec;
+    use ppc_node::OperatingState;
+    use ppc_simkit::SimTime;
+    use ppc_telemetry::NodeSample;
+
+    #[test]
+    fn job_aggregates_power_and_savings() {
+        let j = jobs_obs(1, vec![nobs(0, 5, 200.0), nobs(1, 0, 150.0)], Some(300.0));
+        assert_eq!(j.power_w(), 350.0);
+        // Only the level-5 node is degradable.
+        assert_eq!(j.saving_w(), 10.0);
+        assert_eq!(j.degradable_nodes().count(), 1);
+        assert!(j.has_degradable());
+        let rate = j.power_rate().unwrap();
+        assert!((rate - (350.0 - 300.0) / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_requires_previous_data() {
+        let j = jobs_obs(1, vec![nobs(0, 5, 100.0)], None);
+        assert_eq!(j.power_rate(), None);
+        let j0 = jobs_obs(1, vec![nobs(0, 5, 100.0)], Some(0.0));
+        assert_eq!(j0.power_rate(), None);
+    }
+
+    #[test]
+    fn deficit_is_clamped_at_zero() {
+        let c = ctx(vec![], 900.0, 1_000.0);
+        assert_eq!(c.deficit_w(), 0.0);
+        let c2 = ctx(vec![], 1_200.0, 1_000.0);
+        assert_eq!(c2.deficit_w(), 200.0);
+    }
+
+    #[test]
+    fn observe_jobs_filters_idle_and_non_candidates() {
+        let spec = NodeSpec::tianhe_1a();
+        let model = spec.power_model(1.0);
+        let collector = Collector::new();
+        let busy = OperatingState {
+            cpu_util: 0.9,
+            mem_used_bytes: 1 << 30,
+            nic_bytes: 1000,
+        };
+        let mk = |node: u32, at: u64, state: OperatingState| NodeSample {
+            node: NodeId(node),
+            at: SimTime::from_secs(at),
+            state,
+            level: Level::new(9),
+            power_w: model.power_w(Level::new(9), &state),
+        };
+        // Node 0: busy candidate; node 1: idle; node 2: busy but not candidate.
+        collector.ingest(mk(0, 0, busy));
+        collector.ingest(mk(0, 1, busy));
+        collector.ingest(mk(1, 1, OperatingState::IDLE));
+        collector.ingest(mk(2, 1, busy));
+        let candidates: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
+        let jobs = vec![
+            (JobId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
+            (JobId(2), vec![NodeId(2)]), // no observable nodes → dropped
+        ];
+        let model2 = model.clone();
+        let obs = observe_jobs(&collector, &jobs, &candidates, &move |_| model2.clone());
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].id, JobId(1));
+        assert_eq!(obs[0].nodes.len(), 1);
+        assert_eq!(obs[0].nodes[0].node, NodeId(0));
+        assert!(obs[0].nodes[0].saving_w > 0.0);
+        // Node 0 has two samples → prev power known.
+        assert!(obs[0].prev_power_w.is_some());
+    }
+
+    #[test]
+    fn observe_jobs_without_prev_sample_has_no_rate() {
+        let spec = NodeSpec::tianhe_1a();
+        let model = spec.power_model(1.0);
+        let collector = Collector::new();
+        let busy = OperatingState {
+            cpu_util: 0.9,
+            mem_used_bytes: 0,
+            nic_bytes: 0,
+        };
+        collector.ingest(NodeSample {
+            node: NodeId(0),
+            at: SimTime::ZERO,
+            state: busy,
+            level: Level::new(9),
+            power_w: 250.0,
+        });
+        let candidates: BTreeSet<NodeId> = [NodeId(0)].into_iter().collect();
+        let m = model.clone();
+        let obs = observe_jobs(
+            &collector,
+            &[(JobId(7), vec![NodeId(0)])],
+            &candidates,
+            &move |_| m.clone(),
+        );
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].prev_power_w, None);
+    }
+}

@@ -1,0 +1,82 @@
+//! HRI — the *highest rate of increase in power consumption* policy.
+//!
+//! The change-based alternative (paper §IV.B): target the job whose
+//! `ΔP^t(J) = (P^t(J) − P^{t−1}(J)) / P^{t−1}(J)` is largest — i.e. punish
+//! the job that actually *caused* the excursion into Yellow. Fairer than
+//! MPC, but the ramping job is often small, so each cycle reduces less
+//! power and recovery to Green is slower (which is exactly the ΔP×T gap
+//! the paper measures between the two policies).
+//!
+//! Jobs observed for less than two intervals have no rate yet; when *no*
+//! job has a rate (e.g. the first cycle after a candidate-set change), we
+//! fall back to the most power-consuming job so a Yellow cycle is never
+//! wasted — the fallback the paper's description implies by requiring the
+//! target set to be non-empty whenever degradable jobs exist.
+
+use crate::observe::SelectionContext;
+use crate::policy::{argmax_job, targets_of, TargetSelectionPolicy};
+use ppc_node::NodeId;
+
+/// The HRI policy (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hri;
+
+impl TargetSelectionPolicy for Hri {
+    fn name(&self) -> &'static str {
+        "HRI"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId> {
+        let degradable = || ctx.jobs.iter().filter(|j| j.has_degradable());
+        let by_rate = argmax_job(degradable().filter_map(|j| j.power_rate().map(|r| (j, r))));
+        let chosen = by_rate.or_else(|| argmax_job(degradable().map(|j| (j, j.power_w()))));
+        chosen.map(targets_of).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+
+    #[test]
+    fn targets_the_fastest_ramping_job_not_the_biggest() {
+        // Big job: 500 W, flat. Small job: 120 W, up from 80 W (+50%).
+        let big = jobs_obs(1, vec![nobs(0, 5, 500.0)], Some(500.0));
+        let small = jobs_obs(2, vec![nobs(1, 5, 120.0)], Some(80.0));
+        let c = ctx(vec![big, small], 10_000.0, 9_000.0);
+        assert_eq!(Hri.select(&c), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn decreasing_jobs_lose_to_increasing_ones() {
+        let falling = jobs_obs(1, vec![nobs(0, 5, 100.0)], Some(200.0)); // −50%
+        let rising = jobs_obs(2, vec![nobs(1, 5, 110.0)], Some(100.0)); // +10%
+        let c = ctx(vec![falling, rising], 10_000.0, 9_000.0);
+        assert_eq!(Hri.select(&c), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn falls_back_to_mpc_when_no_rates_exist() {
+        let a = jobs_obs(1, vec![nobs(0, 5, 100.0)], None);
+        let b = jobs_obs(2, vec![nobs(1, 5, 400.0)], None);
+        let c = ctx(vec![a, b], 10_000.0, 9_000.0);
+        assert_eq!(Hri.select(&c), vec![NodeId(1)], "biggest job as fallback");
+    }
+
+    #[test]
+    fn rated_jobs_beat_unrated_even_at_lower_power() {
+        let unrated_big = jobs_obs(1, vec![nobs(0, 5, 900.0)], None);
+        let rated_small = jobs_obs(2, vec![nobs(1, 5, 50.0)], Some(40.0));
+        let c = ctx(vec![unrated_big, rated_small], 10_000.0, 9_000.0);
+        assert_eq!(Hri.select(&c), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn skips_floored_jobs_entirely() {
+        let floored = jobs_obs(1, vec![nobs(0, 0, 100.0)], Some(50.0));
+        let usable = jobs_obs(2, vec![nobs(1, 5, 60.0)], Some(59.0));
+        let c = ctx(vec![floored, usable], 10_000.0, 9_000.0);
+        assert_eq!(Hri.select(&c), vec![NodeId(1)]);
+    }
+}

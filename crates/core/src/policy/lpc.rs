@@ -1,0 +1,58 @@
+//! LPC — the *least power consuming job* policy.
+//!
+//! Targets the job with the smallest `Power(J)`. The slowest-acting
+//! state-based policy, but the least likely to cause power-state swings
+//! between Green and Yellow (paper §IV.A).
+
+use crate::observe::SelectionContext;
+use crate::policy::{argmax_job, targets_of, TargetSelectionPolicy};
+use ppc_node::NodeId;
+
+/// The LPC policy (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lpc;
+
+impl TargetSelectionPolicy for Lpc {
+    fn name(&self) -> &'static str {
+        "LPC"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId> {
+        // argmax over negated power = argmin with the same id tie-break.
+        argmax_job(
+            ctx.jobs
+                .iter()
+                .filter(|j| j.has_degradable())
+                .map(|j| (j, -j.power_w())),
+        )
+        .map(targets_of)
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+
+    #[test]
+    fn picks_the_smallest_job() {
+        let small = jobs_obs(2, vec![nobs(0, 5, 150.0)], None);
+        let big = jobs_obs(1, vec![nobs(1, 5, 500.0)], None);
+        let c = ctx(vec![big, small], 10_000.0, 9_000.0);
+        assert_eq!(Lpc.select(&c), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_job_id() {
+        let a = jobs_obs(4, vec![nobs(0, 5, 100.0)], None);
+        let b = jobs_obs(2, vec![nobs(1, 5, 100.0)], None);
+        let c = ctx(vec![a, b], 10_000.0, 9_000.0);
+        assert_eq!(Lpc.select(&c), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_context_selects_nothing() {
+        assert!(Lpc.select(&ctx(vec![], 1.0, 0.5)).is_empty());
+    }
+}

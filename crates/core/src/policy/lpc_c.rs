@@ -1,0 +1,50 @@
+//! LPC-C — the *least power consuming job collection* policy.
+//!
+//! The ascending counterpart of Algorithm 2: walk jobs from the smallest
+//! `Power(J)` upward, accumulating savings until the deficit is covered.
+//! Gentle on big jobs, at the cost of touching many small ones.
+
+use crate::observe::SelectionContext;
+use crate::policy::mpc_c::collect_until_deficit;
+use crate::policy::TargetSelectionPolicy;
+use ppc_node::NodeId;
+
+/// The LPC-C policy (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpcC;
+
+impl TargetSelectionPolicy for LpcC {
+    fn name(&self) -> &'static str {
+        "LPC-C"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId> {
+        collect_until_deficit(ctx, /* descending_power = */ false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+
+    #[test]
+    fn collects_from_the_small_end() {
+        // Deficit 15 W; smallest job saves 10, next smallest 10 → two
+        // smallest jobs selected, biggest untouched.
+        let big = jobs_obs(1, vec![nobs(0, 5, 500.0)], None);
+        let mid = jobs_obs(2, vec![nobs(1, 5, 200.0)], None);
+        let small = jobs_obs(3, vec![nobs(2, 5, 100.0)], None);
+        let c = ctx(vec![big, mid, small], 1_015.0, 1_000.0);
+        let t = LpcC.select(&c);
+        assert_eq!(t, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn single_small_job_suffices_for_tiny_deficit() {
+        let big = jobs_obs(1, vec![nobs(0, 5, 500.0)], None);
+        let small = jobs_obs(2, vec![nobs(1, 5, 100.0)], None);
+        let c = ctx(vec![big, small], 1_005.0, 1_000.0);
+        assert_eq!(LpcC.select(&c), vec![NodeId(1)]);
+    }
+}

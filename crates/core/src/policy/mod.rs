@@ -1,0 +1,218 @@
+//! Target-set selection policies.
+//!
+//! Given the cycle's [`SelectionContext`], a policy returns the nodes to
+//! degrade by one level (`A_target`). Two families exist:
+//!
+//! * **state-based** — select by the *current* power of jobs: [`Mpc`]
+//!   (most power-consuming job), [`MpcC`] (Algorithm 2's job collection),
+//!   [`Lpc`]/[`LpcC`] (least consuming), [`Bfp`] (best fit);
+//! * **change-based** — select by the *rate of increase* of job power:
+//!   [`Hri`] and its collection variant [`HriC`].
+//!
+//! Contract (checked by the property tests in `capping`): a returned node
+//! must appear in the context (hence candidate and non-idle) and be
+//! degradable (not at its lowest level). Idle nodes never enter the
+//! context, satisfying Algorithm 1's note that "a valid target set
+//! selection policy shall not select an idle node".
+
+mod bfp;
+mod hri;
+mod hri_c;
+mod lpc;
+mod lpc_c;
+mod mpc;
+mod mpc_c;
+mod round_robin;
+mod uniform;
+
+pub use bfp::Bfp;
+pub use hri::Hri;
+pub use hri_c::HriC;
+pub use lpc::Lpc;
+pub use lpc_c::LpcC;
+pub use mpc::Mpc;
+pub use mpc_c::MpcC;
+pub use round_robin::RoundRobin;
+pub use uniform::Uniform;
+
+use crate::observe::{JobObservation, SelectionContext};
+use ppc_node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+
+/// A target-set selection policy.
+pub trait TargetSelectionPolicy: Send {
+    /// Short policy name (e.g. `"MPC"`).
+    fn name(&self) -> &'static str;
+
+    /// Selects `A_target`: the nodes to degrade one level this cycle.
+    fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId>;
+}
+
+/// Enumerates the implemented policies (CLI/config surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Most power-consuming job.
+    Mpc,
+    /// Most power-consuming job collection (paper Algorithm 2).
+    MpcC,
+    /// Least power-consuming job.
+    Lpc,
+    /// Least power-consuming job collection.
+    LpcC,
+    /// Best-fit job (saving just above the deficit).
+    Bfp,
+    /// Highest rate of increase in power consumption.
+    Hri,
+    /// Highest-rate job collection.
+    HriC,
+    /// Related-work baseline: degrade every degradable node (ensemble /
+    /// uniform capping, all nodes equally important).
+    Uniform,
+    /// Related-work baseline: rotate through jobs fairly, ignoring power.
+    RoundRobin,
+}
+
+impl PolicyKind {
+    /// Every implemented policy, including the related-work baselines.
+    pub const ALL: [PolicyKind; 9] = [
+        PolicyKind::Mpc,
+        PolicyKind::MpcC,
+        PolicyKind::Lpc,
+        PolicyKind::LpcC,
+        PolicyKind::Bfp,
+        PolicyKind::Hri,
+        PolicyKind::HriC,
+        PolicyKind::Uniform,
+        PolicyKind::RoundRobin,
+    ];
+
+    /// The seven policies the paper itself describes (§IV).
+    pub const PAPER_FAMILY: [PolicyKind; 7] = [
+        PolicyKind::Mpc,
+        PolicyKind::MpcC,
+        PolicyKind::Lpc,
+        PolicyKind::LpcC,
+        PolicyKind::Bfp,
+        PolicyKind::Hri,
+        PolicyKind::HriC,
+    ];
+
+    /// The two policies the paper evaluates on the testbed.
+    pub const PAPER: [PolicyKind; 2] = [PolicyKind::Mpc, PolicyKind::Hri];
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Mpc => "MPC",
+            PolicyKind::MpcC => "MPC-C",
+            PolicyKind::Lpc => "LPC",
+            PolicyKind::LpcC => "LPC-C",
+            PolicyKind::Bfp => "BFP",
+            PolicyKind::Hri => "HRI",
+            PolicyKind::HriC => "HRI-C",
+            PolicyKind::Uniform => "UNIFORM",
+            PolicyKind::RoundRobin => "RR",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn TargetSelectionPolicy> {
+        match self {
+            PolicyKind::Mpc => Box::new(Mpc),
+            PolicyKind::MpcC => Box::new(MpcC),
+            PolicyKind::Lpc => Box::new(Lpc),
+            PolicyKind::LpcC => Box::new(LpcC),
+            PolicyKind::Bfp => Box::new(Bfp),
+            PolicyKind::Hri => Box::new(Hri),
+            PolicyKind::HriC => Box::new(HriC),
+            PolicyKind::Uniform => Box::new(Uniform),
+            PolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+        }
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_uppercase().replace('_', "-");
+        PolicyKind::ALL
+            .into_iter()
+            .find(|k| k.name() == norm)
+            .ok_or_else(|| format!("unknown policy {s:?}; expected one of MPC, MPC-C, LPC, LPC-C, BFP, HRI, HRI-C, UNIFORM, RR"))
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic tie-break: orders jobs by `(key desc, id asc)` and
+/// returns the winner. Shared by the single-job policies.
+pub(crate) fn argmax_job<'a>(
+    jobs: impl Iterator<Item = (&'a JobObservation, f64)>,
+) -> Option<&'a JobObservation> {
+    jobs.fold(None::<(&JobObservation, f64)>, |best, (job, key)| match best {
+        None => Some((job, key)),
+        Some((bj, bk)) => {
+            if key > bk || (key == bk && job.id < bj.id) {
+                Some((job, key))
+            } else {
+                Some((bj, bk))
+            }
+        }
+    })
+    .map(|(j, _)| j)
+}
+
+/// All degradable nodes of a job, as the target list.
+pub(crate) fn targets_of(job: &JobObservation) -> Vec<NodeId> {
+    job.degradable_nodes().map(|n| n.node).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+
+    #[test]
+    fn kind_roundtrips_through_strings() {
+        for kind in PolicyKind::ALL {
+            let parsed: PolicyKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            let lower: PolicyKind = kind.name().to_ascii_lowercase().parse().unwrap();
+            assert_eq!(lower, kind);
+        }
+        assert!("nope".parse::<PolicyKind>().is_err());
+        assert_eq!("mpc_c".parse::<PolicyKind>().unwrap(), PolicyKind::MpcC);
+    }
+
+    #[test]
+    fn build_matches_name() {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build();
+            assert_eq!(p.name(), kind.name());
+            // An empty context selects nothing, for every policy.
+            assert!(p.select(&ctx(vec![], 1_000.0, 900.0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn argmax_breaks_ties_by_lower_id() {
+        let a = jobs_obs(3, vec![nobs(0, 5, 100.0)], None);
+        let b = jobs_obs(1, vec![nobs(1, 5, 100.0)], None);
+        let c = jobs_obs(2, vec![nobs(2, 5, 100.0)], None);
+        let jobs = [&a, &b, &c];
+        let win = argmax_job(jobs.iter().map(|j| (*j, j.power_w()))).unwrap();
+        assert_eq!(win.id.0, 1);
+    }
+
+    #[test]
+    fn paper_policies_are_mpc_and_hri() {
+        assert_eq!(PolicyKind::PAPER[0].name(), "MPC");
+        assert_eq!(PolicyKind::PAPER[1].name(), "HRI");
+    }
+}

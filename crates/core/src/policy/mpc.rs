@@ -1,0 +1,72 @@
+//! MPC — the *most power consuming job* policy.
+//!
+//! Selects `Nodes(J)` for the job `J` with the largest `Power(J)` among
+//! all jobs that still have degradable nodes. The rationale (paper §IV.A):
+//! for a well-balanced application, degrading every node of one job costs
+//! the same performance as degrading a single node — but saves much more
+//! power — so the cheapest watts per unit of performance lost come from
+//! throttling an entire job, and the biggest job buys the most watts.
+
+use crate::observe::SelectionContext;
+use crate::policy::{argmax_job, targets_of, TargetSelectionPolicy};
+use ppc_node::NodeId;
+
+/// The MPC policy (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mpc;
+
+impl TargetSelectionPolicy for Mpc {
+    fn name(&self) -> &'static str {
+        "MPC"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId> {
+        argmax_job(
+            ctx.jobs
+                .iter()
+                .filter(|j| j.has_degradable())
+                .map(|j| (j, j.power_w())),
+        )
+        .map(targets_of)
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+    use ppc_node::NodeId;
+
+    #[test]
+    fn picks_the_hungriest_job() {
+        let small = jobs_obs(1, vec![nobs(0, 5, 200.0)], None);
+        let big = jobs_obs(2, vec![nobs(1, 5, 300.0), nobs(2, 5, 250.0)], None);
+        let c = ctx(vec![small, big], 10_000.0, 9_000.0);
+        let mut p = Mpc;
+        assert_eq!(p.select(&c), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn skips_jobs_with_no_degradable_nodes() {
+        // The biggest job is entirely at the lowest level.
+        let floored = jobs_obs(1, vec![nobs(0, 0, 900.0)], None);
+        let usable = jobs_obs(2, vec![nobs(1, 3, 100.0)], None);
+        let c = ctx(vec![floored, usable], 10_000.0, 9_000.0);
+        assert_eq!(Mpc.select(&c), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn excludes_floored_nodes_of_the_chosen_job() {
+        let j = jobs_obs(1, vec![nobs(0, 0, 500.0), nobs(1, 4, 100.0)], None);
+        let c = ctx(vec![j], 10_000.0, 9_000.0);
+        assert_eq!(Mpc.select(&c), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_when_nothing_selectable() {
+        let floored = jobs_obs(1, vec![nobs(0, 0, 900.0)], None);
+        assert!(Mpc.select(&ctx(vec![floored], 1.0, 0.5)).is_empty());
+        assert!(Mpc.select(&ctx(vec![], 1.0, 0.5)).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! RR — a fairness-first related-work baseline.
+//!
+//! Degrades one job per Yellow cycle, rotating through the running jobs
+//! in id order regardless of their power or ramp: the "fair share"
+//! strawman against which the paper's power-aware policies (which
+//! deliberately punish the biggest or fastest-growing job) can be
+//! quantified. The only *stateful* policy — it remembers which job it
+//! throttled last.
+
+use crate::observe::SelectionContext;
+use crate::policy::{targets_of, TargetSelectionPolicy};
+use ppc_node::NodeId;
+use ppc_workload::JobId;
+
+/// The round-robin baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    /// Id of the last job throttled; the next selection takes the first
+    /// eligible job with a strictly greater id, wrapping around.
+    last: Option<JobId>,
+}
+
+impl TargetSelectionPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId> {
+        let mut eligible: Vec<&crate::observe::JobObservation> =
+            ctx.jobs.iter().filter(|j| j.has_degradable()).collect();
+        if eligible.is_empty() {
+            return Vec::new();
+        }
+        eligible.sort_by_key(|j| j.id);
+        let chosen = match self.last {
+            Some(last) => eligible
+                .iter()
+                .find(|j| j.id > last)
+                .copied()
+                .unwrap_or(eligible[0]),
+            None => eligible[0],
+        };
+        self.last = Some(chosen.id);
+        targets_of(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::testutil::{ctx, jobs_obs, nobs};
+
+    fn three_jobs() -> crate::observe::SelectionContext {
+        ctx(
+            vec![
+                jobs_obs(1, vec![nobs(0, 5, 100.0)], None),
+                jobs_obs(2, vec![nobs(1, 5, 900.0)], None),
+                jobs_obs(3, vec![nobs(2, 5, 500.0)], None),
+            ],
+            1_100.0,
+            1_000.0,
+        )
+    }
+
+    #[test]
+    fn rotates_through_jobs_ignoring_power() {
+        let mut p = RoundRobin::default();
+        let c = three_jobs();
+        assert_eq!(p.select(&c), vec![NodeId(0)]); // job 1
+        assert_eq!(p.select(&c), vec![NodeId(1)]); // job 2
+        assert_eq!(p.select(&c), vec![NodeId(2)]); // job 3
+        assert_eq!(p.select(&c), vec![NodeId(0)], "wraps around");
+    }
+
+    #[test]
+    fn skips_vanished_jobs() {
+        let mut p = RoundRobin::default();
+        p.select(&three_jobs()); // last = job 1
+        // Job 2 has finished; next eligible above 1 is job 3.
+        let c = ctx(
+            vec![
+                jobs_obs(1, vec![nobs(0, 5, 100.0)], None),
+                jobs_obs(3, vec![nobs(2, 5, 500.0)], None),
+            ],
+            1_100.0,
+            1_000.0,
+        );
+        assert_eq!(p.select(&c), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_context_keeps_state() {
+        let mut p = RoundRobin::default();
+        assert!(p.select(&ctx(vec![], 1_100.0, 1_000.0)).is_empty());
+        assert_eq!(p.select(&three_jobs()), vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Node-set classification.
+//!
+//! The architecture's first move is to stop treating all nodes alike:
+//!
+//! * `A_total` — every node that consumes power budget;
+//! * `A_uncontrollable` — privileged nodes (no DVFS facility, or running
+//!   work that must not be degraded); never sensed, never throttled;
+//! * `A_candidate = A_total − A_uncontrollable` — the monitored pool,
+//!   possibly further capped to bound management cost (Figures 5/6 sweep
+//!   this cap);
+//! * `A_target ⊆ A_candidate` — chosen per cycle by the selection policy.
+//!
+//! `BTreeSet` keeps iteration order deterministic; with first-fit
+//! scheduling, taking the *lowest-indexed* `k` controllable nodes as
+//! candidates covers most running work (the paper's saturation-at-48
+//! effect).
+
+use ppc_node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The architecture's node classification.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeSets {
+    total: BTreeSet<NodeId>,
+    privileged: BTreeSet<NodeId>,
+    /// Optional cap on the candidate count (`None` = all controllable).
+    candidate_cap: Option<usize>,
+}
+
+impl NodeSets {
+    /// Classifies `total` nodes with the given privileged subset.
+    ///
+    /// # Panics
+    /// Panics if a privileged node is not in the total set.
+    pub fn new(
+        total: impl IntoIterator<Item = NodeId>,
+        privileged: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        let total: BTreeSet<NodeId> = total.into_iter().collect();
+        let privileged: BTreeSet<NodeId> = privileged.into_iter().collect();
+        assert!(
+            privileged.is_subset(&total),
+            "privileged nodes must be part of the total set"
+        );
+        NodeSets {
+            total,
+            privileged,
+            candidate_cap: None,
+        }
+    }
+
+    /// Caps the candidate set to its lowest-indexed `cap` members (the
+    /// Figure 5/6 sweep knob). `None` removes the cap.
+    pub fn with_candidate_cap(mut self, cap: Option<usize>) -> Self {
+        self.candidate_cap = cap;
+        self
+    }
+
+    /// Adjusts the candidate cap in place.
+    pub fn set_candidate_cap(&mut self, cap: Option<usize>) {
+        self.candidate_cap = cap;
+    }
+
+    /// Marks a node privileged (joins `A_uncontrollable`) or not. The
+    /// candidate set "may vary during the execution of the system".
+    ///
+    /// # Panics
+    /// Panics if the node is not in the total set.
+    pub fn set_privileged(&mut self, node: NodeId, privileged: bool) {
+        assert!(self.total.contains(&node), "unknown node {node}");
+        if privileged {
+            self.privileged.insert(node);
+        } else {
+            self.privileged.remove(&node);
+        }
+    }
+
+    /// `A_total`.
+    pub fn total(&self) -> &BTreeSet<NodeId> {
+        &self.total
+    }
+
+    /// `A_uncontrollable`.
+    pub fn privileged(&self) -> &BTreeSet<NodeId> {
+        &self.privileged
+    }
+
+    /// `A_candidate = A_total − A_uncontrollable`, truncated to the cap.
+    pub fn candidates(&self) -> BTreeSet<NodeId> {
+        let it = self.total.difference(&self.privileged).copied();
+        match self.candidate_cap {
+            Some(cap) => it.take(cap).collect(),
+            None => it.collect(),
+        }
+    }
+
+    /// Number of candidates.
+    pub fn candidate_count(&self) -> usize {
+        let controllable = self.total.len() - self.privileged.len();
+        match self.candidate_cap {
+            Some(cap) => controllable.min(cap),
+            None => controllable,
+        }
+    }
+
+    /// True if `node` is currently a candidate.
+    pub fn is_candidate(&self, node: NodeId) -> bool {
+        self.candidates().contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: impl IntoIterator<Item = u32>) -> Vec<NodeId> {
+        v.into_iter().map(NodeId).collect()
+    }
+
+    #[test]
+    fn candidate_is_total_minus_privileged() {
+        let s = NodeSets::new(ids(0..8), ids([1, 3]));
+        let cand = s.candidates();
+        assert_eq!(cand.len(), 6);
+        assert!(!cand.contains(&NodeId(1)));
+        assert!(!cand.contains(&NodeId(3)));
+        assert!(s.is_candidate(NodeId(0)));
+        assert!(!s.is_candidate(NodeId(3)));
+        assert_eq!(s.candidate_count(), 6);
+    }
+
+    #[test]
+    fn cap_takes_lowest_indices() {
+        let s = NodeSets::new(ids(0..10), ids([0])).with_candidate_cap(Some(3));
+        let cand: Vec<NodeId> = s.candidates().into_iter().collect();
+        assert_eq!(cand, ids([1, 2, 3]));
+        assert_eq!(s.candidate_count(), 3);
+        assert!(!s.is_candidate(NodeId(4)));
+    }
+
+    #[test]
+    fn cap_larger_than_pool_is_harmless() {
+        let s = NodeSets::new(ids(0..4), ids([])).with_candidate_cap(Some(100));
+        assert_eq!(s.candidate_count(), 4);
+    }
+
+    #[test]
+    fn zero_cap_disables_management() {
+        let s = NodeSets::new(ids(0..4), ids([])).with_candidate_cap(Some(0));
+        assert!(s.candidates().is_empty());
+        assert_eq!(s.candidate_count(), 0);
+    }
+
+    #[test]
+    fn privilege_can_change_at_runtime() {
+        let mut s = NodeSets::new(ids(0..4), ids([]));
+        assert_eq!(s.candidate_count(), 4);
+        s.set_privileged(NodeId(2), true);
+        assert_eq!(s.candidate_count(), 3);
+        s.set_privileged(NodeId(2), false);
+        assert_eq!(s.candidate_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "part of the total set")]
+    fn foreign_privileged_node_rejected() {
+        NodeSets::new(ids(0..4), ids([9]));
+    }
+
+    proptest! {
+        /// Candidates are always a subset of total, disjoint from
+        /// privileged, and respect the cap.
+        #[test]
+        fn prop_set_algebra(total in 1u32..64, npriv in 0u32..32, cap in proptest::option::of(0usize..70)) {
+            let privileged: Vec<NodeId> = (0..npriv.min(total)).map(|i| NodeId(i * 2 % total)).collect();
+            let s = NodeSets::new((0..total).map(NodeId), privileged.clone())
+                .with_candidate_cap(cap);
+            let cand = s.candidates();
+            prop_assert!(cand.is_subset(s.total()));
+            prop_assert!(cand.is_disjoint(s.privileged()));
+            if let Some(c) = cap {
+                prop_assert!(cand.len() <= c);
+            }
+            prop_assert_eq!(cand.len(), s.candidate_count());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `P_max` — the peak observed power.
+
+use ppc_simkit::TimeSeries;
+
+/// The maximal power in the trace, watts (0 for an empty trace).
+pub fn peak_power_w(trace: &TimeSeries) -> f64 {
+    trace.max().unwrap_or(0.0)
+}
+
+/// Time-weighted mean power over the trace, watts (0 for < 2 samples).
+pub fn mean_power_w(trace: &TimeSeries) -> f64 {
+    trace.time_weighted_mean().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_simkit::SimTime;
+
+    #[test]
+    fn peak_and_mean() {
+        let mut t = TimeSeries::new();
+        t.push(SimTime::from_secs(0), 100.0);
+        t.push(SimTime::from_secs(10), 300.0);
+        t.push(SimTime::from_secs(20), 200.0);
+        assert_eq!(peak_power_w(&t), 300.0);
+        // Step mean: (100·10 + 300·10)/20 = 200.
+        assert_eq!(mean_power_w(&t), 200.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = TimeSeries::new();
+        assert_eq!(peak_power_w(&t), 0.0);
+        assert_eq!(mean_power_w(&t), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! `Performance(cap)` — the paper's system-performance measurement.
+//!
+//! ```text
+//! Performance(cap) = (1/J) Σ_{j=1..J}  T_j / T_cap,j
+//! ```
+//!
+//! `T_j` is job `j`'s runtime at full node performance without capping
+//! (the analytic baseline our job model knows exactly) and `T_cap,j` its
+//! runtime under the capping policy. Greater is better; 1.0 means no
+//! performance was lost.
+
+use ppc_workload::JobRecord;
+
+/// Computes `Performance(cap)` over finished jobs. Returns 1.0 for an
+/// empty set (no jobs ⇒ nothing was slowed down).
+pub fn performance(records: &[JobRecord]) -> f64 {
+    if records.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = records.iter().map(JobRecord::performance_ratio).sum();
+    sum / records.len() as f64
+}
+
+/// Mean performance per application (for per-benchmark breakdowns).
+pub fn performance_by<K: Ord, F: Fn(&JobRecord) -> K>(
+    records: &[JobRecord],
+    key: F,
+) -> std::collections::BTreeMap<K, f64> {
+    let mut sums: std::collections::BTreeMap<K, (f64, u32)> = std::collections::BTreeMap::new();
+    for r in records {
+        let e = sums.entry(key(r)).or_insert((0.0, 0));
+        e.0 += r.performance_ratio();
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(k, (s, n))| (k, s / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::testutil::record;
+
+    #[test]
+    fn empty_set_is_lossless() {
+        assert_eq!(performance(&[]), 1.0);
+    }
+
+    #[test]
+    fn uncapped_jobs_score_one() {
+        let records = vec![record(1, 100.0, 100.0), record(2, 50.0, 50.0)];
+        assert_eq!(performance(&records), 1.0);
+    }
+
+    #[test]
+    fn mean_of_ratios() {
+        // Ratios: 1.0 and 0.5 → mean 0.75.
+        let records = vec![record(1, 100.0, 100.0), record(2, 100.0, 200.0)];
+        assert!((performance(&records) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_capped_at_one() {
+        // A job that finished *faster* than baseline (tick rounding) must
+        // not inflate the metric.
+        let records = vec![record(1, 100.0, 99.0)];
+        assert_eq!(performance(&records), 1.0);
+    }
+
+    #[test]
+    fn breakdown_groups_by_key() {
+        let records = vec![
+            record(1, 100.0, 100.0),
+            record(2, 100.0, 200.0),
+            record(3, 100.0, 100.0),
+        ];
+        let by_even = performance_by(&records, |r| r.id.0 % 2);
+        assert_eq!(by_even.len(), 2);
+        assert!((by_even[&0] - 0.5).abs() < 1e-12); // job 2
+        assert!((by_even[&1] - 1.0).abs() < 1e-12); // jobs 1, 3
+    }
+}

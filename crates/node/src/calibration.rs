@@ -1,0 +1,170 @@
+//! Per-level power calibration tables.
+//!
+//! The paper's Formula (1) consumes per-level constants: the node idle
+//! power `P_idle(l)` and the per-device maximal dynamic powers. On a real
+//! deployment these come from a calibration run against a reference meter;
+//! here we derive them from the device specs once, up front, and the rest
+//! of the system only ever reads the table. That mirrors the real split:
+//! profiling agents are cheap at runtime because the expensive part was
+//! done offline.
+
+use crate::device::{CpuSpec, MemSpec, NicSpec};
+use crate::freq::{FrequencyLadder, Level};
+use serde::{Deserialize, Serialize};
+
+/// Idle-power curve parameters.
+///
+/// A node's static power has a level-independent floor (fans, board,
+/// chipset, DRAM refresh) plus a CPU leakage term that tracks `V²` — a
+/// chip at a higher operating point leaks more even when idle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleCurve {
+    /// Level-independent base, in watts.
+    pub base_w: f64,
+    /// Additional idle power at the *top* level, in watts; scales down with
+    /// `V²` at lower levels.
+    pub leakage_at_top_w: f64,
+}
+
+impl IdleCurve {
+    /// `P_idle(l)` in watts.
+    pub fn idle_w(&self, ladder: &FrequencyLadder, level: Level) -> f64 {
+        let v = ladder.point(level).voltage_v;
+        let v_top = ladder.point(ladder.highest()).voltage_v;
+        self.base_w + self.leakage_at_top_w * (v * v) / (v_top * v_top)
+    }
+}
+
+/// Fully-materialized per-level power table for one node model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTable {
+    /// `P_idle(l)` per level, watts.
+    pub idle_w: Vec<f64>,
+    /// `Σ_x P_x(l)` (all CPU sockets) per level, watts.
+    pub cpu_dynamic_w: Vec<f64>,
+    /// `P_mem(l)` per level, watts.
+    pub mem_dynamic_w: Vec<f64>,
+    /// `P_NIC(l)` per level, watts.
+    pub nic_dynamic_w: Vec<f64>,
+}
+
+impl PowerTable {
+    /// Builds the table by evaluating the device models at every level.
+    pub fn calibrate(
+        ladder: &FrequencyLadder,
+        idle: &IdleCurve,
+        cpu: &CpuSpec,
+        mem: &MemSpec,
+        nic: &NicSpec,
+    ) -> Self {
+        let mut t = PowerTable {
+            idle_w: Vec::with_capacity(ladder.len()),
+            cpu_dynamic_w: Vec::with_capacity(ladder.len()),
+            mem_dynamic_w: Vec::with_capacity(ladder.len()),
+            nic_dynamic_w: Vec::with_capacity(ladder.len()),
+        };
+        for level in ladder.levels() {
+            t.idle_w.push(idle.idle_w(ladder, level));
+            t.cpu_dynamic_w.push(cpu.total_dynamic_w(ladder, level));
+            t.mem_dynamic_w.push(mem.dynamic_w(ladder, level));
+            t.nic_dynamic_w.push(nic.dynamic_w(ladder, level));
+        }
+        t
+    }
+
+    /// Number of levels in the table.
+    pub fn len(&self) -> usize {
+        self.idle_w.len()
+    }
+
+    /// True if the table has no levels (never true for calibrated tables).
+    pub fn is_empty(&self) -> bool {
+        self.idle_w.is_empty()
+    }
+
+    /// Theoretical maximal node power at `level`: idle plus every device at
+    /// full dynamic draw. The sum over all nodes at the top level is the
+    /// paper's `P_thy`.
+    pub fn max_power_w(&self, level: Level) -> f64 {
+        let i = level.index();
+        self.idle_w[i] + self.cpu_dynamic_w[i] + self.mem_dynamic_w[i] + self.nic_dynamic_w[i]
+    }
+
+    /// Minimal node power at `level` (idle).
+    pub fn idle_power_w(&self, level: Level) -> f64 {
+        self.idle_w[level.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (FrequencyLadder, PowerTable) {
+        let ladder = FrequencyLadder::xeon_x5670();
+        let table = PowerTable::calibrate(
+            &ladder,
+            &IdleCurve {
+                base_w: 130.0,
+                leakage_at_top_w: 30.0,
+            },
+            &CpuSpec {
+                sockets: 2,
+                cores_per_socket: 6,
+                max_dynamic_w_per_socket: 65.0,
+            },
+            &MemSpec {
+                total_bytes: 24 << 30,
+                max_dynamic_w: 36.0,
+                level_coupling: 0.0,
+            },
+            &NicSpec {
+                bandwidth_bytes_per_sec: 5.0e9,
+                max_dynamic_w: 15.0,
+                level_coupling: 0.0,
+            },
+        );
+        (ladder, table)
+    }
+
+    #[test]
+    fn table_covers_all_levels() {
+        let (ladder, table) = fixture();
+        assert_eq!(table.len(), ladder.len());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn idle_curve_is_monotone_and_bounded() {
+        let (_ladder, table) = fixture();
+        for w in table.idle_w.windows(2) {
+            assert!(w[1] > w[0], "idle power must rise with level");
+        }
+        // Top idle = base + full leakage = 160 W.
+        assert!((table.idle_w[9] - 160.0).abs() < 1e-9);
+        // Bottom idle = base + leakage·(0.85/1.2)² ≈ 145 W.
+        let expected = 130.0 + 30.0 * (0.85f64 / 1.2).powi(2);
+        assert!((table.idle_w[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_power_matches_realistic_node_envelope() {
+        let (ladder, table) = fixture();
+        let peak = table.max_power_w(ladder.highest());
+        // 160 idle + 130 CPU + 36 mem + 15 NIC = 341 W.
+        assert!((peak - 341.0).abs() < 1e-9);
+        let floor = table.idle_power_w(Level::LOWEST);
+        assert!(floor > 140.0 && floor < 150.0, "floor={floor}");
+    }
+
+    #[test]
+    fn max_power_is_monotone_in_level() {
+        let (ladder, table) = fixture();
+        let mut prev = 0.0;
+        for level in ladder.levels() {
+            let p = table.max_power_w(level);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+}

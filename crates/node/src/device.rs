@@ -1,0 +1,175 @@
+//! Device power specifications.
+//!
+//! Formula (1) needs, per power level `l`, the *maximal dynamic* power of
+//! each device class: `P_x(l)` for each CPU unit, `P_mem(l)` and `P_NIC(l)`.
+//! These specs provide those tables. CPU dynamic power follows the CMOS
+//! `f·V²` scale from the node's DVFS ladder; memory and NIC dynamic power
+//! are level-independent on the testbed (DVFS does not regulate them — the
+//! paper notes all non-CPU devices are only *indirectly* managed through
+//! the processor), but carry a small coupling factor so the model can
+//! express platforms where they do scale.
+
+use crate::freq::{FrequencyLadder, Level};
+use serde::{Deserialize, Serialize};
+
+/// CPU package specification (per node: `sockets` identical packages).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Number of sockets (each a Formula-1 "CPU unit" `x ∈ CPU`).
+    pub sockets: u32,
+    /// Cores per socket (informational; used by the scheduler for slot
+    /// counting, not by the power model).
+    pub cores_per_socket: u32,
+    /// Maximal dynamic power of one socket at the top level, in watts
+    /// (gap between its maximal and idle power, per the paper).
+    pub max_dynamic_w_per_socket: f64,
+}
+
+impl CpuSpec {
+    /// Maximal dynamic power of one socket at `level`, in watts.
+    pub fn socket_dynamic_w(&self, ladder: &FrequencyLadder, level: Level) -> f64 {
+        self.max_dynamic_w_per_socket * ladder.dynamic_scale(level)
+    }
+
+    /// `Σ_{x ∈ CPU} P_x(l)` — all sockets' maximal dynamic power at `level`.
+    pub fn total_dynamic_w(&self, ladder: &FrequencyLadder, level: Level) -> f64 {
+        self.sockets as f64 * self.socket_dynamic_w(ladder, level)
+    }
+
+    /// Total hardware threads (scheduling slots) on the node.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+/// Memory subsystem specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSpec {
+    /// Total installed memory, in bytes (`Mem_total`).
+    pub total_bytes: u64,
+    /// Maximal dynamic power of all memory devices, in watts (`P_mem`).
+    pub max_dynamic_w: f64,
+    /// Fraction of memory dynamic power that scales with the CPU level
+    /// (0 = fully level-independent, the testbed default).
+    pub level_coupling: f64,
+}
+
+impl MemSpec {
+    /// `P_mem(l)` in watts.
+    pub fn dynamic_w(&self, ladder: &FrequencyLadder, level: Level) -> f64 {
+        let coupled = self.level_coupling.clamp(0.0, 1.0);
+        self.max_dynamic_w * ((1.0 - coupled) + coupled * ladder.dynamic_scale(level))
+    }
+}
+
+/// Communication device (interconnect NIC) specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Link bandwidth in bytes per second (`BW_NIC`).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Maximal dynamic power, in watts (`P_NIC`).
+    pub max_dynamic_w: f64,
+    /// Fraction of NIC dynamic power that scales with the CPU level.
+    pub level_coupling: f64,
+}
+
+impl NicSpec {
+    /// `P_NIC(l)` in watts.
+    pub fn dynamic_w(&self, ladder: &FrequencyLadder, level: Level) -> f64 {
+        let coupled = self.level_coupling.clamp(0.0, 1.0);
+        self.max_dynamic_w * ((1.0 - coupled) + coupled * ladder.dynamic_scale(level))
+    }
+
+    /// Maximal bytes the NIC can move in a sampling interval of `tau_secs`
+    /// (`τ · BW_NIC`), used to normalize `Data_NIC`.
+    pub fn interval_capacity_bytes(&self, tau_secs: f64) -> f64 {
+        self.bandwidth_bytes_per_sec * tau_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> FrequencyLadder {
+        FrequencyLadder::xeon_x5670()
+    }
+
+    fn cpu() -> CpuSpec {
+        CpuSpec {
+            sockets: 2,
+            cores_per_socket: 6,
+            max_dynamic_w_per_socket: 65.0,
+        }
+    }
+
+    #[test]
+    fn cpu_dynamic_tops_out_at_spec() {
+        let l = ladder();
+        let c = cpu();
+        let top = c.total_dynamic_w(&l, l.highest());
+        assert!((top - 130.0).abs() < 1e-9);
+        assert_eq!(c.total_cores(), 12);
+    }
+
+    #[test]
+    fn cpu_dynamic_is_monotone_in_level() {
+        let l = ladder();
+        let c = cpu();
+        let mut prev = 0.0;
+        for level in l.levels() {
+            let p = c.total_dynamic_w(&l, level);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn uncoupled_memory_power_ignores_level() {
+        let l = ladder();
+        let m = MemSpec {
+            total_bytes: 24 << 30,
+            max_dynamic_w: 36.0,
+            level_coupling: 0.0,
+        };
+        assert_eq!(m.dynamic_w(&l, Level::LOWEST), 36.0);
+        assert_eq!(m.dynamic_w(&l, l.highest()), 36.0);
+    }
+
+    #[test]
+    fn coupled_memory_power_scales() {
+        let l = ladder();
+        let m = MemSpec {
+            total_bytes: 24 << 30,
+            max_dynamic_w: 36.0,
+            level_coupling: 0.5,
+        };
+        let low = m.dynamic_w(&l, Level::LOWEST);
+        let high = m.dynamic_w(&l, l.highest());
+        assert!(low < high);
+        assert!((high - 36.0).abs() < 1e-9, "top level must reach max");
+        assert!(low > 18.0, "uncoupled half stays");
+    }
+
+    #[test]
+    fn nic_interval_capacity() {
+        let n = NicSpec {
+            bandwidth_bytes_per_sec: 5.0e9,
+            max_dynamic_w: 15.0,
+            level_coupling: 0.0,
+        };
+        assert_eq!(n.interval_capacity_bytes(2.0), 1.0e10);
+    }
+
+    #[test]
+    fn coupling_is_clamped() {
+        let l = ladder();
+        let m = MemSpec {
+            total_bytes: 1,
+            max_dynamic_w: 10.0,
+            level_coupling: 7.0, // out of range; clamps to 1.0
+        };
+        let low = m.dynamic_w(&l, Level::LOWEST);
+        assert!((low - 10.0 * l.dynamic_scale(Level::LOWEST)).abs() < 1e-9);
+    }
+}

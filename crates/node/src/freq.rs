@@ -1,0 +1,282 @@
+//! The discrete DVFS ladder.
+//!
+//! The paper throttles a node by stepping its processor frequency down one
+//! level at a time; "node power state `l`" and "frequency level" are the
+//! same thing on the testbed. [`Level`] 0 is the *lowest* frequency (lowest
+//! power, the paper's "lowest power state"); the highest index is the
+//! unthrottled state.
+
+use serde::{Deserialize, Serialize};
+
+/// A power/frequency level index. Level 0 is the lowest-power state.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Level(u8);
+
+impl Level {
+    /// The lowest power state.
+    pub const LOWEST: Level = Level(0);
+
+    /// Builds a level from a raw index.
+    pub const fn new(idx: u8) -> Self {
+        Level(idx)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// One level lower (toward less power), or `None` at the bottom.
+    pub fn down(self) -> Option<Level> {
+        self.0.checked_sub(1).map(Level)
+    }
+
+    /// One level higher (toward more performance). Unbounded here; ladders
+    /// validate against their own height.
+    pub fn up(self) -> Level {
+        Level(self.0 + 1)
+    }
+}
+
+/// One rung of the ladder: an operating frequency and its core voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Core voltage in volts.
+    pub voltage_v: f64,
+}
+
+/// An ordered set of operating points, lowest frequency first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyLadder {
+    points: Vec<OperatingPoint>,
+}
+
+impl FrequencyLadder {
+    /// Builds a ladder from points ordered lowest-frequency-first.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 points are given (the paper's Controllability
+    /// assumption requires `l > 1` states), if frequencies are not strictly
+    /// increasing, or if any frequency/voltage is non-positive.
+    pub fn new(points: Vec<OperatingPoint>) -> Self {
+        assert!(
+            points.len() >= 2,
+            "controllability requires at least two power levels"
+        );
+        for w in points.windows(2) {
+            assert!(
+                w[1].freq_ghz > w[0].freq_ghz,
+                "ladder frequencies must be strictly increasing"
+            );
+        }
+        for p in &points {
+            assert!(
+                p.freq_ghz > 0.0 && p.voltage_v > 0.0,
+                "frequencies and voltages must be positive"
+            );
+        }
+        FrequencyLadder { points }
+    }
+
+    /// The Intel Xeon X5670 ladder used on the Tianhe-1A testbed: ten
+    /// working frequencies from 1.60 GHz to 2.93 GHz (multiples of the
+    /// 133 MHz bus clock), with a linear voltage ramp 0.85 V → 1.20 V.
+    pub fn xeon_x5670() -> Self {
+        const FREQS: [f64; 10] = [1.60, 1.73, 1.86, 2.00, 2.13, 2.26, 2.40, 2.53, 2.66, 2.93];
+        let f_min = FREQS[0];
+        let f_max = FREQS[9];
+        let points = FREQS
+            .iter()
+            .map(|&f| OperatingPoint {
+                freq_ghz: f,
+                voltage_v: 0.85 + (1.20 - 0.85) * (f - f_min) / (f_max - f_min),
+            })
+            .collect();
+        FrequencyLadder::new(points)
+    }
+
+    /// The Intel Xeon X5650 ladder (2.66 GHz part): seven working
+    /// frequencies, same 133 MHz bus granularity, lower ceiling. Used for
+    /// heterogeneous-cluster experiments — Algorithm 1 explicitly supports
+    /// nodes with different ladder heights.
+    pub fn xeon_x5650() -> Self {
+        const FREQS: [f64; 7] = [1.60, 1.73, 1.86, 2.00, 2.26, 2.40, 2.66];
+        let f_min = FREQS[0];
+        let f_max = FREQS[6];
+        let points = FREQS
+            .iter()
+            .map(|&f| OperatingPoint {
+                freq_ghz: f,
+                voltage_v: 0.85 + (1.15 - 0.85) * (f - f_min) / (f_max - f_min),
+            })
+            .collect();
+        FrequencyLadder::new(points)
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Ladders are never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The highest (unthrottled) level.
+    pub fn highest(&self) -> Level {
+        Level((self.points.len() - 1) as u8)
+    }
+
+    /// The lowest level.
+    pub fn lowest(&self) -> Level {
+        Level::LOWEST
+    }
+
+    /// True if `level` exists on this ladder.
+    pub fn contains(&self, level: Level) -> bool {
+        level.index() < self.points.len()
+    }
+
+    /// The operating point at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is off the ladder.
+    pub fn point(&self, level: Level) -> OperatingPoint {
+        self.points[level.index()]
+    }
+
+    /// Frequency at `level`, in GHz.
+    pub fn freq_ghz(&self, level: Level) -> f64 {
+        self.point(level).freq_ghz
+    }
+
+    /// Maximum frequency (top level), in GHz.
+    pub fn max_freq_ghz(&self) -> f64 {
+        self.points[self.points.len() - 1].freq_ghz
+    }
+
+    /// Relative speed of `level` vs. the top level (`f_l / f_max`), in (0, 1].
+    pub fn relative_speed(&self, level: Level) -> f64 {
+        self.freq_ghz(level) / self.max_freq_ghz()
+    }
+
+    /// The switching-energy proxy `f · V²` at `level`, normalized so the top
+    /// level is 1.0. CMOS dynamic power scales with `C·f·V²`; this factor
+    /// shapes every per-level dynamic power table.
+    pub fn dynamic_scale(&self, level: Level) -> f64 {
+        let p = self.point(level);
+        let top = self.points[self.points.len() - 1];
+        (p.freq_ghz * p.voltage_v * p.voltage_v) / (top.freq_ghz * top.voltage_v * top.voltage_v)
+    }
+
+    /// Iterates over all levels, lowest first.
+    pub fn levels(&self) -> impl Iterator<Item = Level> + '_ {
+        (0..self.points.len()).map(|i| Level(i as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn x5670_has_ten_levels_with_correct_endpoints() {
+        let ladder = FrequencyLadder::xeon_x5670();
+        assert_eq!(ladder.len(), 10);
+        assert_eq!(ladder.freq_ghz(Level::LOWEST), 1.60);
+        assert_eq!(ladder.freq_ghz(ladder.highest()), 2.93);
+        assert_eq!(ladder.max_freq_ghz(), 2.93);
+        assert_eq!(ladder.highest(), Level::new(9));
+    }
+
+    #[test]
+    fn level_up_down() {
+        let l = Level::new(3);
+        assert_eq!(l.down(), Some(Level::new(2)));
+        assert_eq!(l.up(), Level::new(4));
+        assert_eq!(Level::LOWEST.down(), None);
+    }
+
+    #[test]
+    fn dynamic_scale_is_monotone_and_normalized() {
+        let ladder = FrequencyLadder::xeon_x5670();
+        let scales: Vec<f64> = ladder.levels().map(|l| ladder.dynamic_scale(l)).collect();
+        for w in scales.windows(2) {
+            assert!(w[1] > w[0], "dynamic scale must grow with level");
+        }
+        assert!((scales[9] - 1.0).abs() < 1e-12);
+        // Bottom level draws roughly (1.6/2.93)·(0.85/1.2)² ≈ 27% of top.
+        assert!(scales[0] > 0.2 && scales[0] < 0.35, "scale[0]={}", scales[0]);
+    }
+
+    #[test]
+    fn relative_speed_spans_expected_range() {
+        let ladder = FrequencyLadder::xeon_x5670();
+        assert!((ladder.relative_speed(ladder.highest()) - 1.0).abs() < 1e-12);
+        let low = ladder.relative_speed(Level::LOWEST);
+        assert!((low - 1.60 / 2.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let ladder = FrequencyLadder::xeon_x5670();
+        assert!(ladder.contains(Level::new(0)));
+        assert!(ladder.contains(Level::new(9)));
+        assert!(!ladder.contains(Level::new(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_level_ladder_rejected() {
+        FrequencyLadder::new(vec![OperatingPoint {
+            freq_ghz: 1.0,
+            voltage_v: 1.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_ladder_rejected() {
+        FrequencyLadder::new(vec![
+            OperatingPoint {
+                freq_ghz: 2.0,
+                voltage_v: 1.0,
+            },
+            OperatingPoint {
+                freq_ghz: 1.0,
+                voltage_v: 1.0,
+            },
+        ]);
+    }
+
+    proptest! {
+        /// On any valid ladder, relative speed and dynamic scale are
+        /// monotone in level and bounded by (0, 1].
+        #[test]
+        fn prop_ladder_monotonicity(n in 2usize..16, base in 0.5f64..2.0, step in 0.05f64..0.5) {
+            let points: Vec<OperatingPoint> = (0..n)
+                .map(|i| OperatingPoint {
+                    freq_ghz: base + step * i as f64,
+                    voltage_v: 0.8 + 0.04 * i as f64,
+                })
+                .collect();
+            let ladder = FrequencyLadder::new(points);
+            let mut prev_speed = 0.0;
+            let mut prev_scale = 0.0;
+            for l in ladder.levels() {
+                let s = ladder.relative_speed(l);
+                let d = ladder.dynamic_scale(l);
+                prop_assert!(s > prev_speed && s <= 1.0 + 1e-12);
+                prop_assert!(d > prev_scale && d <= 1.0 + 1e-12);
+                prev_speed = s;
+                prev_scale = d;
+            }
+        }
+    }
+}

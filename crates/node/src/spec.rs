@@ -1,0 +1,231 @@
+//! Node model presets.
+//!
+//! A [`NodeSpec`] bundles the DVFS ladder, device specs, idle curve and the
+//! calibrated power table; [`NodeSpec::tianhe_1a`] reproduces the paper's
+//! testbed node (one Tianhe-1A main board: 2× Intel Xeon X5670, 6 cores
+//! each, 6× 4 GB DDR3 per socket, Tianhe-1A interconnect chipset).
+
+use crate::calibration::{IdleCurve, PowerTable};
+use crate::device::{CpuSpec, MemSpec, NicSpec};
+use crate::freq::FrequencyLadder;
+use crate::profile::PowerModel;
+use crate::thermal::ThermalSpec;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Complete specification of one node model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Human-readable model name.
+    pub name: String,
+    /// DVFS ladder.
+    pub ladder: FrequencyLadder,
+    /// CPU package spec.
+    pub cpu: CpuSpec,
+    /// Memory spec.
+    pub mem: MemSpec,
+    /// NIC spec.
+    pub nic: NicSpec,
+    /// Idle-power curve.
+    pub idle: IdleCurve,
+    /// Optional thermal model (RC die temperature + leakage feedback).
+    /// `None` reproduces the paper's temperature-independent Formula (1).
+    pub thermal: Option<ThermalSpec>,
+}
+
+impl NodeSpec {
+    /// The Tianhe-1A main-board node of the paper's experiment environment.
+    ///
+    /// * 2 × Intel Xeon X5670 (6 cores each, DVFS 1.60–2.93 GHz in 10 steps)
+    /// * 12 × 4 GB DDR3-1333 (24 GB total; the paper's "DDR3-133" with
+    ///   "capacity of each memory device is 4GB", 6 devices per processor)
+    /// * Tianhe-1A proprietary interconnect chipset (~40 Gb/s class link)
+    ///
+    /// Power calibration: 95 W TDP per socket split into ~30 W idle/leakage
+    /// and ~65 W max dynamic; board + fans + DRAM floor of 130 W. This puts
+    /// the node envelope at ≈145 W (idle, lowest level) to ≈341 W (full
+    /// load, top level) — consistent with dual-socket Westmere-EP servers.
+    pub fn tianhe_1a() -> Self {
+        NodeSpec {
+            name: "Tianhe-1A node (2x Xeon X5670)".to_string(),
+            ladder: FrequencyLadder::xeon_x5670(),
+            cpu: CpuSpec {
+                sockets: 2,
+                cores_per_socket: 6,
+                max_dynamic_w_per_socket: 65.0,
+            },
+            mem: MemSpec {
+                total_bytes: 24 << 30,
+                max_dynamic_w: 36.0,
+                level_coupling: 0.0,
+            },
+            nic: NicSpec {
+                bandwidth_bytes_per_sec: 5.0e9,
+                max_dynamic_w: 15.0,
+                level_coupling: 0.0,
+            },
+            idle: IdleCurve {
+                base_w: 130.0,
+                leakage_at_top_w: 30.0,
+            },
+            thermal: None,
+        }
+    }
+
+    /// The Tianhe-1A node with the air-cooled thermal model enabled
+    /// (extension experiments; see `ppc-node::thermal`).
+    pub fn tianhe_1a_thermal() -> Self {
+        NodeSpec {
+            thermal: Some(ThermalSpec::air_cooled_1u()),
+            ..Self::tianhe_1a()
+        }
+    }
+
+    /// A Tianhe-1A-era node built on the Xeon X5650 (2.66 GHz, 7 DVFS
+    /// levels, 85 W per socket): the second flavor of a heterogeneous
+    /// partition. Same core count as the X5670 node, so rank placement is
+    /// uniform; ladder height and power envelope differ.
+    pub fn tianhe_1a_x5650() -> Self {
+        NodeSpec {
+            name: "Tianhe-1A node (2x Xeon X5650)".to_string(),
+            ladder: FrequencyLadder::xeon_x5650(),
+            cpu: CpuSpec {
+                sockets: 2,
+                cores_per_socket: 6,
+                max_dynamic_w_per_socket: 58.0,
+            },
+            mem: MemSpec {
+                total_bytes: 24 << 30,
+                max_dynamic_w: 36.0,
+                level_coupling: 0.0,
+            },
+            nic: NicSpec {
+                bandwidth_bytes_per_sec: 5.0e9,
+                max_dynamic_w: 15.0,
+                level_coupling: 0.0,
+            },
+            idle: IdleCurve {
+                base_w: 128.0,
+                leakage_at_top_w: 26.0,
+            },
+            thermal: None,
+        }
+    }
+
+    /// A small 4-level "mini" node used by fast tests and the quickstart
+    /// example: same structure, smaller envelope.
+    pub fn mini() -> Self {
+        use crate::freq::OperatingPoint;
+        let points = vec![
+            OperatingPoint {
+                freq_ghz: 1.0,
+                voltage_v: 0.8,
+            },
+            OperatingPoint {
+                freq_ghz: 1.5,
+                voltage_v: 0.9,
+            },
+            OperatingPoint {
+                freq_ghz: 2.0,
+                voltage_v: 1.0,
+            },
+            OperatingPoint {
+                freq_ghz: 2.5,
+                voltage_v: 1.1,
+            },
+        ];
+        NodeSpec {
+            name: "mini 4-level node".to_string(),
+            ladder: FrequencyLadder::new(points),
+            cpu: CpuSpec {
+                sockets: 1,
+                cores_per_socket: 4,
+                max_dynamic_w_per_socket: 40.0,
+            },
+            mem: MemSpec {
+                total_bytes: 8 << 30,
+                max_dynamic_w: 10.0,
+                level_coupling: 0.0,
+            },
+            nic: NicSpec {
+                bandwidth_bytes_per_sec: 1.0e9,
+                max_dynamic_w: 5.0,
+                level_coupling: 0.0,
+            },
+            idle: IdleCurve {
+                base_w: 40.0,
+                leakage_at_top_w: 10.0,
+            },
+            thermal: None,
+        }
+    }
+
+    /// Calibrates the per-level power table for this spec.
+    pub fn calibrate(&self) -> PowerTable {
+        PowerTable::calibrate(&self.ladder, &self.idle, &self.cpu, &self.mem, &self.nic)
+    }
+
+    /// Builds the Formula-(1) evaluator for this spec at sampling interval
+    /// `tau_secs`, wrapped in an [`Arc`] so hundreds of identical nodes
+    /// share one table.
+    pub fn power_model(&self, tau_secs: f64) -> Arc<PowerModel> {
+        Arc::new(PowerModel::new(
+            self.calibrate(),
+            self.mem.total_bytes,
+            self.nic.clone(),
+            tau_secs,
+        ))
+    }
+
+    /// Scheduling slots (total cores) per node.
+    pub fn cores(&self) -> u32 {
+        self.cpu.total_cores()
+    }
+
+    /// Theoretical maximal power of one node (contribution to `P_thy`).
+    pub fn theoretical_max_w(&self) -> f64 {
+        self.calibrate().max_power_w(self.ladder.highest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tianhe_node_matches_paper_hardware() {
+        let spec = NodeSpec::tianhe_1a();
+        assert_eq!(spec.ladder.len(), 10);
+        assert_eq!(spec.cores(), 12);
+        assert_eq!(spec.mem.total_bytes, 24 << 30);
+        let peak = spec.theoretical_max_w();
+        assert!((300.0..380.0).contains(&peak), "peak={peak}");
+    }
+
+    #[test]
+    fn mini_node_is_small_but_valid() {
+        let spec = NodeSpec::mini();
+        assert_eq!(spec.ladder.len(), 4);
+        assert_eq!(spec.cores(), 4);
+        assert!(spec.theoretical_max_w() < 120.0);
+    }
+
+    #[test]
+    fn x5650_node_is_a_valid_second_flavor() {
+        let a = NodeSpec::tianhe_1a();
+        let b = NodeSpec::tianhe_1a_x5650();
+        assert_eq!(b.ladder.len(), 7);
+        assert_eq!(a.cores(), b.cores(), "uniform rank placement requires equal cores");
+        assert!(b.theoretical_max_w() < a.theoretical_max_w());
+        assert_eq!(b.ladder.max_freq_ghz(), 2.66);
+    }
+
+    #[test]
+    fn power_model_shares_table() {
+        let spec = NodeSpec::tianhe_1a();
+        let m1 = spec.power_model(1.0);
+        let m2 = Arc::clone(&m1);
+        assert_eq!(m1.table(), m2.table());
+        assert_eq!(m1.tau_secs(), 1.0);
+    }
+}

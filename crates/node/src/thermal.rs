@@ -1,0 +1,260 @@
+//! Node thermal model (paper §I motivation, implemented as an extension).
+//!
+//! The paper's introduction grounds power capping in thermals: "the
+//! failure rate of a computing node doubles with every 10 °C increase in
+//! the temperature" (Feng), and "a computer chipset with higher
+//! temperatures consumes more power while running identical computations
+//! at the same performance state" (Sarood & Kalé) — a positive feedback
+//! loop between temperature and power. This module provides both halves:
+//!
+//! * a first-order RC thermal model — heat capacity `C_th` charged by the
+//!   node's power draw, discharged through a thermal resistance `R_th` to
+//!   the ambient (machine-room) temperature:
+//!   `C·dT/dt = P(t) − (T − T_amb)/R`;
+//! * temperature-dependent leakage: idle/static power grows linearly with
+//!   die temperature above the calibration point, closing the loop;
+//! * the failure-rate metric: `2^((T − T_ref)/10)`, whose time integral
+//!   quantifies the reliability cost of running hot — exactly what the
+//!   ΔP×T metric tracks on the power side.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal parameters of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSpec {
+    /// Machine-room ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Thermal resistance junction→ambient, °C per watt.
+    pub r_th_c_per_w: f64,
+    /// Thermal capacitance, joules per °C.
+    pub c_th_j_per_c: f64,
+    /// Leakage growth per °C above the calibration temperature, as a
+    /// fraction of the calibrated idle power (e.g. 0.004 = +0.4 %/°C).
+    pub leakage_per_c: f64,
+    /// Temperature at which the power tables were calibrated, °C.
+    pub calibration_c: f64,
+}
+
+impl ThermalSpec {
+    /// Parameters representative of a dual-socket air-cooled 1U node:
+    /// 25 °C room, ≈0.19 °C/W to ambient (≈65 °C hot at 340 W load,
+    /// ≈53 °C at 145 W idle), ≈20 kJ/°C lumped capacity (minutes-scale
+    /// time constant), +0.4 %/°C leakage.
+    pub fn air_cooled_1u() -> Self {
+        ThermalSpec {
+            ambient_c: 25.0,
+            r_th_c_per_w: 0.118,
+            c_th_j_per_c: 20_000.0,
+            leakage_per_c: 0.004,
+            calibration_c: 45.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    /// Panics on non-physical values.
+    pub fn validate(&self) {
+        assert!(self.r_th_c_per_w > 0.0, "thermal resistance must be positive");
+        assert!(self.c_th_j_per_c > 0.0, "thermal capacitance must be positive");
+        assert!(self.leakage_per_c >= 0.0, "leakage slope cannot be negative");
+        assert!(
+            self.ambient_c > -50.0 && self.ambient_c < 60.0,
+            "implausible ambient temperature {}",
+            self.ambient_c
+        );
+    }
+
+    /// Steady-state temperature at constant power `p_w`, °C.
+    pub fn steady_state_c(&self, p_w: f64) -> f64 {
+        self.ambient_c + p_w * self.r_th_c_per_w
+    }
+
+    /// Thermal time constant `R·C`, seconds.
+    pub fn time_constant_secs(&self) -> f64 {
+        self.r_th_c_per_w * self.c_th_j_per_c
+    }
+}
+
+/// The evolving thermal state of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    spec: ThermalSpec,
+    temperature_c: f64,
+}
+
+impl ThermalState {
+    /// Starts at ambient temperature.
+    pub fn new(spec: ThermalSpec) -> Self {
+        spec.validate();
+        ThermalState {
+            temperature_c: spec.ambient_c,
+            spec,
+        }
+    }
+
+    /// Current die temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// The thermal parameters.
+    pub fn spec(&self) -> &ThermalSpec {
+        &self.spec
+    }
+
+    /// Advances the RC model by `dt_secs` at power draw `p_w`.
+    ///
+    /// Uses the exact exponential solution of the linear ODE for the
+    /// interval (unconditionally stable for any `dt`):
+    /// `T(t+dt) = T_ss + (T(t) − T_ss)·exp(−dt/RC)`.
+    pub fn advance(&mut self, p_w: f64, dt_secs: f64) {
+        assert!(dt_secs >= 0.0, "time cannot run backwards");
+        assert!(p_w >= 0.0, "power cannot be negative");
+        let t_ss = self.spec.steady_state_c(p_w);
+        let tau = self.spec.time_constant_secs();
+        let decay = (-dt_secs / tau).exp();
+        self.temperature_c = t_ss + (self.temperature_c - t_ss) * decay;
+    }
+
+    /// Extra leakage power at the current temperature, in watts, given
+    /// the node's calibrated idle power. Positive above the calibration
+    /// temperature, clamped at zero below it (cooler-than-calibration
+    /// savings are real but small; clamping keeps the power tables a
+    /// conservative lower bound).
+    pub fn leakage_excess_w(&self, calibrated_idle_w: f64) -> f64 {
+        let dt = self.temperature_c - self.spec.calibration_c;
+        (calibrated_idle_w * self.spec.leakage_per_c * dt).max(0.0)
+    }
+
+    /// Relative failure rate vs. the reference temperature: doubles every
+    /// 10 °C (Feng's rule, paper §I).
+    pub fn relative_failure_rate(&self, reference_c: f64) -> f64 {
+        2f64.powf((self.temperature_c - reference_c) / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state() -> ThermalState {
+        ThermalState::new(ThermalSpec::air_cooled_1u())
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let s = state();
+        assert_eq!(s.temperature_c(), 25.0);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut s = state();
+        let p = 300.0;
+        let expected = s.spec().steady_state_c(p);
+        // Run ten time constants.
+        let tau = s.spec().time_constant_secs();
+        for _ in 0..100 {
+            s.advance(p, tau / 10.0);
+        }
+        assert!(
+            (s.temperature_c() - expected).abs() < 0.01,
+            "T={} expected={expected}",
+            s.temperature_c()
+        );
+        // Realistic envelope: ~60 °C at 300 W for the 1U parameters.
+        assert!((55.0..70.0).contains(&expected), "T_ss={expected}");
+    }
+
+    #[test]
+    fn cooling_after_load_removal() {
+        let mut s = state();
+        s.advance(340.0, 10_000.0); // fully hot (τ ≈ 2360 s)
+        let hot = s.temperature_c();
+        s.advance(0.0, 50_000.0); // > 20 τ: fully cooled
+        assert!(s.temperature_c() < hot);
+        assert!((s.temperature_c() - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exact_solution_is_step_size_independent() {
+        let p = 250.0;
+        let mut coarse = state();
+        coarse.advance(p, 600.0);
+        let mut fine = state();
+        for _ in 0..600 {
+            fine.advance(p, 1.0);
+        }
+        assert!(
+            (coarse.temperature_c() - fine.temperature_c()).abs() < 1e-9,
+            "exponential integrator must not depend on dt"
+        );
+    }
+
+    #[test]
+    fn leakage_feedback_is_clamped_below_calibration() {
+        let s = state(); // at 25 °C, calibration 45 °C
+        assert_eq!(s.leakage_excess_w(160.0), 0.0);
+        let mut hot = state();
+        hot.advance(340.0, 1e6);
+        // ≈65 °C: 20 °C over calibration → 160 W × 0.004/°C × 20 ≈ 12.8 W.
+        let excess = hot.leakage_excess_w(160.0);
+        assert!((10.0..16.0).contains(&excess), "excess={excess}");
+    }
+
+    #[test]
+    fn failure_rate_doubles_every_10c() {
+        let mut s = state();
+        s.advance(0.0, 1e9);
+        let base = s.relative_failure_rate(25.0);
+        assert!((base - 1.0).abs() < 1e-9);
+        s.advance(340.0, 1e9); // ≈65 °C
+        let hot = s.relative_failure_rate(25.0);
+        assert!(
+            (hot - 2f64.powf((s.temperature_c() - 25.0) / 10.0)).abs() < 1e-9
+        );
+        assert!(hot > 10.0, "40 °C hotter ⇒ >16× failure rate, got {hot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal resistance")]
+    fn invalid_spec_rejected() {
+        ThermalState::new(ThermalSpec {
+            r_th_c_per_w: 0.0,
+            ..ThermalSpec::air_cooled_1u()
+        });
+    }
+
+    proptest! {
+        /// Temperature stays within [ambient, steady-state(P_max)] for any
+        /// bounded power sequence, and is monotone in the power level.
+        #[test]
+        fn prop_temperature_bounded(
+            powers in proptest::collection::vec(0.0f64..400.0, 1..50),
+            dt in 1.0f64..600.0,
+        ) {
+            let mut s = state();
+            let hi = s.spec().steady_state_c(400.0);
+            for &p in &powers {
+                s.advance(p, dt);
+                prop_assert!(s.temperature_c() >= s.spec().ambient_c - 1e-9);
+                prop_assert!(s.temperature_c() <= hi + 1e-9);
+            }
+        }
+
+        /// More power ⇒ at least as hot, step by step.
+        #[test]
+        fn prop_monotone_in_power(p1 in 0.0f64..400.0, p2 in 0.0f64..400.0, dt in 1.0f64..600.0) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let mut a = state();
+            let mut b = state();
+            for _ in 0..20 {
+                a.advance(lo, dt);
+                b.advance(hi, dt);
+                prop_assert!(b.temperature_c() >= a.temperature_c() - 1e-9);
+            }
+        }
+    }
+}

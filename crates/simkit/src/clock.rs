@@ -1,0 +1,131 @@
+//! Fixed-timestep ticker.
+//!
+//! The cluster simulation advances node/job state on a fixed step `dt`
+//! (the paper's sampling interval τ), with the power-capping control loop
+//! running every `control_every` ticks and threshold adjustment every
+//! `t_p` control cycles. [`TickClock`] centralizes that bookkeeping so the
+//! simulation loop cannot drift or double-fire a cycle.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A fixed-step simulation clock with tick counting.
+#[derive(Debug, Clone)]
+pub struct TickClock {
+    now: SimTime,
+    dt: SimDuration,
+    tick: u64,
+}
+
+impl TickClock {
+    /// Creates a clock at t=0 advancing by `dt` per tick.
+    ///
+    /// # Panics
+    /// Panics if `dt` is zero.
+    pub fn new(dt: SimDuration) -> Self {
+        assert!(!dt.is_zero(), "tick step must be positive");
+        TickClock {
+            now: SimTime::ZERO,
+            dt,
+            tick: 0,
+        }
+    }
+
+    /// Current simulation time (time of the most recent completed tick; t=0
+    /// before the first `advance`).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The fixed step.
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
+    /// The step in float seconds (for power integration).
+    pub fn dt_secs(&self) -> f64 {
+        self.dt.as_secs_f64()
+    }
+
+    /// Number of completed ticks.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances one step and returns the new time.
+    pub fn advance(&mut self) -> SimTime {
+        self.tick += 1;
+        self.now += self.dt;
+        self.now
+    }
+
+    /// True on ticks that are a multiple of `period` (never on tick 0).
+    pub fn every(&self, period: u64) -> bool {
+        period > 0 && self.tick > 0 && self.tick % period == 0
+    }
+
+    /// Number of ticks needed to cover `span` (rounding up).
+    pub fn ticks_in(&self, span: SimDuration) -> u64 {
+        let ms = span.as_millis();
+        let dt = self.dt.as_millis();
+        ms.div_ceil(dt)
+    }
+
+    /// Resets to t=0, tick 0.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_by_dt() {
+        let mut c = TickClock::new(SimDuration::from_secs(1));
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.advance(), SimTime::from_secs(1));
+        assert_eq!(c.advance(), SimTime::from_secs(2));
+        assert_eq!(c.tick(), 2);
+    }
+
+    #[test]
+    fn every_fires_on_multiples_only() {
+        let mut c = TickClock::new(SimDuration::from_millis(500));
+        assert!(!c.every(2), "tick 0 must not fire");
+        let mut fired = Vec::new();
+        for _ in 0..8 {
+            c.advance();
+            if c.every(3) {
+                fired.push(c.tick());
+            }
+        }
+        assert_eq!(fired, vec![3, 6]);
+        assert!(!c.every(0), "period 0 never fires");
+    }
+
+    #[test]
+    fn ticks_in_rounds_up() {
+        let c = TickClock::new(SimDuration::from_secs(2));
+        assert_eq!(c.ticks_in(SimDuration::from_secs(10)), 5);
+        assert_eq!(c.ticks_in(SimDuration::from_secs(11)), 6);
+        assert_eq!(c.ticks_in(SimDuration::ZERO), 0);
+    }
+
+    #[test]
+    fn reset_returns_to_epoch() {
+        let mut c = TickClock::new(SimDuration::from_secs(1));
+        c.advance();
+        c.advance();
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.tick(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        TickClock::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,300 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The engine owns an [`EventQueue`] and a clock; user state lives outside
+//! and is threaded through the [`EventHandler`] callback. Handlers may
+//! schedule further events via the [`ScheduleHandle`] they receive, which is
+//! how periodic processes (sampling ticks, control cycles, job arrivals)
+//! re-arm themselves.
+
+use crate::error::SimError;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Capability handed to event handlers for scheduling follow-up events.
+///
+/// It only exposes *future* scheduling relative to the event being handled,
+/// which structurally prevents causality violations.
+pub struct ScheduleHandle<'q, E> {
+    now: SimTime,
+    queue: &'q mut EventQueue<E>,
+}
+
+impl<'q, E> ScheduleHandle<'q, E> {
+    /// The time of the event currently being processed.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current event.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute instant `at` (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduleInPast {
+                now_ms: self.now.as_millis(),
+                at_ms: at.as_millis(),
+            });
+        }
+        self.queue.push(at, event);
+        Ok(())
+    }
+}
+
+/// What the handler tells the engine after processing one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run immediately (remaining events stay queued).
+    Halt,
+}
+
+/// Event-processing callback: `(state, time-ordered event, scheduler)`.
+pub trait EventHandler<S, E> {
+    /// Handles one event, mutating `state` and optionally scheduling more.
+    fn handle(&mut self, state: &mut S, event: E, sched: &mut ScheduleHandle<'_, E>) -> Flow;
+}
+
+impl<S, E, F> EventHandler<S, E> for F
+where
+    F: FnMut(&mut S, E, &mut ScheduleHandle<'_, E>) -> Flow,
+{
+    fn handle(&mut self, state: &mut S, event: E, sched: &mut ScheduleHandle<'_, E>) -> Flow {
+        self(state, event, sched)
+    }
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulation time when the run stopped.
+    pub ended_at: SimTime,
+    /// Number of events processed.
+    pub events_processed: u64,
+    /// True if the handler requested a halt (vs. queue drained / horizon hit).
+    pub halted: bool,
+}
+
+/// The discrete-event engine.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    event_budget: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at t=0 with a generous default event budget.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events a run may process. A runaway
+    /// self-scheduling event then surfaces as [`SimError::EventBudgetExhausted`]
+    /// instead of an endless loop.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an initial event at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduleInPast {
+                now_ms: self.now.as_millis(),
+                at_ms: at.as_millis(),
+            });
+        }
+        self.queue.push(at, event);
+        Ok(())
+    }
+
+    /// Runs until the queue drains, the handler halts, or `horizon` is
+    /// passed (events strictly after `horizon` are left queued).
+    pub fn run_until<S, H>(
+        &mut self,
+        state: &mut S,
+        horizon: SimTime,
+        handler: &mut H,
+    ) -> Result<RunReport, SimError>
+    where
+        H: EventHandler<S, E>,
+    {
+        let mut processed = 0u64;
+        while let Some(at) = self.queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            if processed >= self.event_budget {
+                return Err(SimError::EventBudgetExhausted {
+                    budget: self.event_budget,
+                });
+            }
+            let (at, event) = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(at >= self.now, "event queue returned an out-of-order event");
+            self.now = at;
+            processed += 1;
+            let mut handle = ScheduleHandle {
+                now: at,
+                queue: &mut self.queue,
+            };
+            if handler.handle(state, event, &mut handle) == Flow::Halt {
+                return Ok(RunReport {
+                    ended_at: self.now,
+                    events_processed: processed,
+                    halted: true,
+                });
+            }
+        }
+        // A drained queue leaves `now` at the last processed event; a horizon
+        // stop advances the clock to the horizon so callers can resume.
+        if self.queue.peek_time().is_some() {
+            self.now = horizon;
+        }
+        Ok(RunReport {
+            ended_at: self.now,
+            events_processed: processed,
+            halted: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick,
+        Stop,
+    }
+
+    #[test]
+    fn periodic_event_self_reschedules() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(1), Ev::Tick).unwrap();
+        let mut count = 0u32;
+        let report = engine
+            .run_until(
+                &mut count,
+                SimTime::from_secs(10),
+                &mut |c: &mut u32, ev, sched: &mut ScheduleHandle<'_, Ev>| {
+                    assert_eq!(ev, Ev::Tick);
+                    *c += 1;
+                    sched.schedule_in(SimDuration::from_secs(1), Ev::Tick);
+                    Flow::Continue
+                },
+            )
+            .unwrap();
+        // Ticks at t=1..=10 inclusive.
+        assert_eq!(count, 10);
+        assert!(!report.halted);
+        assert_eq!(report.events_processed, 10);
+    }
+
+    #[test]
+    fn halt_stops_early() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(1), Ev::Tick).unwrap();
+        engine.schedule(SimTime::from_secs(2), Ev::Stop).unwrap();
+        engine.schedule(SimTime::from_secs(3), Ev::Tick).unwrap();
+        let mut seen = Vec::new();
+        let report = engine
+            .run_until(
+                &mut seen,
+                SimTime::from_secs(100),
+                &mut |s: &mut Vec<&'static str>, ev, _: &mut ScheduleHandle<'_, Ev>| match ev {
+                    Ev::Tick => {
+                        s.push("tick");
+                        Flow::Continue
+                    }
+                    Ev::Stop => Flow::Halt,
+                },
+            )
+            .unwrap();
+        assert!(report.halted);
+        assert_eq!(report.ended_at, SimTime::from_secs(2));
+        assert_eq!(seen, vec!["tick"]);
+        assert_eq!(engine.pending(), 1, "post-halt events remain queued");
+    }
+
+    #[test]
+    fn horizon_leaves_future_events_queued() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(5), Ev::Tick).unwrap();
+        engine.schedule(SimTime::from_secs(50), Ev::Tick).unwrap();
+        let mut count = 0u32;
+        let report = engine
+            .run_until(
+                &mut count,
+                SimTime::from_secs(10),
+                &mut |c: &mut u32, _, _: &mut ScheduleHandle<'_, Ev>| {
+                    *c += 1;
+                    Flow::Continue
+                },
+            )
+            .unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(report.ended_at, SimTime::from_secs(10));
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn schedule_in_past_rejected() {
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.schedule(SimTime::from_secs(5), Ev::Tick).unwrap();
+        let mut unit = ();
+        engine
+            .run_until(
+                &mut unit,
+                SimTime::from_secs(5),
+                &mut |_: &mut (), _, sched: &mut ScheduleHandle<'_, Ev>| {
+                    let err = sched.schedule_at(SimTime::from_secs(1), Ev::Tick);
+                    assert!(matches!(err, Err(SimError::ScheduleInPast { .. })));
+                    Flow::Continue
+                },
+            )
+            .unwrap();
+        let err = engine.schedule(SimTime::from_secs(1), Ev::Tick);
+        assert!(matches!(err, Err(SimError::ScheduleInPast { .. })));
+    }
+
+    #[test]
+    fn event_budget_catches_runaway() {
+        let mut engine = Engine::new().with_event_budget(100);
+        engine.schedule(SimTime::ZERO, Ev::Tick).unwrap();
+        let mut unit = ();
+        let err = engine.run_until(
+            &mut unit,
+            SimTime::MAX,
+            &mut |_: &mut (), _, sched: &mut ScheduleHandle<'_, Ev>| {
+                sched.schedule_in(SimDuration::ZERO, Ev::Tick);
+                Flow::Continue
+            },
+        );
+        assert_eq!(err, Err(SimError::EventBudgetExhausted { budget: 100 }));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type shared by the simulation substrate.
+
+use std::fmt;
+
+/// Errors raised by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An event was scheduled in the past relative to the engine clock.
+    ScheduleInPast {
+        /// Current engine time.
+        now_ms: u64,
+        /// Requested (earlier) event time.
+        at_ms: u64,
+    },
+    /// The engine ran past its configured event budget — almost always a
+    /// runaway self-rescheduling event.
+    EventBudgetExhausted {
+        /// The configured budget that was exceeded.
+        budget: u64,
+    },
+    /// A component was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleInPast { now_ms, at_ms } => write!(
+                f,
+                "event scheduled in the past: now={now_ms}ms, requested={at_ms}ms"
+            ),
+            SimError::EventBudgetExhausted { budget } => {
+                write!(f, "event budget of {budget} events exhausted")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ScheduleInPast {
+            now_ms: 100,
+            at_ms: 50,
+        };
+        assert!(e.to_string().contains("now=100ms"));
+        assert!(SimError::EventBudgetExhausted { budget: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(SimError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

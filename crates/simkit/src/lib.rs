@@ -1,0 +1,45 @@
+//! # ppc-simkit — deterministic simulation substrate
+//!
+//! This crate provides the foundations every other `ppc` crate builds on:
+//!
+//! * [`time`] — fixed-point simulation time ([`SimTime`], [`SimDuration`])
+//!   with millisecond resolution, so event ordering is exact and
+//!   platform-independent (no floating-point clock drift).
+//! * [`queue`] / [`engine`] — a discrete-event queue with stable FIFO
+//!   ordering for simultaneous events and a small DES engine driving it.
+//! * [`clock`] — a fixed-timestep ticker used by the cluster simulation's
+//!   control/sampling cycles.
+//! * [`rng`] — splittable, seeded random-number streams. Every source of
+//!   randomness in a simulation derives its own independent stream from the
+//!   experiment seed, which keeps runs bit-reproducible even when node
+//!   updates execute in parallel.
+//! * [`par`] — data-parallel helpers built on `crossbeam` scoped threads
+//!   (ordered results, deterministic reductions).
+//! * [`series`] — append-only time series with trapezoid/step integration,
+//!   used for power traces and the ΔP×T overspend metric.
+//! * [`stats`] — running statistics (Welford) and fixed-bin histograms.
+//!
+//! Nothing in this crate knows about power, nodes or jobs; it is a generic
+//! substrate comparable to what a production simulator would keep in a
+//! `util`/`runtime` layer.
+
+pub mod clock;
+pub mod engine;
+pub mod error;
+pub mod journal;
+pub mod par;
+pub mod queue;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use clock::TickClock;
+pub use engine::{Engine, EventHandler, ScheduleHandle};
+pub use error::SimError;
+pub use journal::{Event, Journal, Severity};
+pub use queue::EventQueue;
+pub use rng::{DetRng, RngFactory};
+pub use series::TimeSeries;
+pub use stats::{Histogram, RunningStats};
+pub use time::{SimDuration, SimTime};

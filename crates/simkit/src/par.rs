@@ -1,0 +1,173 @@
+//! Data-parallel helpers on crossbeam scoped threads.
+//!
+//! The cluster simulation advances hundreds of independent node states per
+//! tick and samples them through per-node agents — classic data-parallel
+//! work. These helpers follow the Rayon model (split, work-steal-free static
+//! chunking, ordered results) without pulling in a full work-stealing
+//! runtime: chunk boundaries are deterministic, outputs are written to
+//! pre-assigned slots, and reductions fold in index order, so parallel runs
+//! are bit-identical to sequential ones.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// tiny inputs do not pay spawn overhead.
+fn worker_count(items: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(items).min(32)
+}
+
+/// Applies `f` to every element in parallel, in place.
+///
+/// Deterministic: chunking is static and `f` receives `(global_index, item)`.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers == 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = ci * chunk;
+                for (j, item) in slice.iter_mut().enumerate() {
+                    f(base + j, item);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Maps every element in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    crossbeam::scope(|scope| {
+        let in_chunks = items.chunks(chunk);
+        let out_chunks = out.chunks_mut(chunk);
+        for (ci, (ins, outs)) in in_chunks.zip(out_chunks).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = ci * chunk;
+                for (j, item) in ins.iter().enumerate() {
+                    outs[j] = Some(f(base + j, item));
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    out.into_iter()
+        .map(|slot| slot.expect("every slot must be written"))
+        .collect()
+}
+
+/// Parallel map followed by an ordered sequential fold.
+///
+/// The fold runs over per-item results in index order, so non-commutative
+/// accumulation (or floating-point summation) gives the same answer as a
+/// sequential loop.
+pub fn par_map_reduce<T, U, A, M, R>(items: &[T], map: M, init: A, mut reduce: R) -> A
+where
+    T: Sync,
+    U: Send,
+    M: Fn(usize, &T) -> U + Sync,
+    R: FnMut(A, U) -> A,
+{
+    let mapped = par_map(items, map);
+    let mut acc = init;
+    for u in mapped {
+        acc = reduce(acc, u);
+    }
+    acc
+}
+
+/// Deterministic parallel sum of `f` over `items` (ordered accumulation).
+pub fn par_sum_f64<T, F>(items: &[T], f: F) -> f64
+where
+    T: Sync,
+    F: Fn(usize, &T) -> f64 + Sync,
+{
+    par_map_reduce(items, f, 0.0, |acc, x| acc + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        par_for_each_mut(&mut v, |i, x| {
+            assert_eq!(*x, i as u64, "index passed to closure must be global");
+            *x += 1;
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn for_each_mut_handles_empty_and_single() {
+        let mut empty: Vec<u8> = vec![];
+        par_for_each_mut(&mut empty, |_, _| panic!("must not be called"));
+        let mut one = vec![5u8];
+        par_for_each_mut(&mut one, |i, x| {
+            assert_eq!(i, 0);
+            *x = 9;
+        });
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..5_000).collect();
+        let doubled = par_map(&v, |_, &x| x * 2);
+        assert_eq!(doubled.len(), v.len());
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential_float_sum() {
+        // Floating-point addition is non-associative; ordered reduction must
+        // agree exactly with the sequential result.
+        let v: Vec<f64> = (0..4_321).map(|i| (i as f64) * 0.1 + 0.003).collect();
+        let seq: f64 = v.iter().map(|x| x.sin()).sum();
+        let par = par_sum_f64(&v, |_, x| x.sin());
+        assert_eq!(seq.to_bits(), par.to_bits(), "ordered reduction must be exact");
+    }
+
+    #[test]
+    fn all_items_visited_in_parallel_mode() {
+        let v: Vec<u32> = (0..777).collect();
+        let count = AtomicUsize::new(0);
+        let _ = par_map(&v, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 777);
+    }
+}

@@ -1,0 +1,366 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Reproducibility is a hard requirement for the experiment harness: a run
+//! must produce identical traces regardless of thread count or platform.
+//! We therefore implement the generator in-crate rather than relying on a
+//! dependency's unspecified default algorithm:
+//!
+//! * [`DetRng`] — xoshiro256++ (public-domain algorithm by Blackman &
+//!   Vigna), with uniform, range, Bernoulli, normal (Box–Muller) and
+//!   exponential helpers. It also implements [`rand::RngCore`], so it plugs
+//!   into `rand` adapters (e.g. `SliceRandom::shuffle`) where convenient.
+//! * [`RngFactory`] — derives statistically independent child streams from
+//!   one experiment seed using SplitMix64 over `(label, index)` pairs. Each
+//!   node, each job, each noise source gets its own stream, so parallel
+//!   execution order cannot perturb results.
+
+use rand::RngCore;
+
+/// SplitMix64 step: the standard seed-expansion permutation.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl DetRng {
+    /// Seeds the generator, expanding the 64-bit seed with SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64_raw(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's unbiased multiply-shift.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Rejection loop guarantees exact uniformity.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64_raw();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform index in `[0, len)` for slice access.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choice on empty slice");
+        &items[self.index(items.len())]
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box–Muller (caches the paired output).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid ln(0) by drawing u1 from (0, 1].
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Exponential with the given mean (`1/λ`).
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_raw() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_raw()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64_raw().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Derives independent child streams from one experiment seed.
+///
+/// Streams are addressed by a domain label plus an integer index, e.g.
+/// `factory.stream("node.noise", 17)`. The same address always yields the
+/// same stream; distinct addresses yield decorrelated streams.
+#[derive(Debug, Clone, Copy)]
+pub struct RngFactory {
+    root: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory from the experiment seed.
+    pub fn new(root_seed: u64) -> Self {
+        RngFactory { root: root_seed }
+    }
+
+    /// The root experiment seed.
+    pub fn root_seed(&self) -> u64 {
+        self.root
+    }
+
+    /// Deterministically derives the child seed for `(label, index)`.
+    pub fn child_seed(&self, label: &str, index: u64) -> u64 {
+        let mut state = self.root ^ 0xA076_1D64_78BD_642F;
+        for &b in label.as_bytes() {
+            state ^= b as u64;
+            splitmix64(&mut state);
+        }
+        state ^= index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        splitmix64(&mut state)
+    }
+
+    /// A fresh generator for `(label, index)`.
+    pub fn stream(&self, label: &str, index: u64) -> DetRng {
+        DetRng::seed_from_u64(self.child_seed(label, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn determinism_same_seed_same_sequence() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_is_unbiased_over_small_modulus() {
+        let mut rng = DetRng::seed_from_u64(99);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[rng.below(6) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = rng.normal(10.0, 2.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn factory_streams_are_stable_and_independent() {
+        let f = RngFactory::new(123);
+        let mut a1 = f.stream("node", 4);
+        let mut a2 = f.stream("node", 4);
+        let mut b = f.stream("node", 5);
+        let mut c = f.stream("meter", 4);
+        assert_eq!(a1.next_u64_raw(), a2.next_u64_raw());
+        let x = a1.next_u64_raw();
+        assert_ne!(x, b.next_u64_raw());
+        assert_ne!(x, c.next_u64_raw());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements staying put is ~impossible");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rand::RngCore::fill_bytes(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+            let mut rng = DetRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.below(n) < n);
+            }
+        }
+
+        #[test]
+        fn prop_range_u64_in_range(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let hi = lo + span;
+            for _ in 0..16 {
+                let x = rng.range_u64(lo, hi);
+                prop_assert!(x >= lo && x < hi);
+            }
+        }
+
+        #[test]
+        fn prop_child_seed_stable(root in any::<u64>(), idx in any::<u64>()) {
+            let f = RngFactory::new(root);
+            prop_assert_eq!(f.child_seed("lbl", idx), f.child_seed("lbl", idx));
+            // Label must matter: "lbl"/idx and "lbm"/idx should differ
+            // (probabilistically certain for a 64-bit mix).
+            prop_assert_ne!(f.child_seed("lbl", idx), f.child_seed("lbm", idx));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The central collector on the management node.
+//!
+//! Ingests agent samples — possibly concurrently, one channel per burst of
+//! agents — and maintains the views the capping algorithm and its
+//! selection policies read:
+//!
+//! * latest per-node sample (state, level, power estimate);
+//! * the previous power estimate per node, so change-based policies can
+//!   compute the rate of increase `ΔP^t(x) = (P^t − P^{t−1}) / P^{t−1}`;
+//! * per-job aggregation `Power(J) = Σ_{i ∈ Nodes(J)} P(i)`.
+//!
+//! Interior mutability via `parking_lot::RwLock` keeps ingestion shareable
+//! across agent threads; per-node slots make the end state independent of
+//! arrival order, so concurrent runs stay deterministic.
+
+use crate::history::PowerHistory;
+use crate::sample::NodeSample;
+use parking_lot::RwLock;
+use ppc_node::NodeId;
+use ppc_simkit::SimTime;
+use std::collections::HashMap;
+
+/// Per-node power bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    latest: NodeSample,
+    prev_power_w: Option<f64>,
+}
+
+/// The central sample store.
+#[derive(Debug, Default)]
+pub struct Collector {
+    slots: RwLock<HashMap<NodeId, Slot>>,
+    /// Optional per-node power history (depth 0 = disabled).
+    histories: RwLock<HashMap<NodeId, PowerHistory>>,
+    history_depth: usize,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables per-node power histories of the given depth (for windowed
+    /// rates and smoothing; see [`PowerHistory`]).
+    ///
+    /// # Panics
+    /// Panics if `depth < 2`.
+    pub fn with_history(mut self, depth: usize) -> Self {
+        assert!(depth >= 2, "history depth must be at least 2");
+        self.history_depth = depth;
+        self
+    }
+
+    /// Ingests one sample. A newer sample for the same node shifts the old
+    /// power estimate into the "previous" slot; a stale or equal-time
+    /// duplicate is ignored.
+    pub fn ingest(&self, sample: NodeSample) {
+        let mut fresh = false;
+        {
+            let mut slots = self.slots.write();
+            match slots.get_mut(&sample.node) {
+                Some(slot) => {
+                    if sample.at > slot.latest.at {
+                        slot.prev_power_w = Some(slot.latest.power_w);
+                        slot.latest = sample;
+                        fresh = true;
+                    }
+                }
+                None => {
+                    slots.insert(
+                        sample.node,
+                        Slot {
+                            latest: sample,
+                            prev_power_w: None,
+                        },
+                    );
+                    fresh = true;
+                }
+            }
+        }
+        if fresh && self.history_depth >= 2 {
+            let mut histories = self.histories.write();
+            histories
+                .entry(sample.node)
+                .or_insert_with(|| PowerHistory::new(self.history_depth))
+                .push(sample.at, sample.power_w);
+        }
+    }
+
+    /// Windowed rate of increase over the last `k` intervals for `node`
+    /// (requires a history-enabled collector; see [`Collector::with_history`]).
+    pub fn windowed_rate_of(&self, node: NodeId, k: usize) -> Option<f64> {
+        self.histories.read().get(&node)?.windowed_rate(k)
+    }
+
+    /// Smoothed (mean over history) power estimate for `node`.
+    pub fn smoothed_power_of(&self, node: NodeId) -> Option<f64> {
+        self.histories.read().get(&node)?.mean()
+    }
+
+    /// Ingests a batch, fanning the writes out over worker threads.
+    ///
+    /// The batch is sharded by node id, so all samples of one node are
+    /// applied by one worker in input order — the end state is identical
+    /// to sequential ingestion as long as each node's samples arrive
+    /// time-ordered within the batch (agents produce exactly that).
+    pub fn ingest_concurrent(&self, samples: Vec<NodeSample>) {
+        if samples.len() < 64 {
+            for s in samples {
+                self.ingest(s);
+            }
+            return;
+        }
+        const WORKERS: usize = 4;
+        let mut shards: Vec<Vec<NodeSample>> = (0..WORKERS).map(|_| Vec::new()).collect();
+        for s in samples {
+            shards[s.node.0 as usize % WORKERS].push(s);
+        }
+        crossbeam::scope(|scope| {
+            for shard in shards {
+                scope.spawn(move |_| {
+                    for s in shard {
+                        self.ingest(s);
+                    }
+                });
+            }
+        })
+        .expect("collector ingest worker panicked");
+    }
+
+    /// Drops a node from the store (it left the candidate set).
+    pub fn forget(&self, node: NodeId) {
+        self.slots.write().remove(&node);
+        self.histories.write().remove(&node);
+    }
+
+    /// Drops every stored sample.
+    pub fn clear(&self) {
+        self.slots.write().clear();
+        self.histories.write().clear();
+    }
+
+    /// Number of nodes with at least one sample.
+    pub fn node_count(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Latest sample for `node`.
+    pub fn latest(&self, node: NodeId) -> Option<NodeSample> {
+        self.slots.read().get(&node).map(|s| s.latest)
+    }
+
+    /// Latest power estimate for `node`, watts.
+    pub fn power_of(&self, node: NodeId) -> Option<f64> {
+        self.slots.read().get(&node).map(|s| s.latest.power_w)
+    }
+
+    /// Previous-interval power estimate for `node`, watts.
+    pub fn prev_power_of(&self, node: NodeId) -> Option<f64> {
+        self.slots.read().get(&node).and_then(|s| s.prev_power_w)
+    }
+
+    /// Rate of increase `ΔP^t(x)` for `node`: `(P^t − P^{t−1}) / P^{t−1}`.
+    /// `None` until two samples exist.
+    pub fn power_rate_of(&self, node: NodeId) -> Option<f64> {
+        let slots = self.slots.read();
+        let slot = slots.get(&node)?;
+        let prev = slot.prev_power_w?;
+        if prev <= 0.0 {
+            return None;
+        }
+        Some((slot.latest.power_w - prev) / prev)
+    }
+
+    /// Sum of the latest power estimates over `nodes` (the paper's
+    /// `Power(J)` when given `Nodes(J)`), watts. Nodes without samples
+    /// contribute zero.
+    pub fn aggregate_power(&self, nodes: &[NodeId]) -> f64 {
+        let slots = self.slots.read();
+        nodes
+            .iter()
+            .filter_map(|n| slots.get(n).map(|s| s.latest.power_w))
+            .sum()
+    }
+
+    /// Sum of previous-interval estimates over `nodes` (`P^{t−1}(J)`).
+    pub fn aggregate_prev_power(&self, nodes: &[NodeId]) -> f64 {
+        let slots = self.slots.read();
+        nodes
+            .iter()
+            .filter_map(|n| slots.get(n).and_then(|s| s.prev_power_w))
+            .sum()
+    }
+
+    /// Estimated total power of all monitored nodes, watts.
+    pub fn estimated_total_w(&self) -> f64 {
+        self.slots.read().values().map(|s| s.latest.power_w).sum()
+    }
+
+    /// Timestamp of the freshest sample, if any.
+    pub fn freshest(&self) -> Option<SimTime> {
+        self.slots.read().values().map(|s| s.latest.at).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_node::{Level, OperatingState};
+
+    fn sample(node: u32, at: u64, power: f64) -> NodeSample {
+        NodeSample {
+            node: NodeId(node),
+            at: SimTime::from_secs(at),
+            state: OperatingState {
+                cpu_util: 0.5,
+                mem_used_bytes: 0,
+                nic_bytes: 0,
+            },
+            level: Level::new(9),
+            power_w: power,
+        }
+    }
+
+    #[test]
+    fn ingest_and_query() {
+        let c = Collector::new();
+        c.ingest(sample(1, 0, 200.0));
+        c.ingest(sample(2, 0, 300.0));
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.power_of(NodeId(1)), Some(200.0));
+        assert_eq!(c.estimated_total_w(), 500.0);
+        assert_eq!(c.power_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn newer_sample_shifts_previous() {
+        let c = Collector::new();
+        c.ingest(sample(1, 0, 200.0));
+        assert_eq!(c.prev_power_of(NodeId(1)), None);
+        assert_eq!(c.power_rate_of(NodeId(1)), None);
+        c.ingest(sample(1, 1, 250.0));
+        assert_eq!(c.power_of(NodeId(1)), Some(250.0));
+        assert_eq!(c.prev_power_of(NodeId(1)), Some(200.0));
+        assert!((c.power_rate_of(NodeId(1)).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_sample_is_ignored() {
+        let c = Collector::new();
+        c.ingest(sample(1, 5, 500.0));
+        c.ingest(sample(1, 3, 100.0));
+        assert_eq!(c.power_of(NodeId(1)), Some(500.0));
+        assert_eq!(c.prev_power_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn aggregation_over_job_nodes() {
+        let c = Collector::new();
+        for i in 0..4 {
+            c.ingest(sample(i, 0, 100.0 * (i + 1) as f64));
+        }
+        let nodes = [NodeId(0), NodeId(2)];
+        assert_eq!(c.aggregate_power(&nodes), 100.0 + 300.0);
+        // Unknown nodes contribute zero.
+        assert_eq!(c.aggregate_power(&[NodeId(0), NodeId(99)]), 100.0);
+    }
+
+    #[test]
+    fn concurrent_ingest_matches_sequential() {
+        let seq = Collector::new();
+        let con = Collector::new();
+        let batch: Vec<NodeSample> = (0..500)
+            .map(|i| sample(i % 100, (i / 100) as u64, i as f64))
+            .collect();
+        for s in batch.clone() {
+            seq.ingest(s);
+        }
+        con.ingest_concurrent(batch);
+        assert_eq!(seq.node_count(), con.node_count());
+        for i in 0..100 {
+            assert_eq!(seq.power_of(NodeId(i)), con.power_of(NodeId(i)), "node {i}");
+            assert_eq!(
+                seq.prev_power_of(NodeId(i)),
+                con.prev_power_of(NodeId(i)),
+                "prev node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn forget_and_clear() {
+        let c = Collector::new();
+        c.ingest(sample(1, 0, 1.0));
+        c.ingest(sample(2, 0, 2.0));
+        c.forget(NodeId(1));
+        assert_eq!(c.node_count(), 1);
+        c.clear();
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.freshest(), None);
+    }
+
+    #[test]
+    fn history_enabled_collector_reports_windowed_rates() {
+        let c = Collector::new().with_history(4);
+        for (t, p) in [(0u64, 100.0), (1, 110.0), (2, 121.0), (3, 133.1)] {
+            c.ingest(sample(1, t, p));
+        }
+        assert!((c.windowed_rate_of(NodeId(1), 1).unwrap() - 0.1).abs() < 1e-9);
+        assert!((c.windowed_rate_of(NodeId(1), 3).unwrap() - 0.331).abs() < 1e-9);
+        assert!(c.smoothed_power_of(NodeId(1)).unwrap() > 100.0);
+        // Default collector has no histories.
+        let plain = Collector::new();
+        plain.ingest(sample(1, 0, 10.0));
+        plain.ingest(sample(1, 1, 20.0));
+        assert_eq!(plain.windowed_rate_of(NodeId(1), 1), None);
+        // Forget clears history too.
+        c.forget(NodeId(1));
+        assert_eq!(c.windowed_rate_of(NodeId(1), 1), None);
+    }
+
+    #[test]
+    fn rate_undefined_for_zero_previous_power() {
+        let c = Collector::new();
+        c.ingest(sample(1, 0, 0.0));
+        c.ingest(sample(1, 1, 50.0));
+        assert_eq!(c.power_rate_of(NodeId(1)), None);
+    }
+}

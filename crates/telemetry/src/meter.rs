@@ -1,0 +1,111 @@
+//! The facility power meter.
+//!
+//! The paper's Observability assumption: "the system's total power
+//! consumption can be measured directly" — a single meter on the machine's
+//! feed. The meter reads the *true* aggregate node power (computed by the
+//! simulation) through an error model; the capping algorithm only ever
+//! sees the metered value.
+
+use crate::noise::NoiseModel;
+use ppc_simkit::{DetRng, SimTime, TimeSeries};
+
+/// Whole-system power meter with reading history.
+#[derive(Debug)]
+pub struct SystemPowerMeter {
+    noise: NoiseModel,
+    rng: DetRng,
+    readings: TimeSeries,
+    last_reading_w: f64,
+}
+
+impl SystemPowerMeter {
+    /// Creates a meter with the given error model and RNG stream.
+    pub fn new(noise: NoiseModel, rng: DetRng) -> Self {
+        noise.validate();
+        SystemPowerMeter {
+            noise,
+            rng,
+            readings: TimeSeries::new(),
+            last_reading_w: 0.0,
+        }
+    }
+
+    /// Takes a reading of `true_power_w` at time `now` and records it.
+    ///
+    /// On a dropout the meter holds its last value (a real meter's display
+    /// does not blank; the manager keeps acting on the stale reading).
+    pub fn read(&mut self, true_power_w: f64, now: SimTime) -> f64 {
+        assert!(true_power_w >= 0.0, "power cannot be negative");
+        let value = self
+            .noise
+            .apply(true_power_w, &mut self.rng)
+            .unwrap_or(self.last_reading_w);
+        self.last_reading_w = value;
+        self.readings.push(now, value);
+        value
+    }
+
+    /// The most recent reading, watts.
+    pub fn last_reading_w(&self) -> f64 {
+        self.last_reading_w
+    }
+
+    /// Full reading history (the `P(t)` trace metrics integrate).
+    pub fn history(&self) -> &TimeSeries {
+        &self.readings
+    }
+
+    /// Peak reading so far, watts (0 if no readings).
+    pub fn peak_w(&self) -> f64 {
+        self.readings.max().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_simkit::RngFactory;
+
+    fn meter(noise: NoiseModel) -> SystemPowerMeter {
+        SystemPowerMeter::new(noise, RngFactory::new(11).stream("meter-test", 0))
+    }
+
+    #[test]
+    fn noiseless_meter_reads_truth() {
+        let mut m = meter(NoiseModel::NONE);
+        assert_eq!(m.read(1000.0, SimTime::ZERO), 1000.0);
+        assert_eq!(m.read(1500.0, SimTime::from_secs(1)), 1500.0);
+        assert_eq!(m.peak_w(), 1500.0);
+        assert_eq!(m.history().len(), 2);
+    }
+
+    #[test]
+    fn dropout_holds_last_value() {
+        let mut m = meter(NoiseModel {
+            relative_std: 0.0,
+            dropout_prob: 1.0,
+        });
+        // First reading drops → holds initial 0.
+        assert_eq!(m.read(500.0, SimTime::ZERO), 0.0);
+        assert_eq!(m.last_reading_w(), 0.0);
+    }
+
+    #[test]
+    fn noisy_meter_tracks_truth_on_average() {
+        let mut m = meter(NoiseModel::METER_1PCT);
+        let mut sum = 0.0;
+        for i in 0..1000u64 {
+            sum += m.read(2000.0, SimTime::from_secs(i));
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 2000.0).abs() < 5.0, "mean={mean}");
+        // Peak should be within a few sigma of truth, not wildly off.
+        assert!(m.peak_w() < 2000.0 * 1.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_power_rejected() {
+        meter(NoiseModel::NONE).read(-1.0, SimTime::ZERO);
+    }
+}

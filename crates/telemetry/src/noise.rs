@@ -1,0 +1,130 @@
+//! Measurement error models.
+//!
+//! The Observability assumption only requires estimates "to a sufficient
+//! accuracy"; real meters and agents are noisy and occasionally silent.
+//! [`NoiseModel`] injects both defects so experiments can quantify how
+//! much error the capping architecture tolerates (an ablation the paper's
+//! design discussion motivates but does not plot).
+
+use ppc_simkit::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative Gaussian noise plus Bernoulli sample loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Relative standard deviation of readings (0.01 = 1% error).
+    pub relative_std: f64,
+    /// Probability that a sample is lost entirely.
+    pub dropout_prob: f64,
+}
+
+impl NoiseModel {
+    /// A perfect sensor.
+    pub const NONE: NoiseModel = NoiseModel {
+        relative_std: 0.0,
+        dropout_prob: 0.0,
+    };
+
+    /// A realistic facility meter: ~1% reading error, no dropouts.
+    pub const METER_1PCT: NoiseModel = NoiseModel {
+        relative_std: 0.01,
+        dropout_prob: 0.0,
+    };
+
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics if `relative_std` is negative or `dropout_prob` out of [0, 1].
+    pub fn validate(&self) {
+        assert!(self.relative_std >= 0.0, "noise std must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.dropout_prob),
+            "dropout probability must be in [0, 1]"
+        );
+    }
+
+    /// Applies the model to a reading: `None` on dropout, otherwise the
+    /// noisy value (floored at zero — meters do not report negative watts).
+    pub fn apply(&self, true_value: f64, rng: &mut DetRng) -> Option<f64> {
+        if self.dropout_prob > 0.0 && rng.bernoulli(self.dropout_prob) {
+            return None;
+        }
+        if self.relative_std == 0.0 {
+            return Some(true_value);
+        }
+        let noisy = true_value * (1.0 + rng.normal(0.0, self.relative_std));
+        Some(noisy.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_simkit::RngFactory;
+
+    fn rng() -> DetRng {
+        RngFactory::new(3).stream("noise-test", 0)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut r = rng();
+        assert_eq!(NoiseModel::NONE.apply(123.4, &mut r), Some(123.4));
+    }
+
+    #[test]
+    fn gaussian_noise_is_unbiased_and_scaled() {
+        let model = NoiseModel {
+            relative_std: 0.05,
+            dropout_prob: 0.0,
+        };
+        let mut r = rng();
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let v = model.apply(100.0, &mut r).unwrap();
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let std = (sq / n as f64 - mean * mean).sqrt();
+        assert!((mean - 100.0).abs() < 0.5, "mean={mean}");
+        assert!((std - 5.0).abs() < 0.5, "std={std}");
+    }
+
+    #[test]
+    fn dropout_rate_matches_probability() {
+        let model = NoiseModel {
+            relative_std: 0.0,
+            dropout_prob: 0.25,
+        };
+        let mut r = rng();
+        let lost = (0..10_000)
+            .filter(|_| model.apply(1.0, &mut r).is_none())
+            .count();
+        assert!((2_200..2_800).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn readings_never_go_negative() {
+        let model = NoiseModel {
+            relative_std: 2.0, // absurdly noisy
+            dropout_prob: 0.0,
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(model.apply(10.0, &mut r).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn validate_rejects_bad_dropout() {
+        NoiseModel {
+            relative_std: 0.0,
+            dropout_prob: 1.5,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,54 @@
+//! Telemetry sample types.
+
+use ppc_node::{Level, NodeId, OperatingState};
+use ppc_simkit::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One profiling-agent report: what the central manager learns about a
+/// node each sampling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSample {
+    /// The sampled node.
+    pub node: NodeId,
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// Operating state derived from `/proc` counter deltas.
+    pub state: OperatingState,
+    /// The node's power level when sampled.
+    pub level: Level,
+    /// Formula-(1) power estimate at that level and state, watts.
+    pub power_w: f64,
+}
+
+impl NodeSample {
+    /// True if the sampled node was idle.
+    pub fn is_idle(&self) -> bool {
+        self.state.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_passthrough() {
+        let s = NodeSample {
+            node: NodeId(1),
+            at: SimTime::ZERO,
+            state: OperatingState::IDLE,
+            level: Level::new(9),
+            power_w: 160.0,
+        };
+        assert!(s.is_idle());
+        let busy = NodeSample {
+            state: OperatingState {
+                cpu_util: 0.5,
+                mem_used_bytes: 0,
+                nic_bytes: 0,
+            },
+            ..s
+        };
+        assert!(!busy.is_idle());
+    }
+}

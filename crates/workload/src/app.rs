@@ -1,0 +1,236 @@
+//! The benchmark applications and problem classes.
+//!
+//! Characterization follows the published behaviour of the NPB suite:
+//!
+//! | App | Kernel                     | Dominant behaviour                      |
+//! |-----|----------------------------|-----------------------------------------|
+//! | EP  | embarrassingly parallel RNG| pure compute, negligible memory/comm    |
+//! | CG  | conjugate gradient         | sparse mat-vec: memory-bound + comm     |
+//! | LU  | SSOR solver                | mixed compute with pipelined comm       |
+//! | BT  | block-tridiagonal solver   | compute-heavy with bulk face exchanges  |
+//! | SP  | scalar pentadiagonal solver| memory-leaning mix with face exchanges  |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five MPI benchmark applications used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NpbApp {
+    /// Embarrassingly Parallel.
+    Ep,
+    /// Conjugate Gradient.
+    Cg,
+    /// Lower-Upper Gauss-Seidel (SSOR).
+    Lu,
+    /// Block Tridiagonal.
+    Bt,
+    /// Scalar Pentadiagonal.
+    Sp,
+}
+
+impl NpbApp {
+    /// All five applications (the paper's evaluation job pool).
+    pub const ALL: [NpbApp; 5] = [NpbApp::Ep, NpbApp::Cg, NpbApp::Lu, NpbApp::Bt, NpbApp::Sp];
+
+    /// Canonical short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NpbApp::Ep => "EP",
+            NpbApp::Cg => "CG",
+            NpbApp::Lu => "LU",
+            NpbApp::Bt => "BT",
+            NpbApp::Sp => "SP",
+        }
+    }
+}
+
+impl fmt::Display for NpbApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// NPB problem class. The paper runs CLASS=D; smaller classes are kept for
+/// fast tests and the quickstart example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Small (test-sized).
+    A,
+    /// Medium-small.
+    B,
+    /// Medium.
+    C,
+    /// Large — the paper's configuration.
+    D,
+}
+
+impl Class {
+    /// Serial-equivalent runtime multiplier relative to CLASS=A.
+    ///
+    /// NPB class sizes grow ~16× in work per step (A→B→C→D); we compress
+    /// that to keep simulated runs tractable while preserving ordering.
+    pub fn work_scale(self) -> f64 {
+        match self {
+            Class::A => 1.0,
+            Class::B => 3.0,
+            Class::C => 9.0,
+            Class::D => 27.0,
+        }
+    }
+
+    /// Per-rank memory footprint in bytes.
+    pub fn mem_per_rank_bytes(self) -> u64 {
+        match self {
+            Class::A => 256 << 20,
+            Class::B => 512 << 20,
+            Class::C => 1 << 30,
+            Class::D => 3 << 29, // 1.5 GiB
+        }
+    }
+
+    /// Canonical letter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::A => "A",
+            Class::B => "B",
+            Class::C => "C",
+            Class::D => "D",
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static characterization of an application used to synthesize phases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Serial-equivalent runtime at CLASS=A on one rank, seconds.
+    pub base_serial_secs: f64,
+    /// Compute-boundness α of the dominant compute phase: the fraction of
+    /// execution time that scales with 1/f.
+    pub compute_alpha: f64,
+    /// CPU utilization during compute phases.
+    pub compute_util: f64,
+    /// Fraction of each iteration spent in memory-bound work.
+    pub memory_fraction: f64,
+    /// Fraction of each iteration spent communicating.
+    pub comm_fraction: f64,
+    /// NIC traffic intensity during communication phases, as a fraction of
+    /// link bandwidth.
+    pub comm_intensity: f64,
+    /// Number of solver iterations at CLASS=A (grows mildly with class).
+    pub base_iterations: u32,
+}
+
+impl NpbApp {
+    /// The static profile for this application.
+    pub fn profile(self) -> AppProfile {
+        match self {
+            // EP: one long compute block, ~no memory traffic, one final
+            // reduction. Highly frequency-sensitive.
+            NpbApp::Ep => AppProfile {
+                base_serial_secs: 260.0,
+                compute_alpha: 0.95,
+                compute_util: 1.0,
+                memory_fraction: 0.02,
+                comm_fraction: 0.02,
+                comm_intensity: 0.10,
+                base_iterations: 1,
+            },
+            // CG: sparse mat-vec iterations — memory-bound, frequent
+            // halo exchanges. Weak frequency sensitivity.
+            NpbApp::Cg => AppProfile {
+                base_serial_secs: 220.0,
+                compute_alpha: 0.40,
+                compute_util: 0.80,
+                memory_fraction: 0.45,
+                comm_fraction: 0.20,
+                comm_intensity: 0.45,
+                base_iterations: 15,
+            },
+            // LU: SSOR sweeps, pipelined point-to-point comm.
+            NpbApp::Lu => AppProfile {
+                base_serial_secs: 300.0,
+                compute_alpha: 0.65,
+                compute_util: 0.92,
+                memory_fraction: 0.25,
+                comm_fraction: 0.12,
+                comm_intensity: 0.30,
+                base_iterations: 12,
+            },
+            // BT: compute-heavy block solves with bulk face exchanges.
+            NpbApp::Bt => AppProfile {
+                base_serial_secs: 340.0,
+                compute_alpha: 0.72,
+                compute_util: 0.95,
+                memory_fraction: 0.18,
+                comm_fraction: 0.15,
+                comm_intensity: 0.40,
+                base_iterations: 10,
+            },
+            // SP: like BT but leaning memory-bound.
+            NpbApp::Sp => AppProfile {
+                base_serial_secs: 320.0,
+                compute_alpha: 0.55,
+                compute_util: 0.88,
+                memory_fraction: 0.30,
+                comm_fraction: 0.15,
+                comm_intensity: 0.40,
+                base_iterations: 10,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_five_distinct_apps() {
+        let mut names: Vec<&str> = NpbApp::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn profiles_are_well_formed() {
+        for app in NpbApp::ALL {
+            let p = app.profile();
+            assert!(p.base_serial_secs > 0.0, "{app}");
+            assert!((0.0..=1.0).contains(&p.compute_alpha), "{app}");
+            assert!((0.0..=1.0).contains(&p.compute_util), "{app}");
+            assert!(p.memory_fraction + p.comm_fraction < 1.0, "{app}");
+            assert!((0.0..=1.0).contains(&p.comm_intensity), "{app}");
+            assert!(p.base_iterations >= 1, "{app}");
+        }
+    }
+
+    #[test]
+    fn ep_is_most_compute_bound_cg_least() {
+        let alphas: Vec<f64> = NpbApp::ALL.iter().map(|a| a.profile().compute_alpha).collect();
+        let ep = NpbApp::Ep.profile().compute_alpha;
+        let cg = NpbApp::Cg.profile().compute_alpha;
+        assert!(alphas.iter().all(|&a| a <= ep));
+        assert!(alphas.iter().all(|&a| a >= cg));
+    }
+
+    #[test]
+    fn class_scales_are_monotone() {
+        assert!(Class::A.work_scale() < Class::B.work_scale());
+        assert!(Class::B.work_scale() < Class::C.work_scale());
+        assert!(Class::C.work_scale() < Class::D.work_scale());
+        assert!(Class::A.mem_per_rank_bytes() < Class::D.mem_per_rank_bytes());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NpbApp::Cg.to_string(), "CG");
+        assert_eq!(Class::D.to_string(), "D");
+    }
+}

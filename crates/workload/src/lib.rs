@@ -1,0 +1,43 @@
+//! # ppc-workload — synthetic NPB-like parallel workloads
+//!
+//! The paper evaluates with five applications from the NAS Parallel
+//! Benchmarks MPI suite — EP, CG, LU, BT and SP — at CLASS=D with NPROCS
+//! drawn from {8, 16, 32, 64, 128, 256}. We cannot run real MPI binaries
+//! inside a simulator, so this crate reproduces what the *power management
+//! architecture* observes of them:
+//!
+//! * a phase structure per application ([`model`]) — EP is one long
+//!   compute-bound phase; CG alternates memory-bound sparse mat-vec with
+//!   communication; LU/BT/SP are mixed iterative solvers — each phase
+//!   carrying a device-utilization signature (CPU, memory, NIC) and a
+//!   *compute-boundness* α that determines frequency sensitivity;
+//! * SPMD bottleneck semantics ([`job`]): a well-balanced job progresses at
+//!   the rate of its **slowest** member node, `rate = min_i 1/(α·f_max/f_i
+//!   + 1−α)` — the very property the paper's state-based policies exploit
+//!   (degrading one node of a job costs the same performance as degrading
+//!   all of them);
+//! * strong scaling with imperfect parallel efficiency ([`scaling`]);
+//! * the paper's job-arrival protocol ([`generator`]): a random app with a
+//!   random NPROCS is appended whenever the queue is empty, and jobs start
+//!   as soon as enough whole nodes are free ([`scheduler`], first-fit on
+//!   the lowest-numbered free nodes).
+
+pub mod app;
+pub mod generator;
+pub mod job;
+pub mod model;
+pub mod phase;
+pub mod queue;
+pub mod replay;
+pub mod scaling;
+pub mod scheduler;
+pub mod trace;
+
+pub use app::{Class, NpbApp};
+pub use generator::JobGenerator;
+pub use job::{Job, JobId, JobPriority, JobStatus};
+pub use phase::{Phase, PhaseKind};
+pub use queue::JobQueue;
+pub use replay::{parse_trace, render_trace, TraceEntry, TraceSource};
+pub use scheduler::{AdmissionPolicy, Scheduler};
+pub use trace::JobRecord;

@@ -1,0 +1,165 @@
+//! Phase synthesis: turns an (app, class, nprocs) triple into a concrete
+//! phase list.
+//!
+//! Each solver iteration contributes a compute, a memory and a
+//! communication phase sized by the application profile's fractions, with
+//! a small per-job jitter so concurrent instances of the same benchmark do
+//! not ramp in lockstep (the paper's change-based policy needs realistic,
+//! non-synchronized power ramps to act on).
+
+use crate::app::{Class, NpbApp};
+use crate::phase::{Phase, PhaseKind};
+use crate::scaling::ScalingModel;
+use ppc_simkit::DetRng;
+
+/// Frequency sensitivity of memory-bound phases: DRAM bandwidth does not
+/// scale with core frequency, but address generation does a little.
+const MEMORY_ALPHA: f64 = 0.15;
+/// Frequency sensitivity of communication phases: mostly link-bound.
+const COMM_ALPHA: f64 = 0.25;
+/// CPU utilization while memory-bound (stalled pipelines still spin).
+const MEMORY_UTIL: f64 = 0.65;
+/// CPU utilization while communicating (progress threads, copies).
+const COMM_UTIL: f64 = 0.30;
+/// Residual NIC activity outside communication phases.
+const BACKGROUND_NIC: f64 = 0.02;
+/// Number of rising-utilization startup phases per job.
+const STARTUP_STEPS: usize = 4;
+
+/// Builds the phase list for one job instance.
+///
+/// `rng` supplies the per-job jitter (±10% phase work, ±0.04 utilization);
+/// pass a stream derived from the job id for reproducibility.
+pub fn build_phases(app: NpbApp, class: Class, nprocs: u32, rng: &mut DetRng) -> Vec<Phase> {
+    let profile = app.profile();
+    let total = ScalingModel::for_app(app, class).wall_secs(nprocs);
+    let iters = profile.base_iterations.max(1);
+    let compute_fraction = 1.0 - profile.memory_fraction - profile.comm_fraction;
+
+    let per_iter_compute = total * compute_fraction / iters as f64;
+    let per_iter_memory = total * profile.memory_fraction / iters as f64;
+    let per_iter_comm = total * profile.comm_fraction / iters as f64;
+
+    let jitter = |rng: &mut DetRng| rng.range_f64(0.9, 1.1);
+    let util_jitter = |rng: &mut DetRng, base: f64| (base + rng.range_f64(-0.04, 0.04)).clamp(0.05, 1.0);
+
+    let mut phases = Vec::with_capacity(iters as usize * 3 + STARTUP_STEPS);
+    // Startup ramp: MPI init and input distribution bring utilization up in
+    // steps, so a big job's power rises over several control cycles.
+    let startup_total = (total * 0.03).min(30.0).max(3.0);
+    for step in 0..STARTUP_STEPS {
+        let frac = (step + 1) as f64 / (STARTUP_STEPS + 1) as f64;
+        phases.push(Phase {
+            kind: PhaseKind::Startup,
+            work_secs: startup_total / STARTUP_STEPS as f64 * jitter(rng),
+            alpha: 0.25,
+            cpu_util: (profile.compute_util * frac).max(0.1),
+            nic_fraction: 0.05,
+        });
+    }
+    for _ in 0..iters {
+        if per_iter_compute > 0.0 {
+            phases.push(Phase {
+                kind: PhaseKind::Compute,
+                work_secs: per_iter_compute * jitter(rng),
+                alpha: profile.compute_alpha,
+                cpu_util: util_jitter(rng, profile.compute_util),
+                nic_fraction: BACKGROUND_NIC,
+            });
+        }
+        if per_iter_memory > 0.0 {
+            phases.push(Phase {
+                kind: PhaseKind::Memory,
+                work_secs: per_iter_memory * jitter(rng),
+                alpha: MEMORY_ALPHA,
+                cpu_util: util_jitter(rng, MEMORY_UTIL),
+                nic_fraction: BACKGROUND_NIC,
+            });
+        }
+        if per_iter_comm > 0.0 {
+            phases.push(Phase {
+                kind: PhaseKind::Comm,
+                work_secs: per_iter_comm * jitter(rng),
+                alpha: COMM_ALPHA,
+                cpu_util: util_jitter(rng, COMM_UTIL),
+                nic_fraction: profile.comm_intensity,
+            });
+        }
+    }
+    debug_assert!(phases.iter().all(Phase::is_valid));
+    phases
+}
+
+/// Sum of phase work — the job's full-speed (baseline) duration `T_j`.
+pub fn baseline_secs(phases: &[Phase]) -> f64 {
+    phases.iter().map(|p| p.work_secs).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_simkit::RngFactory;
+
+    fn rng(i: u64) -> DetRng {
+        RngFactory::new(42).stream("model-test", i)
+    }
+
+    #[test]
+    fn phases_are_valid_and_nonempty_for_all_apps() {
+        for app in NpbApp::ALL {
+            for nprocs in [8u32, 64, 256] {
+                let phases = build_phases(app, Class::D, nprocs, &mut rng(1));
+                assert!(!phases.is_empty(), "{app}");
+                assert!(phases.iter().all(Phase::is_valid), "{app}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_tracks_scaling_model_within_jitter() {
+        for app in NpbApp::ALL {
+            let expected = ScalingModel::for_app(app, Class::D).wall_secs(64);
+            let phases = build_phases(app, Class::D, 64, &mut rng(2));
+            let actual = baseline_secs(&phases);
+            assert!(
+                (actual - expected).abs() / expected < 0.11,
+                "{app}: expected≈{expected}, got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn ep_is_dominated_by_compute_phases() {
+        let phases = build_phases(NpbApp::Ep, Class::D, 16, &mut rng(3));
+        let compute: f64 = phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Compute)
+            .map(|p| p.work_secs)
+            .sum();
+        assert!(compute / baseline_secs(&phases) > 0.9);
+    }
+
+    #[test]
+    fn cg_interleaves_memory_and_comm() {
+        let phases = build_phases(NpbApp::Cg, Class::D, 16, &mut rng(4));
+        let kinds: Vec<PhaseKind> = phases.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PhaseKind::Memory));
+        assert!(kinds.contains(&PhaseKind::Comm));
+        // 4 startup steps + 15 iterations × 3 phases.
+        assert_eq!(phases.len(), 4 + 45);
+        assert!(phases[..4].iter().all(|p| p.kind == PhaseKind::Startup));
+        // The startup ramp rises monotonically.
+        for w in phases[..4].windows(2) {
+            assert!(w[1].cpu_util > w[0].cpu_util);
+        }
+    }
+
+    #[test]
+    fn jitter_differs_across_jobs_but_is_reproducible() {
+        let a1 = build_phases(NpbApp::Lu, Class::C, 32, &mut rng(7));
+        let a2 = build_phases(NpbApp::Lu, Class::C, 32, &mut rng(7));
+        let b = build_phases(NpbApp::Lu, Class::C, 32, &mut rng(8));
+        assert_eq!(a1, a2, "same stream ⇒ same phases");
+        assert_ne!(a1, b, "different stream ⇒ jittered phases");
+    }
+}

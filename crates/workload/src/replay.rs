@@ -1,0 +1,269 @@
+//! Job-trace replay.
+//!
+//! Alongside the paper's random generator, experiments can replay a fixed
+//! submission trace — regression workloads, traces exported from another
+//! run's journal, or hand-written scenarios. The format is one job per
+//! line, whitespace-separated, `#` comments:
+//!
+//! ```text
+//! # seconds  app  class  nprocs  [critical]
+//! 0    EP  D  64
+//! 30   CG  D  128
+//! 120  LU  C  32  critical
+//! ```
+
+use crate::app::{Class, NpbApp};
+use crate::job::{Job, JobId, JobPriority};
+use crate::model::build_phases;
+use ppc_simkit::{RngFactory, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One trace line: a job submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Submission time.
+    pub at: SimTime,
+    /// Application.
+    pub app: NpbApp,
+    /// Problem class.
+    pub class: Class,
+    /// Rank count.
+    pub nprocs: u32,
+    /// Priority.
+    pub priority: JobPriority,
+}
+
+/// Trace parsing errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Offending line number (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses a submission trace. Entries must be time-ordered.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEntry>, TraceParseError> {
+    let mut entries: Vec<TraceEntry> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |reason: String| TraceParseError {
+            line: line_no,
+            reason,
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if !(4..=5).contains(&fields.len()) {
+            return Err(err(format!(
+                "expected 'secs app class nprocs [critical]', got {} fields",
+                fields.len()
+            )));
+        }
+        let secs: u64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("invalid time {:?}", fields[0])))?;
+        let app = NpbApp::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(fields[1]))
+            .ok_or_else(|| err(format!("unknown app {:?}", fields[1])))?;
+        let class = [Class::A, Class::B, Class::C, Class::D]
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(fields[2]))
+            .ok_or_else(|| err(format!("unknown class {:?}", fields[2])))?;
+        let nprocs: u32 = fields[3]
+            .parse()
+            .map_err(|_| err(format!("invalid nprocs {:?}", fields[3])))?;
+        if nprocs == 0 {
+            return Err(err("nprocs must be positive".to_string()));
+        }
+        let priority = match fields.get(4) {
+            None => JobPriority::Normal,
+            Some(s) if s.eq_ignore_ascii_case("critical") => JobPriority::Critical,
+            Some(s) => return Err(err(format!("unknown flag {s:?}"))),
+        };
+        let at = SimTime::from_secs(secs);
+        if let Some(last) = entries.last() {
+            if at < last.at {
+                return Err(err("entries must be time-ordered".to_string()));
+            }
+        }
+        entries.push(TraceEntry {
+            at,
+            app,
+            class,
+            nprocs,
+            priority,
+        });
+    }
+    Ok(entries)
+}
+
+/// Serializes entries back to the trace format (round-trips `parse_trace`).
+pub fn render_trace(entries: &[TraceEntry]) -> String {
+    let mut out = String::from("# seconds  app  class  nprocs  [critical]\n");
+    for e in entries {
+        out.push_str(&format!(
+            "{} {} {} {}{}\n",
+            e.at.as_millis() / 1_000,
+            e.app,
+            e.class,
+            e.nprocs,
+            if e.priority == JobPriority::Critical {
+                " critical"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+/// Replays a parsed trace as concrete jobs.
+#[derive(Debug)]
+pub struct TraceSource {
+    entries: Vec<TraceEntry>,
+    next: usize,
+    factory: RngFactory,
+    next_id: u64,
+}
+
+impl TraceSource {
+    /// Creates a replay source (phase jitter still derives from `factory`,
+    /// so two replays of the same trace with the same seed are identical).
+    pub fn new(entries: Vec<TraceEntry>, factory: RngFactory) -> Self {
+        TraceSource {
+            entries,
+            next: 0,
+            factory,
+            next_id: 0,
+        }
+    }
+
+    /// Jobs whose submission time has arrived (at or before `now`), built
+    /// and ready for the queue.
+    pub fn due_jobs(&mut self, now: SimTime) -> Vec<Job> {
+        let mut out = Vec::new();
+        while let Some(e) = self.entries.get(self.next) {
+            if e.at > now {
+                break;
+            }
+            let id = JobId(self.next_id);
+            self.next_id += 1;
+            self.next += 1;
+            let mut rng = self.factory.stream("job-phases", id.0);
+            let phases = build_phases(e.app, e.class, e.nprocs, &mut rng);
+            out.push(
+                Job::new(id, e.app, e.class, e.nprocs, phases, e.at).with_priority(e.priority),
+            );
+        }
+        out
+    }
+
+    /// True when every entry has been submitted.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.entries.len()
+    }
+
+    /// Total entries in the trace.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo trace
+0    EP  D  64
+30   cg  d  128     # lowercase is fine
+120  LU  C  32  critical
+";
+
+    #[test]
+    fn parses_comments_case_and_flags() {
+        let t = parse_trace(SAMPLE).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].app, NpbApp::Ep);
+        assert_eq!(t[1].app, NpbApp::Cg);
+        assert_eq!(t[1].nprocs, 128);
+        assert_eq!(t[2].priority, JobPriority::Critical);
+        assert_eq!(t[2].at, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let t = parse_trace(SAMPLE).unwrap();
+        let rendered = render_trace(&t);
+        assert_eq!(parse_trace(&rendered).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("0 EP D", "3 fields"),
+            ("x EP D 8", "invalid time"),
+            ("0 ZZ D 8", "unknown app"),
+            ("0 EP Z 8", "unknown class"),
+            ("0 EP D zero", "invalid nprocs"),
+            ("0 EP D 0", "positive"),
+            ("0 EP D 8 urgent", "unknown flag"),
+            ("30 EP D 8\n0 CG D 8", "time-ordered"),
+        ] {
+            let err = parse_trace(text).unwrap_err();
+            assert!(
+                err.reason.contains(needle),
+                "{text:?}: expected {needle:?} in {:?}",
+                err.reason
+            );
+        }
+    }
+
+    #[test]
+    fn source_releases_jobs_at_their_times() {
+        let entries = parse_trace(SAMPLE).unwrap();
+        let mut src = TraceSource::new(entries, RngFactory::new(5));
+        assert_eq!(src.len(), 3);
+        let at0 = src.due_jobs(SimTime::ZERO);
+        assert_eq!(at0.len(), 1);
+        assert_eq!(at0[0].nprocs(), 64);
+        assert!(src.due_jobs(SimTime::from_secs(10)).is_empty());
+        let at30 = src.due_jobs(SimTime::from_secs(60));
+        assert_eq!(at30.len(), 1);
+        assert!(!src.exhausted());
+        let rest = src.due_jobs(SimTime::from_secs(1_000));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].priority(), JobPriority::Critical);
+        assert!(src.exhausted());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let entries = parse_trace(SAMPLE).unwrap();
+        let mut a = TraceSource::new(entries.clone(), RngFactory::new(5));
+        let mut b = TraceSource::new(entries, RngFactory::new(5));
+        let ja = a.due_jobs(SimTime::from_secs(1_000));
+        let jb = b.due_jobs(SimTime::from_secs(1_000));
+        for (x, y) in ja.iter().zip(&jb) {
+            assert_eq!(x.baseline_secs(), y.baseline_secs());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Strong-scaling model.
+//!
+//! NPB CLASS=x problems are fixed-size, so running on more ranks divides
+//! the work per rank but adds parallel overhead. We model wall time at the
+//! top frequency as
+//!
+//! ```text
+//! T(p) = T_serial / p^eff        (eff < 1: imperfect scaling)
+//! ```
+//!
+//! with `eff` per application (communication-heavy codes scale worse).
+//! The absolute constants are tuned so CLASS=D jobs at the paper's NPROCS
+//! values run for minutes to a few tens of minutes of simulated time,
+//! giving a 12-hour experiment hundreds of finished jobs.
+
+use crate::app::{Class, NpbApp};
+use serde::{Deserialize, Serialize};
+
+/// Scaling parameters for an (app, class) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Serial-equivalent wall time at the top frequency, seconds.
+    pub serial_secs: f64,
+    /// Strong-scaling efficiency exponent (1.0 = perfect).
+    pub efficiency_exp: f64,
+}
+
+impl ScalingModel {
+    /// Builds the model for an application and class.
+    pub fn for_app(app: NpbApp, class: Class) -> Self {
+        let profile = app.profile();
+        // Communication- and memory-heavy codes lose more efficiency.
+        let overhead = profile.comm_fraction + 0.5 * profile.memory_fraction;
+        ScalingModel {
+            serial_secs: profile.base_serial_secs * class.work_scale(),
+            efficiency_exp: (1.0 - 0.45 * overhead).clamp(0.6, 1.0),
+        }
+    }
+
+    /// Ideal wall time on `nprocs` ranks at the top frequency, seconds.
+    ///
+    /// # Panics
+    /// Panics if `nprocs == 0`.
+    pub fn wall_secs(&self, nprocs: u32) -> f64 {
+        assert!(nprocs > 0, "a job needs at least one rank");
+        self.serial_secs / (nprocs as f64).powf(self.efficiency_exp)
+    }
+}
+
+/// Whole nodes needed to host `nprocs` ranks at one rank per core.
+///
+/// HPC schedulers allocate exclusive nodes; a partial node still counts.
+///
+/// # Panics
+/// Panics if `cores_per_node == 0` or `nprocs == 0`.
+pub fn nodes_needed(nprocs: u32, cores_per_node: u32) -> u32 {
+    assert!(cores_per_node > 0, "node must have cores");
+    assert!(nprocs > 0, "a job needs at least one rank");
+    nprocs.div_ceil(cores_per_node)
+}
+
+/// Ranks placed on the `i`-th of `nodes` nodes (block distribution).
+pub fn ranks_on_node(nprocs: u32, nodes: u32, node_index: u32) -> u32 {
+    assert!(node_index < nodes, "node index out of range");
+    let base = nprocs / nodes;
+    let extra = nprocs % nodes;
+    base + u32::from(node_index < extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn more_ranks_means_less_wall_time() {
+        for app in NpbApp::ALL {
+            let m = ScalingModel::for_app(app, Class::D);
+            let mut prev = f64::INFINITY;
+            for p in [8u32, 16, 32, 64, 128, 256] {
+                let t = m.wall_secs(p);
+                assert!(t < prev, "{app} at {p} ranks");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn class_d_durations_are_minutes_scale() {
+        for app in NpbApp::ALL {
+            let m = ScalingModel::for_app(app, Class::D);
+            let t8 = m.wall_secs(8);
+            let t256 = m.wall_secs(256);
+            assert!((500.0..12_000.0).contains(&t8), "{app}: T(8)={t8}");
+            assert!((20.0..2_000.0).contains(&t256), "{app}: T(256)={t256}");
+        }
+    }
+
+    #[test]
+    fn ep_scales_nearly_perfectly() {
+        let ep = ScalingModel::for_app(NpbApp::Ep, Class::D);
+        let cg = ScalingModel::for_app(NpbApp::Cg, Class::D);
+        assert!(ep.efficiency_exp > cg.efficiency_exp);
+        assert!(ep.efficiency_exp > 0.97);
+    }
+
+    #[test]
+    fn nodes_needed_rounds_up() {
+        assert_eq!(nodes_needed(8, 12), 1);
+        assert_eq!(nodes_needed(12, 12), 1);
+        assert_eq!(nodes_needed(13, 12), 2);
+        assert_eq!(nodes_needed(256, 12), 22);
+        assert_eq!(nodes_needed(1, 12), 1);
+    }
+
+    #[test]
+    fn ranks_distribute_evenly() {
+        // 256 ranks on 22 nodes: 14 nodes get 12, 8 nodes get 11.
+        let nodes = nodes_needed(256, 12);
+        let counts: Vec<u32> = (0..nodes).map(|i| ranks_on_node(256, nodes, i)).collect();
+        assert_eq!(counts.iter().sum::<u32>(), 256);
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "block distribution must be balanced");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_conservation(nprocs in 1u32..1000, cores in 1u32..64) {
+            let nodes = nodes_needed(nprocs, cores);
+            let total: u32 = (0..nodes).map(|i| ranks_on_node(nprocs, nodes, i)).sum();
+            prop_assert_eq!(total, nprocs);
+            // No node exceeds its core count... unless a single node must
+            // hold everything (nodes_needed caps at ceil, never splits a rank).
+            let max = (0..nodes).map(|i| ranks_on_node(nprocs, nodes, i)).max().unwrap();
+            prop_assert!(max <= cores, "max={} cores={}", max, cores);
+        }
+
+        #[test]
+        fn prop_wall_time_positive_and_monotone(p1 in 1u32..512, p2 in 1u32..512) {
+            let m = ScalingModel::for_app(NpbApp::Lu, Class::C);
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(m.wall_secs(lo) > 0.0);
+            prop_assert!(m.wall_secs(lo) >= m.wall_secs(hi));
+        }
+    }
+}

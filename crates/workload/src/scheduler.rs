@@ -1,0 +1,353 @@
+//! First-fit whole-node scheduler.
+//!
+//! Allocation is exclusive (one job per node) and first-fit on the
+//! *lowest-numbered* free nodes, with FIFO head-of-line blocking. The
+//! low-index packing matters for the paper's Figure 6: candidate sets that
+//! grow from node 0 upward cover most of the running work long before they
+//! cover the whole machine, which is why the capping effect saturates
+//! around 48 of 128 nodes.
+
+use crate::job::{Job, JobId, JobStatus, NodeLoad};
+use crate::queue::JobQueue;
+use crate::scaling::nodes_needed;
+use crate::trace::JobRecord;
+use ppc_node::NodeId;
+use ppc_simkit::{SimDuration, SimTime};
+use std::collections::{BTreeSet, HashMap};
+
+/// How queued jobs are admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum AdmissionPolicy {
+    /// Strict FIFO with head-of-line blocking (the paper's protocol).
+    #[default]
+    FifoFirstFit,
+    /// Aggressive backfill: when the head does not fit, any later queued
+    /// job that fits may start (no reservations). Raises utilization at
+    /// the cost of possible head starvation — used as a substrate
+    /// ablation for the Figure 6 saturation analysis.
+    Backfill,
+}
+
+/// Whole-node first-fit scheduler and run-queue.
+#[derive(Debug)]
+pub struct Scheduler {
+    free: BTreeSet<NodeId>,
+    cores_per_node: u32,
+    running: Vec<Job>,
+    /// node → index into `running`, rebuilt on start/finish.
+    node_owner: HashMap<NodeId, JobId>,
+    total_nodes: usize,
+    admission: AdmissionPolicy,
+}
+
+impl Scheduler {
+    /// Creates a scheduler managing the given nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or `cores_per_node == 0`.
+    pub fn new(nodes: impl IntoIterator<Item = NodeId>, cores_per_node: u32) -> Self {
+        assert!(cores_per_node > 0, "nodes must have cores");
+        let free: BTreeSet<NodeId> = nodes.into_iter().collect();
+        assert!(!free.is_empty(), "scheduler needs at least one node");
+        let total_nodes = free.len();
+        Scheduler {
+            free,
+            cores_per_node,
+            running: Vec::new(),
+            node_owner: HashMap::new(),
+            total_nodes,
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// Selects the admission policy (builder style).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// The active admission policy.
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// Cores per node (for rank placement).
+    pub fn cores_per_node(&self) -> u32 {
+        self.cores_per_node
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of nodes under management.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Fraction of nodes currently allocated.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free.len() as f64 / self.total_nodes as f64
+    }
+
+    /// The currently running jobs.
+    pub fn running_jobs(&self) -> &[Job] {
+        &self.running
+    }
+
+    /// The job occupying `node`, if any.
+    pub fn job_of_node(&self, node: NodeId) -> Option<JobId> {
+        self.node_owner.get(&node).copied()
+    }
+
+    /// Maximum NPROCS this cluster can host (whole machine).
+    pub fn max_nprocs(&self) -> u32 {
+        self.total_nodes as u32 * self.cores_per_node
+    }
+
+    /// Starts queued jobs according to the admission policy; returns the
+    /// started job ids in start order.
+    pub fn try_start(&mut self, queue: &mut JobQueue, now: SimTime) -> Vec<JobId> {
+        let mut started = Vec::new();
+        loop {
+            // FIFO pass: take from the head while it fits.
+            let mut progressed = false;
+            while let Some(head) = queue.peek() {
+                let needed = nodes_needed(head.nprocs(), self.cores_per_node) as usize;
+                if needed > self.free.len() {
+                    break;
+                }
+                let job = queue.pop().expect("peeked job pops");
+                started.push(self.place(job, now));
+                progressed = true;
+            }
+            if self.admission == AdmissionPolicy::FifoFirstFit {
+                break; // head-of-line blocking, no backfill
+            }
+            // Backfill pass: the head does not fit; admit the first later
+            // job that does, then retry the FIFO pass (the head may now be
+            // reachable after future completions only — keep scanning).
+            let fits = queue.iter().position(|j| {
+                nodes_needed(j.nprocs(), self.cores_per_node) as usize <= self.free.len()
+            });
+            match fits {
+                Some(idx) if idx > 0 => {
+                    let job = queue.remove(idx);
+                    started.push(self.place(job, now));
+                    progressed = true;
+                }
+                _ => {}
+            }
+            if !progressed {
+                break;
+            }
+        }
+        started
+    }
+
+    /// Allocates the lowest free nodes to `job` and starts it.
+    fn place(&mut self, mut job: Job, now: SimTime) -> JobId {
+        let needed = nodes_needed(job.nprocs(), self.cores_per_node) as usize;
+        debug_assert!(needed <= self.free.len());
+        let alloc: Vec<NodeId> = self.free.iter().copied().take(needed).collect();
+        for &n in &alloc {
+            self.free.remove(&n);
+            self.node_owner.insert(n, job.id());
+        }
+        job.start(alloc, now);
+        let id = job.id();
+        self.running.push(job);
+        id
+    }
+
+    /// Advances all running jobs by `dt_secs`; jobs that complete are
+    /// finished at their exact sub-step completion instant (`now` minus
+    /// the unused step time), their nodes freed, and records returned.
+    pub fn advance(
+        &mut self,
+        dt_secs: f64,
+        now: SimTime,
+        speed_of: &dyn Fn(NodeId) -> f64,
+    ) -> Vec<JobRecord> {
+        let mut records = Vec::new();
+        let mut i = 0;
+        while i < self.running.len() {
+            let done = self.running[i].advance(dt_secs, speed_of);
+            if let Some(unused_secs) = done {
+                let mut job = self.running.swap_remove(i);
+                let finish_at = now - SimDuration::from_secs_f64(unused_secs.min(dt_secs));
+                job.finish(finish_at);
+                for &n in job.nodes() {
+                    self.free.insert(n);
+                    self.node_owner.remove(&n);
+                }
+                records.push(JobRecord::from_job(&job));
+            } else {
+                i += 1;
+            }
+        }
+        records
+    }
+
+    /// The load `node` currently carries, or `None` if idle.
+    pub fn load_on(&self, node: NodeId) -> Option<NodeLoad> {
+        let owner = self.job_of_node(node)?;
+        self.running
+            .iter()
+            .find(|j| j.id() == owner)
+            .and_then(|j| j.load_on(node, self.cores_per_node))
+    }
+
+    /// Checks internal consistency (tests and debug assertions).
+    pub fn check_invariants(&self) {
+        // Every running job's nodes are owned by it and not free.
+        for job in &self.running {
+            assert_eq!(job.status(), JobStatus::Running);
+            for &n in job.nodes() {
+                assert_eq!(self.node_owner.get(&n), Some(&job.id()));
+                assert!(!self.free.contains(&n), "running node must not be free");
+            }
+        }
+        // Ownership maps only to running jobs.
+        for (&n, &jid) in &self.node_owner {
+            assert!(
+                self.running.iter().any(|j| j.id() == jid),
+                "owner of {n} is not running"
+            );
+        }
+        // Conservation: free + owned = total.
+        assert_eq!(self.free.len() + self.node_owner.len(), self.total_nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Class, NpbApp};
+    use crate::phase::{Phase, PhaseKind};
+
+    fn job(id: u64, nprocs: u32, work: f64) -> Job {
+        Job::new(
+            JobId(id),
+            NpbApp::Ep,
+            Class::A,
+            nprocs,
+            vec![Phase {
+                kind: PhaseKind::Compute,
+                work_secs: work,
+                alpha: 1.0,
+                cpu_util: 1.0,
+                nic_fraction: 0.1,
+            }],
+            SimTime::ZERO,
+        )
+    }
+
+    fn sched(n: u32) -> Scheduler {
+        Scheduler::new((0..n).map(NodeId), 12)
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_free_nodes() {
+        let mut s = sched(8);
+        let mut q = JobQueue::new();
+        q.push(job(1, 24, 10.0)); // 2 nodes
+        q.push(job(2, 12, 10.0)); // 1 node
+        let started = s.try_start(&mut q, SimTime::ZERO);
+        assert_eq!(started, vec![JobId(1), JobId(2)]);
+        let j1 = &s.running_jobs()[0];
+        assert_eq!(j1.nodes(), &[NodeId(0), NodeId(1)]);
+        let j2 = &s.running_jobs()[1];
+        assert_eq!(j2.nodes(), &[NodeId(2)]);
+        assert_eq!(s.free_count(), 5);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn backfill_admits_later_fitting_jobs() {
+        let mut s = sched(4).with_admission(AdmissionPolicy::Backfill);
+        let mut q = JobQueue::new();
+        q.push(job(1, 36, 10.0)); // 3 nodes
+        q.push(job(2, 36, 10.0)); // 3 nodes: blocks after job 1 (1 free)
+        q.push(job(3, 12, 10.0)); // 1 node: backfills
+        let started = s.try_start(&mut q, SimTime::ZERO);
+        assert_eq!(started, vec![JobId(1), JobId(3)]);
+        assert_eq!(q.len(), 1, "head job 2 still waits");
+        assert_eq!(s.free_count(), 0);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn head_of_line_blocks_even_if_later_job_fits() {
+        let mut s = sched(4);
+        let mut q = JobQueue::new();
+        q.push(job(1, 48, 10.0)); // 4 nodes
+        let started = s.try_start(&mut q, SimTime::ZERO);
+        assert_eq!(started.len(), 1);
+        q.push(job(2, 60, 10.0)); // needs 5 > 0 free: blocks
+        q.push(job(3, 12, 10.0)); // would fit later, must wait for FIFO
+        assert!(s.try_start(&mut q, SimTime::ZERO).is_empty());
+        assert_eq!(q.len(), 2);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn finished_jobs_free_their_nodes() {
+        let mut s = sched(4);
+        let mut q = JobQueue::new();
+        q.push(job(1, 24, 5.0));
+        s.try_start(&mut q, SimTime::ZERO);
+        assert_eq!(s.utilization(), 0.5);
+        let records = s.advance(5.0, SimTime::from_secs(5), &|_| 1.0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].actual_secs, 5.0);
+        assert_eq!(s.free_count(), 4);
+        assert!(s.running_jobs().is_empty());
+        s.check_invariants();
+    }
+
+    #[test]
+    fn load_on_reports_running_nodes_only() {
+        let mut s = sched(4);
+        let mut q = JobQueue::new();
+        q.push(job(1, 12, 10.0));
+        s.try_start(&mut q, SimTime::ZERO);
+        assert!(s.load_on(NodeId(0)).is_some());
+        assert!(s.load_on(NodeId(3)).is_none());
+        assert_eq!(s.job_of_node(NodeId(0)), Some(JobId(1)));
+        assert_eq!(s.job_of_node(NodeId(3)), None);
+    }
+
+    #[test]
+    fn throttled_cluster_delays_completion() {
+        let mut s = sched(2);
+        let mut q = JobQueue::new();
+        q.push(job(1, 12, 10.0));
+        s.try_start(&mut q, SimTime::ZERO);
+        // Half speed: after 10 s the job is only half done.
+        let records = s.advance(10.0, SimTime::from_secs(10), &|_| 0.5);
+        assert!(records.is_empty());
+        let records = s.advance(10.0, SimTime::from_secs(20), &|_| 0.5);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].actual_secs, 20.0);
+        assert!(records[0].performance_ratio() < 0.51);
+    }
+
+    #[test]
+    fn multiple_jobs_finish_in_one_step() {
+        let mut s = sched(4);
+        let mut q = JobQueue::new();
+        q.push(job(1, 12, 3.0));
+        q.push(job(2, 12, 4.0));
+        s.try_start(&mut q, SimTime::ZERO);
+        let records = s.advance(5.0, SimTime::from_secs(5), &|_| 1.0);
+        assert_eq!(records.len(), 2);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn max_nprocs_reflects_capacity() {
+        assert_eq!(sched(8).max_nprocs(), 96);
+    }
+}

@@ -1,0 +1,72 @@
+//! Compares all seven target-set selection policies on the same workload.
+//!
+//! A 32-node cluster with a deliberately tight power provision, so the
+//! capping machinery is exercised hard and the policies' characters show:
+//! MPC-family policies hit big jobs, LPC-family spread mild cuts over
+//! small ones, BFP right-sizes the cut, and the HRI family punishes
+//! whichever job is ramping.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison
+//! ```
+
+use ppc::cluster::experiment::{run_experiment, ExperimentConfig};
+use ppc::cluster::output::render_table;
+use ppc::core::PolicyKind;
+
+fn main() {
+    let mut configs: Vec<ExperimentConfig> = Vec::new();
+    let mut base = ExperimentConfig::quick(None, 32);
+    base.spec.provision_fraction = 0.72;
+    configs.push(base.clone());
+    for policy in PolicyKind::ALL {
+        let mut cfg = base.clone();
+        cfg.policy = Some(policy);
+        configs.push(cfg);
+    }
+
+    let baseline = run_experiment(&configs[0]);
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let out = if cfg.policy.is_none() {
+            baseline.clone()
+        } else {
+            run_experiment(cfg)
+        };
+        let m = &out.metrics;
+        rows.push(vec![
+            out.label.clone(),
+            format!("{:.4}", m.performance),
+            format!("{:.1}%", m.cplj_fraction * 100.0),
+            format!("{:.2} kW", m.p_max_w / 1e3),
+            format!("{:.5}", m.overspend),
+            format!(
+                "{:.0}%",
+                if baseline.metrics.overspend > 0.0 {
+                    (1.0 - m.overspend / baseline.metrics.overspend) * 100.0
+                } else {
+                    0.0
+                }
+            ),
+            out.manager_stats
+                .map(|s| s.commands_issued.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("policy comparison on a 32-node cluster (tight provision):\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "Performance",
+                "CPLJ",
+                "P_max",
+                "ΔP×T",
+                "ΔP×T cut",
+                "commands"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,77 @@
+//! The proportional-budget architecture baseline, end to end.
+
+use ppc::cluster::{ClusterSim, ClusterSpec};
+use ppc::core::{ProportionalBudgetController, Thresholds};
+use ppc::node::Level;
+use ppc::simkit::SimDuration;
+
+fn budget_sim(nodes: u32, p_low_frac: f64) -> ClusterSim {
+    let spec = ClusterSpec::mini(nodes);
+    let thy = spec.theoretical_max_w();
+    let thresholds = Thresholds::new(p_low_frac * thy, (p_low_frac + 0.09) * thy).unwrap();
+    ClusterSim::new(spec).with_budget_controller(ProportionalBudgetController::new(thresholds))
+}
+
+#[test]
+fn budget_controller_caps_energy_against_unmanaged() {
+    let mut managed = budget_sim(8, 0.55);
+    managed.run_for(SimDuration::from_mins(20));
+    let mut unmanaged = ClusterSim::new(ClusterSpec::mini(8));
+    unmanaged.run_for(SimDuration::from_mins(20));
+
+    let e_managed = managed
+        .true_power()
+        .integrate(ppc::simkit::series::Interp::Step);
+    let e_unmanaged = unmanaged
+        .true_power()
+        .integrate(ppc::simkit::series::Interp::Step);
+    assert!(
+        e_managed < e_unmanaged,
+        "budget capping must reduce energy: {e_managed:.0} vs {e_unmanaged:.0}"
+    );
+    let stats = managed.budget_controller().unwrap().stats();
+    assert!(stats.active_cycles > 0, "the tight budget must activate");
+    assert!(managed.commands_applied() > 0);
+    // Jobs still complete.
+    assert!(managed.finished().len() > 20);
+}
+
+#[test]
+fn budget_levels_stay_on_ladders() {
+    let mut sim = budget_sim(6, 0.50);
+    for _ in 0..600 {
+        sim.step();
+        for level in sim.node_levels() {
+            assert!(level.index() <= 9);
+        }
+    }
+}
+
+#[test]
+fn loose_budget_never_throttles() {
+    let mut sim = budget_sim(6, 0.99);
+    sim.run_for(SimDuration::from_mins(10));
+    assert_eq!(sim.commands_applied(), 0);
+    assert!(sim
+        .node_levels()
+        .iter()
+        .all(|&l| l == Level::new(9)));
+    assert_eq!(sim.budget_controller().unwrap().stats().active_cycles, 0);
+}
+
+#[test]
+#[should_panic(expected = "mutually exclusive")]
+fn manager_and_budget_controller_conflict() {
+    use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+    let spec = ClusterSpec::mini(4);
+    let sets = NodeSets::new(spec.node_ids(), []);
+    let manager = PowerManager::new(
+        ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc),
+        sets,
+    )
+    .unwrap();
+    let thresholds = Thresholds::new(100.0, 200.0).unwrap();
+    let _ = ClusterSim::new(spec)
+        .with_manager(manager)
+        .with_budget_controller(ProportionalBudgetController::new(thresholds));
+}

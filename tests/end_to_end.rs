@@ -1,0 +1,102 @@
+//! End-to-end integration: the full experiment pipeline across all crates.
+
+use ppc::cluster::experiment::{run_experiment, ExperimentConfig};
+use ppc::core::PolicyKind;
+
+fn quick(policy: Option<PolicyKind>) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(policy, 8);
+    cfg.spec.provision_fraction = 0.72;
+    cfg
+}
+
+#[test]
+fn uncapped_baseline_is_lossless_and_unthrottled() {
+    let out = run_experiment(&quick(None));
+    assert_eq!(out.label, "uncapped");
+    assert!(out.metrics.jobs_finished > 10, "workload must make progress");
+    assert!(out.metrics.performance > 0.9999);
+    assert_eq!(out.metrics.cplj, out.metrics.jobs_finished);
+    assert!(out.records.iter().all(|r| r.throttled_secs == 0.0));
+    assert!(out.manager_stats.is_none());
+}
+
+#[test]
+fn capped_run_respects_paper_shape() {
+    let base = run_experiment(&quick(None));
+    let mpc = run_experiment(&quick(Some(PolicyKind::Mpc)));
+
+    // Peak is reduced, overspend not increased, performance bounded.
+    assert!(mpc.metrics.p_max_w < base.metrics.p_max_w);
+    assert!(mpc.metrics.overspend <= base.metrics.overspend + 1e-12);
+    assert!(mpc.metrics.performance <= 1.0);
+    assert!(
+        mpc.metrics.performance > 0.80,
+        "throttling must not devastate performance: {}",
+        mpc.metrics.performance
+    );
+
+    // Thresholds carry the paper margins relative to the learned peak.
+    let (pl, ph) = mpc.thresholds_w;
+    assert!((pl / mpc.p_peak_w - 0.84).abs() < 1e-9);
+    assert!((ph / mpc.p_peak_w - 0.93).abs() < 1e-9);
+
+    // The manager actually worked.
+    let stats = mpc.manager_stats.expect("managed run");
+    assert!(stats.yellow_cycles > 0, "capping must engage on this provision");
+    assert!(stats.commands_issued > 0);
+}
+
+#[test]
+fn capped_peak_stays_under_learned_envelope() {
+    let mpc = run_experiment(&quick(Some(PolicyKind::Mpc)));
+    // After training, spikes get clipped: the measured peak must stay
+    // within a small overshoot of P_H (control latency allows a little).
+    let (_, ph) = mpc.thresholds_w;
+    assert!(
+        mpc.metrics.p_max_w <= ph * 1.10,
+        "peak {:.0} must stay near P_H {:.0}",
+        mpc.metrics.p_max_w,
+        ph
+    );
+}
+
+#[test]
+fn performance_and_cplj_are_consistent() {
+    let out = run_experiment(&quick(Some(PolicyKind::MpcC)));
+    let m = &out.metrics;
+    // CPLJ counts a subset of jobs; lossless fraction and mean ratio agree
+    // directionally.
+    assert!(m.cplj <= m.jobs_finished);
+    assert!((0.0..=1.0).contains(&m.cplj_fraction));
+    if m.cplj == m.jobs_finished {
+        assert!(m.performance > 0.97);
+    }
+    // Every record's ratio is within (0, 1].
+    for r in &out.records {
+        let ratio = r.performance_ratio();
+        assert!(ratio > 0.0 && ratio <= 1.0, "{ratio}");
+    }
+}
+
+#[test]
+fn frozen_thresholds_protect_the_provision() {
+    let mut cfg = quick(Some(PolicyKind::Mpc));
+    cfg.frozen_thresholds = true;
+    let out = run_experiment(&cfg);
+    let (pl, ph) = out.thresholds_w;
+    assert!((pl / out.provision_w - 0.84).abs() < 1e-9);
+    assert!((ph / out.provision_w - 0.93).abs() < 1e-9);
+    // With thresholds under the provision, overspend all but vanishes.
+    assert!(out.metrics.overspend < 0.01);
+}
+
+#[test]
+fn outcome_serializes_to_json() {
+    let out = run_experiment(&quick(Some(PolicyKind::Hri)));
+    let json = ppc::cluster::output::outcome_to_json(&out);
+    assert!(json.contains("\"label\""));
+    assert!(json.contains("HRI"));
+    // And parses back as a generic value with the expected fields.
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+    assert!(v["metrics"]["performance"].as_f64().unwrap() > 0.0);
+}

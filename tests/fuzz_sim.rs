@@ -1,0 +1,116 @@
+//! Property-based fuzzing of whole simulation configurations: random
+//! cluster shapes, policies, provisions and workload knobs must never
+//! panic and must uphold the global invariants.
+
+use ppc::cluster::spec::NodeGroup;
+use ppc::cluster::{ClusterSim, ClusterSpec};
+use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc::node::spec::NodeSpec;
+use ppc::node::NodeId;
+use ppc::simkit::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct FuzzConfig {
+    nodes: u32,
+    x5650_nodes: u32,
+    provision: f64,
+    policy_idx: usize,
+    think_secs: u64,
+    queue_depth: usize,
+    backfill: bool,
+    critical_frac: f64,
+    privileged_first: u32,
+    seed: u64,
+    thermal: bool,
+}
+
+fn arb_config() -> impl Strategy<Value = FuzzConfig> {
+    (
+        (2u32..8, 0u32..4, 0.45f64..0.95, 0usize..PolicyKind::ALL.len()),
+        (0u64..30, 1usize..4, any::<bool>(), 0.0f64..0.4),
+        (0u32..2, any::<u64>(), any::<bool>()),
+    )
+        .prop_map(
+            |(
+                (nodes, x5650_nodes, provision, policy_idx),
+                (think_secs, queue_depth, backfill, critical_frac),
+                (privileged_first, seed, thermal),
+            )| FuzzConfig {
+                nodes,
+                x5650_nodes,
+                provision,
+                policy_idx,
+                think_secs,
+                queue_depth,
+                backfill,
+                critical_frac,
+                privileged_first,
+                seed,
+                thermal,
+            },
+        )
+}
+
+fn run_one(cfg: FuzzConfig) {
+    let mut spec = ClusterSpec::mini(cfg.nodes);
+    if cfg.thermal {
+        spec.node_spec = NodeSpec::tianhe_1a_thermal();
+    }
+    if cfg.x5650_nodes > 0 {
+        spec.extra_groups = vec![NodeGroup {
+            spec: NodeSpec::tianhe_1a_x5650(),
+            count: cfg.x5650_nodes,
+        }];
+    }
+    spec.provision_fraction = cfg.provision;
+    spec.think_time_mean = SimDuration::from_secs(cfg.think_secs);
+    spec.queue_depth = cfg.queue_depth;
+    spec.backfill = cfg.backfill;
+    spec.critical_job_fraction = cfg.critical_frac;
+    spec.privileged = (0..cfg.privileged_first.min(cfg.nodes)).map(NodeId).collect();
+    spec.seed = cfg.seed;
+
+    let policy = PolicyKind::ALL[cfg.policy_idx];
+    let sets = NodeSets::new(spec.node_ids(), spec.privileged.iter().copied());
+    let config = ManagerConfig {
+        training_cycles: 30,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), policy)
+    };
+    let manager = PowerManager::new(config, sets).expect("valid config");
+    let mut sim = ClusterSim::new(spec.clone()).with_manager(manager);
+
+    let total_nodes = spec.total_nodes();
+    let envelope_hi = spec.theoretical_max_w() * 1.25; // thermal leakage headroom
+    for _ in 0..240 {
+        sim.step();
+        // Global invariants, every tick.
+        let levels = sim.node_levels();
+        assert_eq!(levels.len(), total_nodes as usize);
+        for (i, level) in levels.iter().enumerate() {
+            let top = spec.spec_of(NodeId(i as u32)).ladder.highest();
+            assert!(*level <= top, "node {i} above its ladder");
+        }
+        let p = *sim.true_power().values().last().unwrap();
+        assert!(p > 0.0 && p <= envelope_hi, "power {p} outside envelope");
+        assert!((0.0..=1.0).contains(&sim.utilization()));
+    }
+    // Statically privileged nodes never moved.
+    for p in &spec.privileged {
+        assert_eq!(
+            sim.node_levels()[p.0 as usize],
+            spec.spec_of(*p).ladder.highest()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+    #[test]
+    fn random_configurations_uphold_invariants(cfg in arb_config()) {
+        run_one(cfg);
+    }
+}

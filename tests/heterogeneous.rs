@@ -1,0 +1,112 @@
+//! Heterogeneous clusters: Algorithm 1 "is applicable to both
+//! heterogeneous and homogeneous systems as far as the power states of a
+//! node are discrete" — verified on a mixed X5670 (10-level) / X5650
+//! (7-level) partition.
+
+use ppc::cluster::spec::NodeGroup;
+use ppc::cluster::{ClusterSim, ClusterSpec};
+use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc::node::spec::NodeSpec;
+use ppc::node::Level;
+use ppc::simkit::SimDuration;
+
+fn mixed_spec(base: u32, extra: u32) -> ClusterSpec {
+    let mut spec = ClusterSpec::mini(base);
+    spec.extra_groups = vec![NodeGroup {
+        spec: NodeSpec::tianhe_1a_x5650(),
+        count: extra,
+    }];
+    spec.provision_fraction = 0.60; // tight: capping must engage hard
+    spec
+}
+
+fn managed(spec: ClusterSpec, policy: PolicyKind) -> ClusterSim {
+    let sets = NodeSets::new(spec.node_ids(), []);
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), policy)
+    };
+    let manager = PowerManager::new(config, sets).expect("valid");
+    ClusterSim::new(spec).with_manager(manager)
+}
+
+#[test]
+fn spec_accounting_covers_both_groups() {
+    let spec = mixed_spec(6, 4);
+    spec.validate();
+    assert_eq!(spec.total_nodes(), 10);
+    assert_eq!(spec.node_ids().count(), 10);
+    // Base nodes have the 10-level ladder, group nodes the 7-level one.
+    assert_eq!(spec.spec_of(ppc::node::NodeId(0)).ladder.len(), 10);
+    assert_eq!(spec.spec_of(ppc::node::NodeId(6)).ladder.len(), 7);
+    assert_eq!(spec.spec_of(ppc::node::NodeId(9)).ladder.len(), 7);
+    let thy = spec.theoretical_max_w();
+    let homog = 10.0 * NodeSpec::tianhe_1a().theoretical_max_w();
+    assert!(thy < homog, "X5650 partition draws less: {thy} < {homog}");
+}
+
+#[test]
+fn capping_respects_each_ladder_height() {
+    let mut sim = managed(mixed_spec(6, 4), PolicyKind::MpcC);
+    for _ in 0..1_200 {
+        sim.step();
+        let levels = sim.node_levels();
+        for (i, level) in levels.iter().enumerate() {
+            let max = if i < 6 { 9 } else { 6 };
+            assert!(
+                level.index() <= max,
+                "node {i} at level {} exceeds its {max}-level ladder",
+                level.index()
+            );
+        }
+    }
+    assert!(sim.commands_applied() > 0, "capping must engage");
+    // Both partitions must have been throttled at some point under this
+    // much pressure: check the final state or command history indirectly.
+    let levels = sim.node_levels();
+    assert!(levels.iter().any(|&l| l < Level::new(9)) || sim.commands_applied() > 100);
+}
+
+#[test]
+fn recovery_restores_each_node_to_its_own_top() {
+    // Loose provision: after any early excursions, a long run should end
+    // with every node at (or near) its own ladder's top.
+    let mut spec = mixed_spec(4, 4);
+    spec.provision_fraction = 0.97;
+    let mut sim = managed(spec, PolicyKind::Mpc);
+    sim.run_for(SimDuration::from_mins(25));
+    let levels = sim.node_levels();
+    for (i, level) in levels.iter().enumerate() {
+        let top = if i < 4 { 9 } else { 6 };
+        assert!(
+            level.index() + 1 >= top,
+            "node {i} stuck at {} (top {top})",
+            level.index()
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_runs_are_deterministic() {
+    let run = || {
+        let mut sim = managed(mixed_spec(5, 3), PolicyKind::Hri);
+        sim.run_for(SimDuration::from_mins(10));
+        (
+            sim.true_power().values().to_vec(),
+            sim.commands_applied(),
+            sim.finished().len(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+#[should_panic(expected = "match the base core count")]
+fn mismatched_core_counts_rejected() {
+    let mut spec = ClusterSpec::mini(4);
+    spec.extra_groups = vec![NodeGroup {
+        spec: NodeSpec::mini(), // 4 cores vs the base 12
+        count: 2,
+    }];
+    spec.validate();
+}

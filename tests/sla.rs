@@ -1,0 +1,70 @@
+//! SLA-critical jobs: the dynamic privileged set protects them absolutely.
+
+use ppc::cluster::experiment::{run_experiment, ExperimentConfig};
+use ppc::core::PolicyKind;
+use ppc::workload::JobPriority;
+
+fn cfg(critical_fraction: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Some(PolicyKind::MpcC), 12);
+    cfg.spec.provision_fraction = 0.62; // heavy, sustained capping pressure
+    cfg.spec.critical_job_fraction = critical_fraction;
+    cfg
+}
+
+#[test]
+fn critical_jobs_are_never_throttled() {
+    let out = run_experiment(&cfg(0.25));
+    let critical: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.priority == JobPriority::Critical)
+        .collect();
+    let normal: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.priority == JobPriority::Normal)
+        .collect();
+    assert!(
+        critical.len() >= 3,
+        "workload must include critical jobs, got {}",
+        critical.len()
+    );
+    for r in &critical {
+        assert_eq!(
+            r.throttled_secs, 0.0,
+            "critical job {} was throttled for {}s",
+            r.id, r.throttled_secs
+        );
+        assert!(r.is_lossless(0.01), "critical job {} lost performance", r.id);
+    }
+    // Under this much pressure, normal jobs must have absorbed throttling.
+    assert!(
+        normal.iter().any(|r| r.throttled_secs > 0.0),
+        "pressure should have throttled some normal job"
+    );
+}
+
+#[test]
+fn privileged_set_returns_nodes_after_critical_jobs_finish() {
+    // With critical jobs present the manager still issues commands —
+    // the candidate pool shrinks and grows but never empties for long.
+    let out = run_experiment(&cfg(0.25));
+    let stats = out.manager_stats.expect("managed");
+    assert!(
+        stats.commands_issued > 0,
+        "capping must still function alongside SLA protection"
+    );
+    // And the overall experiment keeps the usual shape.
+    assert!(out.metrics.performance > 0.6);
+    assert!(out.metrics.jobs_finished > 20);
+}
+
+#[test]
+fn zero_fraction_behaves_identically_to_baseline_feature_off() {
+    let a = run_experiment(&cfg(0.0));
+    let mut plain = ExperimentConfig::quick(Some(PolicyKind::MpcC), 12);
+    plain.spec.provision_fraction = 0.62;
+    let b = run_experiment(&plain);
+    assert_eq!(a.metrics.p_max_w.to_bits(), b.metrics.p_max_w.to_bits());
+    assert_eq!(a.records.len(), b.records.len());
+}
