@@ -1,4 +1,4 @@
-//! Criterion bench: central collector ingestion, sequential vs concurrent.
+//! Criterion bench: central collector ingestion, one-by-one vs batched.
 //!
 //! Backs the Figure-5 discussion: per-cycle collection cost as the
 //! monitored-node count grows.
@@ -29,7 +29,7 @@ fn bench_collector(c: &mut Criterion) {
     for n in [16u32, 128, 1_024] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
-            let collector = Collector::new();
+            let mut collector = Collector::new();
             let mut at = 0;
             b.iter(|| {
                 at += 1;
@@ -39,12 +39,12 @@ fn bench_collector(c: &mut Criterion) {
                 black_box(collector.estimated_total_w())
             })
         });
-        group.bench_with_input(BenchmarkId::new("concurrent", n), &n, |b, &n| {
-            let collector = Collector::new();
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            let mut collector = Collector::new();
             let mut at = 0;
             b.iter(|| {
                 at += 1;
-                collector.ingest_concurrent(samples(n, at));
+                collector.ingest_batch(&samples(n, at));
                 black_box(collector.estimated_total_w())
             })
         });
@@ -52,7 +52,7 @@ fn bench_collector(c: &mut Criterion) {
     group.finish();
 
     c.bench_function("aggregate_power_22_nodes", |b| {
-        let collector = Collector::new();
+        let mut collector = Collector::new();
         for s in samples(128, 1) {
             collector.ingest(s);
         }

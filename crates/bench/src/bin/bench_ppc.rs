@@ -1,0 +1,139 @@
+//! BENCH_ppc.json emitter — the repo's wall-clock regression record.
+//!
+//! Runs one fixed macro workload (the paper-scale 128-node cluster,
+//! 1 simulated hour, MPC-managed) plus the hot-path micro measurements
+//! that the criterion suite tracks, and writes the results to
+//! `BENCH_ppc.json` in the current directory:
+//!
+//! ```text
+//! cargo run --release -p ppc-bench --bin bench_ppc
+//! git diff BENCH_ppc.json   # compare against the committed baseline
+//! ```
+//!
+//! Micro numbers are medians over repeated sample batches (robust to the
+//! occasional scheduler hiccup); the macro number is a single wall-clock
+//! run, which is what an experiment sweep actually pays.
+
+use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc_node::{Level, NodeId, OperatingState};
+use ppc_simkit::{SimDuration, SimTime, WorkerPool};
+use ppc_telemetry::{Collector, NodeSample};
+use std::time::Instant;
+
+/// Median of a sample set, in place.
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Median per-iteration microseconds over `batches` batches of `iters`
+/// calls to `f`.
+fn median_us(batches: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() / iters as f64 * 1e6);
+    }
+    median(&mut samples)
+}
+
+fn sim(managed: bool) -> ClusterSim {
+    let spec = ClusterSpec::tianhe_1a_variant();
+    if managed {
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+        };
+        let manager = PowerManager::new(config, sets).expect("valid config");
+        ClusterSim::new(spec).with_manager(manager)
+    } else {
+        ClusterSim::new(spec)
+    }
+}
+
+fn samples(n: u32, at: u64) -> Vec<NodeSample> {
+    (0..n)
+        .map(|i| NodeSample {
+            node: NodeId(i),
+            at: SimTime::from_secs(at),
+            state: OperatingState {
+                cpu_util: 0.7,
+                mem_used_bytes: 8 << 30,
+                nic_bytes: 1_000_000,
+            },
+            level: Level::new(9),
+            power_w: 250.0 + i as f64,
+        })
+        .collect()
+}
+
+fn main() {
+    // Macro: the paper's unit of work — one simulated hour, managed.
+    let mut hour = sim(true);
+    let t = Instant::now();
+    hour.run_for(SimDuration::from_mins(60));
+    let managed_hour_secs = t.elapsed().as_secs_f64();
+    let finished_jobs = hour.finished().len();
+
+    // Micro: per-tick cost on warmed (job-saturated) clusters.
+    let mut managed = sim(true);
+    managed.run_for(SimDuration::from_mins(10));
+    let sim_step_managed_us = median_us(25, 40, || managed.step());
+
+    let mut unmanaged = sim(false);
+    unmanaged.run_for(SimDuration::from_mins(10));
+    let sim_step_unmanaged_us = median_us(25, 40, || unmanaged.step());
+
+    // Micro: collector hot paths at the 1024-node scale the roadmap targets.
+    let mut collector = Collector::new();
+    let mut at = 0u64;
+    let collector_ingest_batch_1024_us = median_us(25, 40, || {
+        at += 1;
+        collector.ingest_batch(&samples(1024, at));
+    });
+    let nodes: Vec<NodeId> = (0..1024).map(NodeId).collect();
+    let mut total = 0.0;
+    let aggregate_power_1024_us = median_us(25, 400, || {
+        total += collector.aggregate_power(&nodes);
+    });
+
+    // Micro: one pool dispatch over a 4096-element slice (above the inline
+    // threshold, so this exercises the persistent workers when the machine
+    // has more than one core; on a 1-core machine it measures the inline
+    // path, which is the pool's sequential fallback).
+    let pool = WorkerPool::global();
+    let mut cells = vec![0.0f64; 4096];
+    let pool_dispatch_4096_us = median_us(25, 40, || {
+        pool.for_each_mut(&mut cells, |i, c| *c += i as f64);
+    });
+    assert!(total != 0.0 && cells[1] != 0.0, "work must not be elided");
+
+    let report = serde_json::json!({
+        "workload": {
+            "cluster": "tianhe_1a_variant",
+            "nodes": 128,
+            "simulated_secs": 3600,
+            "policy": "mpc",
+        },
+        "pool_workers": pool.workers(),
+        "managed_hour_wall_secs": managed_hour_secs,
+        "managed_hour_finished_jobs": finished_jobs,
+        "median_us": {
+            "sim_step_128_managed": sim_step_managed_us,
+            "sim_step_128_unmanaged": sim_step_unmanaged_us,
+            "collector_ingest_batch_1024": collector_ingest_batch_1024_us,
+            "aggregate_power_1024": aggregate_power_1024_us,
+            "pool_dispatch_4096": pool_dispatch_4096_us,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write("BENCH_ppc.json", rendered + "\n").expect("write BENCH_ppc.json");
+    println!("{rendered}");
+    println!("\nwrote BENCH_ppc.json");
+}

@@ -51,8 +51,8 @@ fn measure_cycle_cost(n: usize, cycles: u64) -> f64 {
         sets,
     )
     .expect("valid config");
-    let candidates = manager.sets().candidates();
-    let collector = Collector::new();
+    let candidates = manager.sets().candidates().clone();
+    let mut collector = Collector::new();
     // Jobs of 8 nodes each, covering the monitored pool.
     let jobs: Vec<(JobId, Vec<NodeId>)> = (0..n / 8)
         .map(|j| {
@@ -86,13 +86,15 @@ fn measure_cycle_cost(n: usize, cycles: u64) -> f64 {
         let power_w = 26_000.0;
         let m = Arc::clone(&model);
         meter.measure(|| {
-            // Sequential ingest: one management node's own CPU cost (the
-            // quantity Figure 5 plots). The simulation's concurrent path
-            // adds thread fan-out that would only distort this series.
-            for s in samples {
-                collector.ingest(s);
-            }
-            let obs = observe_jobs(&collector, &jobs, &candidates, &|_| Arc::clone(&m));
+            // Batch ingest: one management node's own CPU cost (the
+            // quantity Figure 5 plots).
+            collector.ingest_batch(&samples);
+            let obs = observe_jobs(
+                &collector,
+                jobs.iter().map(|(id, ns)| (*id, ns.as_slice())),
+                &candidates,
+                &|_| Arc::clone(&m),
+            );
             manager.control_cycle(power_w, obs, &FlatView)
         });
     }

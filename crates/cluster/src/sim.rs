@@ -23,12 +23,12 @@ use ppc_core::{BudgetNodeView, PowerManager, PowerState, ProportionalBudgetContr
 use ppc_node::node::Node;
 use ppc_node::{Level, NodeId, OperatingState, PowerModel};
 use ppc_simkit::journal::{Journal, Severity};
-use ppc_simkit::par::{par_for_each_mut, par_sum_f64};
+use ppc_simkit::par::WorkerPool;
 use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries};
 use ppc_telemetry::cost::CycleCostMeter;
 use ppc_telemetry::{Collector, NodeSample, ProfilingAgent, SystemPowerMeter};
 use ppc_workload::{
-    AdmissionPolicy, JobGenerator, JobId, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
+    AdmissionPolicy, JobGenerator, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
 };
 use std::sync::Arc;
 
@@ -81,6 +81,15 @@ pub struct ClusterSim {
     /// `∫ mean relative-failure-rate dt` (reference = ambient), in
     /// rate-seconds (thermal model only).
     failure_integral: f64,
+    /// Worker-pool override (`None` = the process-global pool). Explicit
+    /// pools let tests prove worker-count invariance of the traces.
+    pool: Option<Arc<WorkerPool>>,
+    /// Per-tick scratch buffers, reused across ticks so the steady-state
+    /// step path performs no per-tick allocation.
+    scratch_loads: Vec<OperatingState>,
+    scratch_speeds: Vec<f64>,
+    scratch_samples: Vec<NodeSample>,
+    scratch_views: Vec<BudgetNodeView>,
 }
 
 impl ClusterSim {
@@ -157,8 +166,21 @@ impl ClusterSim {
             last_state: None,
             peak_temp_c: f64::NEG_INFINITY,
             failure_integral: 0.0,
+            pool: None,
+            scratch_loads: Vec::new(),
+            scratch_speeds: Vec::new(),
+            scratch_samples: Vec::new(),
+            scratch_views: Vec::new(),
             spec,
         }
+    }
+
+    /// Overrides the worker pool used for node updates and power sums
+    /// (default: the process-global pool). Results are bit-identical for
+    /// any pool, by the pool's determinism contract.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Attaches a power manager (built by the caller from a
@@ -294,40 +316,33 @@ impl ClusterSim {
             }
         }
         let started = self.scheduler.try_start(&mut self.queue, now0);
-        for &id in &started {
-            let job = self
-                .scheduler
-                .running_jobs()
-                .iter()
-                .find(|j| j.id() == id)
-                .expect("just started");
-            self.journal.record(
-                now0,
-                Severity::Info,
-                "job",
-                format!(
-                    "{id} started: {} class {} x{} on {} nodes ({:?})",
-                    job.app(),
-                    job.class(),
-                    job.nprocs(),
-                    job.nodes().len(),
-                    job.priority()
-                ),
+        if !started.is_empty() {
+            // `try_start` pushes placed jobs in start order, so the newly
+            // started jobs are exactly the run-queue tail — no per-id scan.
+            let running = self.scheduler.running_jobs();
+            let newly = &running[running.len() - started.len()..];
+            debug_assert!(
+                newly.iter().map(|j| j.id()).eq(started.iter().copied()),
+                "started ids must match the run-queue tail"
             );
-        }
-        // SLA protection: a critical job's nodes join A_uncontrollable for
-        // its lifetime (the paper's dynamic candidate set).
-        if self.spec.critical_job_fraction > 0.0 && !started.is_empty() {
-            for id in started {
-                let job = self
-                    .scheduler
-                    .running_jobs()
-                    .iter()
-                    .find(|j| j.id() == id)
-                    .expect("just started");
-                if job.priority() == JobPriority::Critical {
-                    let members = job.nodes().to_vec();
-                    for n in members {
+            let protect_critical = self.spec.critical_job_fraction > 0.0;
+            for job in newly {
+                self.journal.record_with(now0, Severity::Info, "job", || {
+                    format!(
+                        "{} started: {} class {} x{} on {} nodes ({:?})",
+                        job.id(),
+                        job.app(),
+                        job.class(),
+                        job.nprocs(),
+                        job.nodes().len(),
+                        job.priority()
+                    )
+                });
+                // SLA protection: a critical job's nodes join
+                // A_uncontrollable for its lifetime (the paper's dynamic
+                // candidate set).
+                if protect_critical && job.priority() == JobPriority::Critical {
+                    for &n in job.nodes() {
                         let node = &mut self.nodes[n.0 as usize];
                         if node.is_privileged() {
                             // Already protected (statically privileged, or
@@ -351,11 +366,11 @@ impl ClusterSim {
 
         // 2. Node operating states for this tick, derived from the phase
         //    each node's job is in. Computed serially (borrows the
-        //    scheduler), applied to nodes in parallel.
-        let loads: Vec<OperatingState> = self
-            .nodes
-            .iter()
-            .map(|n| match self.scheduler.load_on(n.id()) {
+        //    scheduler), applied to nodes in parallel via the pool. The
+        //    load/speed buffers are scratch fields reused across ticks.
+        self.scratch_loads.clear();
+        self.scratch_loads
+            .extend(self.nodes.iter().map(|n| match self.scheduler.load_on(n.id()) {
                 Some(load) => OperatingState {
                     cpu_util: load.cpu_util,
                     mem_used_bytes: load.mem_bytes,
@@ -364,15 +379,19 @@ impl ClusterSim {
                         * dt) as u64,
                 },
                 None => OperatingState::IDLE,
-            })
-            .collect();
-        par_for_each_mut(&mut self.nodes, |i, node| {
+            }));
+        let pool = self.pool.as_deref().unwrap_or_else(WorkerPool::global);
+        let loads = &self.scratch_loads;
+        pool.for_each_mut(&mut self.nodes, |i, node| {
             node.run_interval(loads[i], dt);
         });
 
         // 3. Jobs progress at the min rate over their members' speeds.
-        let speeds: Vec<f64> = self.nodes.iter().map(Node::relative_speed).collect();
+        self.scratch_speeds.clear();
+        self.scratch_speeds
+            .extend(self.nodes.iter().map(Node::relative_speed));
         let now1 = self.clock.advance();
+        let speeds = &self.scratch_speeds;
         let speed_of = |n: NodeId| speeds[n.0 as usize];
         let mut records = self.scheduler.advance(dt, now1, &speed_of);
         // Release SLA protection when critical jobs complete — unless the
@@ -391,15 +410,12 @@ impl ClusterSim {
             }
         }
         for r in &records {
-            self.journal.record(
-                now1,
-                Severity::Info,
-                "job",
+            self.journal.record_with(now1, Severity::Info, "job", || {
                 format!(
                     "{} finished: T={:.1}s (baseline {:.1}s, throttled {:.0}s)",
                     r.id, r.actual_secs, r.baseline_secs, r.throttled_secs
-                ),
-            );
+                )
+            });
         }
         self.finished.append(&mut records);
 
@@ -418,7 +434,7 @@ impl ClusterSim {
         }
 
         // 4. Power sensing.
-        let true_power_w = par_sum_f64(&self.nodes, |_, n| n.power_w());
+        let true_power_w = pool.sum_f64(&self.nodes, |_, n| n.power_w());
         self.true_power.push(now1, true_power_w);
         let metered_w = self.meter.read(true_power_w, now1);
 
@@ -435,7 +451,7 @@ impl ClusterSim {
     /// split the budget, and apply the resulting absolute levels.
     fn budget_cycle(&mut self, now: SimTime, metered_w: f64) {
         let controller = self.budget_controller.as_mut().expect("checked by caller");
-        let mut views: Vec<BudgetNodeView> = Vec::with_capacity(self.nodes.len());
+        self.scratch_views.clear();
         for node in &self.nodes {
             if node.is_privileged() {
                 continue;
@@ -445,7 +461,7 @@ impl ClusterSim {
                 continue; // dropped sample: the node keeps its level this cycle
             };
             self.collector.ingest(sample);
-            views.push(BudgetNodeView {
+            self.scratch_views.push(BudgetNodeView {
                 node: node.id(),
                 level: node.level(),
                 highest: node.highest_level(),
@@ -454,14 +470,15 @@ impl ClusterSim {
             });
         }
         let models = &self.models;
+        let views = &self.scratch_views;
         let (state, commands) = self.cost_meter.measure(|| {
-            controller.cycle(metered_w, &views, &|n: NodeId| {
+            controller.cycle(metered_w, views, &|n: NodeId| {
                 Arc::clone(&models[n.0 as usize])
             })
         });
         self.state_log.push((now, state));
         if self.last_state != Some(state) {
-            self.journal.record(
+            self.journal.record_with(
                 now,
                 if state == PowerState::Red {
                     Severity::Warn
@@ -469,7 +486,7 @@ impl ClusterSim {
                     Severity::Info
                 },
                 "state",
-                format!("budget controller: state -> {state} at {:.2} kW", metered_w / 1e3),
+                || format!("budget controller: state -> {state} at {:.2} kW", metered_w / 1e3),
             );
             self.last_state = Some(state);
         }
@@ -485,35 +502,34 @@ impl ClusterSim {
     /// the resulting commands.
     fn control_cycle(&mut self, now: SimTime, metered_w: f64) {
         let manager = self.manager.as_mut().expect("checked by caller");
-        let candidates = manager.sets().candidates();
 
         // Agents run on candidate nodes only; monitoring everything would
-        // be the unscalable design Figure 5 warns about.
-        let samples: Vec<NodeSample> = candidates
-            .iter()
-            .filter_map(|&id| {
-                let idx = id.0 as usize;
-                self.agents[idx].sample(&self.nodes[idx], now)
-            })
-            .collect();
-
-        let jobs: Vec<(JobId, Vec<NodeId>)> = self
-            .scheduler
-            .running_jobs()
-            .iter()
-            .map(|j| (j.id(), j.nodes().to_vec()))
-            .collect();
+        // be the unscalable design Figure 5 warns about. The sample buffer
+        // is scratch, reused across cycles.
+        self.scratch_samples.clear();
+        for &id in manager.sets().candidates() {
+            let idx = id.0 as usize;
+            if let Some(sample) = self.agents[idx].sample(&self.nodes[idx], now) {
+                self.scratch_samples.push(sample);
+            }
+        }
 
         // Everything the management node computes per cycle is measured:
-        // ingestion, observation building, classification, selection.
+        // ingestion, observation building, classification, selection. Job
+        // membership is borrowed straight from the run-queue — no clones.
         let models = &self.models;
-        let collector = &self.collector;
+        let collector = &mut self.collector;
         let nodes = &self.nodes;
+        let scheduler = &self.scheduler;
+        let samples = &self.scratch_samples;
         let outcome = self.cost_meter.measure(|| {
-            collector.ingest_concurrent(samples);
-            let observations = observe_jobs(collector, &jobs, &candidates, &|n: NodeId| {
-                Arc::clone(&models[n.0 as usize])
-            });
+            collector.ingest_batch(samples);
+            let observations = observe_jobs(
+                collector,
+                scheduler.running_jobs().iter().map(|j| (j.id(), j.nodes())),
+                manager.sets().candidates(),
+                &|n: NodeId| Arc::clone(&models[n.0 as usize]),
+            );
             manager.control_cycle(metered_w, observations, &NodesView(nodes))
         });
         self.state_log.push((now, outcome.state));
@@ -522,25 +538,19 @@ impl ClusterSim {
                 PowerState::Red => Severity::Warn,
                 _ => Severity::Info,
             };
-            self.journal.record(
-                now,
-                severity,
-                "state",
-                format!("power state -> {} at {:.2} kW", outcome.state, metered_w / 1e3),
-            );
+            self.journal.record_with(now, severity, "state", || {
+                format!("power state -> {} at {:.2} kW", outcome.state, metered_w / 1e3)
+            });
             self.last_state = Some(outcome.state);
         }
         if outcome.thresholds_adjusted {
-            self.journal.record(
-                now,
-                Severity::Info,
-                "threshold",
+            self.journal.record_with(now, Severity::Info, "threshold", || {
                 format!(
                     "adjusted: P_L={:.2} kW, P_H={:.2} kW",
                     outcome.thresholds.p_low_w() / 1e3,
                     outcome.thresholds.p_high_w() / 1e3
-                ),
-            );
+                )
+            });
         }
 
         // Training period: observe only, never throttle.

@@ -152,7 +152,7 @@ impl PowerManager {
             Vec::new()
         } else {
             self.capping
-                .cycle(state, &ctx, self.policy.as_mut(), &candidates, view)
+                .cycle(state, &ctx, self.policy.as_mut(), candidates, view)
         };
 
         self.stats.cycles += 1;

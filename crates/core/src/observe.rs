@@ -102,19 +102,21 @@ impl SelectionContext {
 
 /// Builds job observations from the collector's current view.
 ///
-/// `jobs` lists each running job with its full member-node set;
-/// `model_of` resolves a node's power model (heterogeneous clusters return
-/// per-model Arcs; homogeneous ones return clones of a shared Arc).
-/// Idle nodes and nodes outside `candidates` are excluded per the paper's
-/// definition of `Nodes(J)`; jobs left with no observable nodes are
-/// dropped entirely.
-pub fn observe_jobs(
+/// `jobs` yields each running job with its full member-node slice —
+/// borrowed, so callers iterate their scheduler state directly instead of
+/// cloning node lists per cycle; `model_of` resolves a node's power model
+/// (heterogeneous clusters return per-model Arcs; homogeneous ones return
+/// clones of a shared Arc). Idle nodes and nodes outside `candidates` are
+/// excluded per the paper's definition of `Nodes(J)`; jobs left with no
+/// observable nodes are dropped entirely.
+pub fn observe_jobs<'a>(
     collector: &Collector,
-    jobs: &[(JobId, Vec<NodeId>)],
+    jobs: impl IntoIterator<Item = (JobId, &'a [NodeId])>,
     candidates: &BTreeSet<NodeId>,
     model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
 ) -> Vec<JobObservation> {
-    let mut out = Vec::with_capacity(jobs.len());
+    let jobs = jobs.into_iter();
+    let mut out = Vec::with_capacity(jobs.size_hint().0);
     for (id, members) in jobs {
         let mut nodes = Vec::new();
         let mut prev_sum = 0.0;
@@ -146,7 +148,7 @@ pub fn observe_jobs(
             continue;
         }
         out.push(JobObservation {
-            id: *id,
+            id,
             nodes,
             prev_power_w: (prev_complete && prev_sum > 0.0).then_some(prev_sum),
         });
@@ -234,7 +236,7 @@ mod tests {
     fn observe_jobs_filters_idle_and_non_candidates() {
         let spec = NodeSpec::tianhe_1a();
         let model = spec.power_model(1.0);
-        let collector = Collector::new();
+        let mut collector = Collector::new();
         let busy = OperatingState {
             cpu_util: 0.9,
             mem_used_bytes: 1 << 30,
@@ -258,7 +260,12 @@ mod tests {
             (JobId(2), vec![NodeId(2)]), // no observable nodes → dropped
         ];
         let model2 = model.clone();
-        let obs = observe_jobs(&collector, &jobs, &candidates, &move |_| model2.clone());
+        let obs = observe_jobs(
+            &collector,
+            jobs.iter().map(|(id, ns)| (*id, ns.as_slice())),
+            &candidates,
+            &move |_| model2.clone(),
+        );
         assert_eq!(obs.len(), 1);
         assert_eq!(obs[0].id, JobId(1));
         assert_eq!(obs[0].nodes.len(), 1);
@@ -272,7 +279,7 @@ mod tests {
     fn observe_jobs_without_prev_sample_has_no_rate() {
         let spec = NodeSpec::tianhe_1a();
         let model = spec.power_model(1.0);
-        let collector = Collector::new();
+        let mut collector = Collector::new();
         let busy = OperatingState {
             cpu_util: 0.9,
             mem_used_bytes: 0,
@@ -287,9 +294,10 @@ mod tests {
         });
         let candidates: BTreeSet<NodeId> = [NodeId(0)].into_iter().collect();
         let m = model.clone();
+        let members = [NodeId(0)];
         let obs = observe_jobs(
             &collector,
-            &[(JobId(7), vec![NodeId(0)])],
+            [(JobId(7), &members[..])],
             &candidates,
             &move |_| m.clone(),
         );

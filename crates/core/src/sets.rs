@@ -20,12 +20,43 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// The architecture's node classification.
+///
+/// The candidate set is cached and rebuilt on every mutation, so the
+/// per-cycle read path ([`NodeSets::candidates`], [`NodeSets::is_candidate`])
+/// never allocates: classification changes are rare (job start/finish),
+/// reads happen every control cycle for every candidate node.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "NodeSetsWire")]
 pub struct NodeSets {
     total: BTreeSet<NodeId>,
     privileged: BTreeSet<NodeId>,
     /// Optional cap on the candidate count (`None` = all controllable).
     candidate_cap: Option<usize>,
+    /// Cached `A_candidate` (derived; excluded from the wire format).
+    #[serde(skip)]
+    candidates: BTreeSet<NodeId>,
+}
+
+/// Wire shape of [`NodeSets`]: the three source fields only; the candidate
+/// cache is rebuilt on deserialization.
+#[derive(Deserialize)]
+struct NodeSetsWire {
+    total: BTreeSet<NodeId>,
+    privileged: BTreeSet<NodeId>,
+    candidate_cap: Option<usize>,
+}
+
+impl From<NodeSetsWire> for NodeSets {
+    fn from(wire: NodeSetsWire) -> Self {
+        let mut sets = NodeSets {
+            total: wire.total,
+            privileged: wire.privileged,
+            candidate_cap: wire.candidate_cap,
+            candidates: BTreeSet::new(),
+        };
+        sets.rebuild();
+        sets
+    }
 }
 
 impl NodeSets {
@@ -43,23 +74,36 @@ impl NodeSets {
             privileged.is_subset(&total),
             "privileged nodes must be part of the total set"
         );
-        NodeSets {
+        let mut sets = NodeSets {
             total,
             privileged,
             candidate_cap: None,
-        }
+            candidates: BTreeSet::new(),
+        };
+        sets.rebuild();
+        sets
+    }
+
+    /// Recomputes the cached candidate set from the source fields.
+    fn rebuild(&mut self) {
+        let it = self.total.difference(&self.privileged).copied();
+        self.candidates = match self.candidate_cap {
+            Some(cap) => it.take(cap).collect(),
+            None => it.collect(),
+        };
     }
 
     /// Caps the candidate set to its lowest-indexed `cap` members (the
     /// Figure 5/6 sweep knob). `None` removes the cap.
     pub fn with_candidate_cap(mut self, cap: Option<usize>) -> Self {
-        self.candidate_cap = cap;
+        self.set_candidate_cap(cap);
         self
     }
 
     /// Adjusts the candidate cap in place.
     pub fn set_candidate_cap(&mut self, cap: Option<usize>) {
         self.candidate_cap = cap;
+        self.rebuild();
     }
 
     /// Marks a node privileged (joins `A_uncontrollable`) or not. The
@@ -69,10 +113,13 @@ impl NodeSets {
     /// Panics if the node is not in the total set.
     pub fn set_privileged(&mut self, node: NodeId, privileged: bool) {
         assert!(self.total.contains(&node), "unknown node {node}");
-        if privileged {
-            self.privileged.insert(node);
+        let changed = if privileged {
+            self.privileged.insert(node)
         } else {
-            self.privileged.remove(&node);
+            self.privileged.remove(&node)
+        };
+        if changed {
+            self.rebuild();
         }
     }
 
@@ -87,26 +134,19 @@ impl NodeSets {
     }
 
     /// `A_candidate = A_total − A_uncontrollable`, truncated to the cap.
-    pub fn candidates(&self) -> BTreeSet<NodeId> {
-        let it = self.total.difference(&self.privileged).copied();
-        match self.candidate_cap {
-            Some(cap) => it.take(cap).collect(),
-            None => it.collect(),
-        }
+    /// Borrowed from the cache — no per-call allocation.
+    pub fn candidates(&self) -> &BTreeSet<NodeId> {
+        &self.candidates
     }
 
     /// Number of candidates.
     pub fn candidate_count(&self) -> usize {
-        let controllable = self.total.len() - self.privileged.len();
-        match self.candidate_cap {
-            Some(cap) => controllable.min(cap),
-            None => controllable,
-        }
+        self.candidates.len()
     }
 
     /// True if `node` is currently a candidate.
     pub fn is_candidate(&self, node: NodeId) -> bool {
-        self.candidates().contains(&node)
+        self.candidates.contains(&node)
     }
 }
 
@@ -134,7 +174,7 @@ mod tests {
     #[test]
     fn cap_takes_lowest_indices() {
         let s = NodeSets::new(ids(0..10), ids([0])).with_candidate_cap(Some(3));
-        let cand: Vec<NodeId> = s.candidates().into_iter().collect();
+        let cand: Vec<NodeId> = s.candidates().iter().copied().collect();
         assert_eq!(cand, ids([1, 2, 3]));
         assert_eq!(s.candidate_count(), 3);
         assert!(!s.is_candidate(NodeId(4)));

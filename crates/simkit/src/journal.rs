@@ -86,6 +86,13 @@ impl Journal {
         self
     }
 
+    /// True if an event of `severity` would be recorded. Callers on hot
+    /// paths check this (or use [`Journal::record_with`]) to avoid
+    /// formatting messages that would be filtered out.
+    pub fn enabled(&self, severity: Severity) -> bool {
+        severity >= self.min_severity
+    }
+
     /// Records an event (dropping the oldest when full).
     pub fn record(
         &mut self,
@@ -107,6 +114,22 @@ impl Journal {
             category,
             message: message.into(),
         });
+    }
+
+    /// Records an event whose message is built lazily: `message()` runs
+    /// only if `severity` passes the filter, so hot loops pay no `format!`
+    /// allocation for journaling that is turned off.
+    pub fn record_with(
+        &mut self,
+        at: SimTime,
+        severity: Severity,
+        category: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
+        if !self.enabled(severity) {
+            return;
+        }
+        self.record(at, severity, category, message());
     }
 
     /// Number of retained events.
@@ -180,6 +203,26 @@ mod tests {
         j.record(SimTime::ZERO, Severity::Info, "x", "visible");
         j.record(SimTime::ZERO, Severity::Warn, "x", "also visible");
         assert_eq!(j.len(), 2);
+        assert!(!j.enabled(Severity::Debug));
+        assert!(j.enabled(Severity::Warn));
+    }
+
+    #[test]
+    fn record_with_skips_message_construction_when_filtered() {
+        let mut j = journal(8).with_min_severity(Severity::Info);
+        let mut built = 0u32;
+        j.record_with(SimTime::ZERO, Severity::Debug, "x", || {
+            built += 1;
+            "expensive".to_string()
+        });
+        assert_eq!(built, 0, "filtered record must not format its message");
+        assert!(j.is_empty());
+        j.record_with(SimTime::ZERO, Severity::Warn, "x", || {
+            built += 1;
+            "kept".to_string()
+        });
+        assert_eq!(built, 1);
+        assert_eq!(j.iter().next().unwrap().message, "kept");
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   randomness in a simulation derives its own independent stream from the
 //!   experiment seed, which keeps runs bit-reproducible even when node
 //!   updates execute in parallel.
-//! * [`par`] — data-parallel helpers built on `crossbeam` scoped threads
-//!   (ordered results, deterministic reductions).
+//! * [`par`] — data-parallel helpers on a persistent worker pool
+//!   ([`par::WorkerPool`]): static index-ordered chunking and ordered
+//!   reductions keep results bit-identical across pool sizes, and inputs
+//!   below an inline threshold skip the handoff entirely.
 //! * [`series`] — append-only time series with trapezoid/step integration,
 //!   used for power traces and the ΔP×T overspend metric.
 //! * [`stats`] — running statistics (Welford) and fixed-bin histograms.
@@ -38,6 +40,7 @@ pub use clock::TickClock;
 pub use engine::{Engine, EventHandler, ScheduleHandle};
 pub use error::SimError;
 pub use journal::{Event, Journal, Severity};
+pub use par::WorkerPool;
 pub use queue::EventQueue;
 pub use rng::{DetRng, RngFactory};
 pub use series::TimeSeries;

@@ -1,24 +1,25 @@
 //! The central collector on the management node.
 //!
-//! Ingests agent samples — possibly concurrently, one channel per burst of
-//! agents — and maintains the views the capping algorithm and its
-//! selection policies read:
+//! Ingests agent samples and maintains the views the capping algorithm
+//! and its selection policies read:
 //!
 //! * latest per-node sample (state, level, power estimate);
 //! * the previous power estimate per node, so change-based policies can
 //!   compute the rate of increase `ΔP^t(x) = (P^t − P^{t−1}) / P^{t−1}`;
 //! * per-job aggregation `Power(J) = Σ_{i ∈ Nodes(J)} P(i)`.
 //!
-//! Interior mutability via `parking_lot::RwLock` keeps ingestion shareable
-//! across agent threads; per-node slots make the end state independent of
-//! arrival order, so concurrent runs stay deterministic.
+//! Storage is dense: `NodeId`s are small dense integers, so per-node
+//! slots live in a `Vec` indexed by id and every policy-facing query
+//! (`power_of`, `aggregate_power`, `power_rate_of`) is a plain array
+//! read — no lock, no hash. Ingestion takes `&mut self` (the manager's
+//! control cycle is the single writer); the end state is independent of
+//! arrival order within a batch because each node's slot only advances
+//! on strictly newer timestamps.
 
 use crate::history::PowerHistory;
 use crate::sample::NodeSample;
-use parking_lot::RwLock;
 use ppc_node::NodeId;
 use ppc_simkit::SimTime;
-use std::collections::HashMap;
 
 /// Per-node power bookkeeping.
 #[derive(Debug, Clone, Copy)]
@@ -30,10 +31,13 @@ struct Slot {
 /// The central sample store.
 #[derive(Debug, Default)]
 pub struct Collector {
-    slots: RwLock<HashMap<NodeId, Slot>>,
-    /// Optional per-node power history (depth 0 = disabled).
-    histories: RwLock<HashMap<NodeId, PowerHistory>>,
+    /// Dense per-node slots, indexed by `NodeId.0`; `None` = no sample.
+    slots: Vec<Option<Slot>>,
+    /// Dense per-node power histories (empty unless history is enabled).
+    histories: Vec<Option<PowerHistory>>,
     history_depth: usize,
+    /// Number of `Some` slots (nodes with at least one sample).
+    populated: usize,
 }
 
 impl Collector {
@@ -53,120 +57,117 @@ impl Collector {
         self
     }
 
+    fn slot(&self, node: NodeId) -> Option<&Slot> {
+        self.slots.get(node.0 as usize).and_then(Option::as_ref)
+    }
+
     /// Ingests one sample. A newer sample for the same node shifts the old
     /// power estimate into the "previous" slot; a stale or equal-time
     /// duplicate is ignored.
-    pub fn ingest(&self, sample: NodeSample) {
-        let mut fresh = false;
-        {
-            let mut slots = self.slots.write();
-            match slots.get_mut(&sample.node) {
-                Some(slot) => {
-                    if sample.at > slot.latest.at {
-                        slot.prev_power_w = Some(slot.latest.power_w);
-                        slot.latest = sample;
-                        fresh = true;
-                    }
-                }
-                None => {
-                    slots.insert(
-                        sample.node,
-                        Slot {
-                            latest: sample,
-                            prev_power_w: None,
-                        },
-                    );
-                    fresh = true;
+    pub fn ingest(&mut self, sample: NodeSample) {
+        let idx = sample.node.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        let fresh = match &mut self.slots[idx] {
+            Some(slot) => {
+                if sample.at > slot.latest.at {
+                    slot.prev_power_w = Some(slot.latest.power_w);
+                    slot.latest = sample;
+                    true
+                } else {
+                    false
                 }
             }
-        }
+            empty => {
+                *empty = Some(Slot {
+                    latest: sample,
+                    prev_power_w: None,
+                });
+                self.populated += 1;
+                true
+            }
+        };
         if fresh && self.history_depth >= 2 {
-            let mut histories = self.histories.write();
-            histories
-                .entry(sample.node)
-                .or_insert_with(|| PowerHistory::new(self.history_depth))
+            if idx >= self.histories.len() {
+                self.histories.resize_with(idx + 1, || None);
+            }
+            self.histories[idx]
+                .get_or_insert_with(|| PowerHistory::new(self.history_depth))
                 .push(sample.at, sample.power_w);
+        }
+    }
+
+    /// Ingests a batch with one pass of dense writes.
+    ///
+    /// Replaces the old thread-sharded concurrent ingest: per-sample cost
+    /// is now an array write, so fanning a control cycle's batch over
+    /// threads costs more in handoff than it saves. The end state equals
+    /// one-by-one ingestion exactly (same code path, same order).
+    pub fn ingest_batch(&mut self, samples: &[NodeSample]) {
+        for s in samples {
+            self.ingest(*s);
         }
     }
 
     /// Windowed rate of increase over the last `k` intervals for `node`
     /// (requires a history-enabled collector; see [`Collector::with_history`]).
     pub fn windowed_rate_of(&self, node: NodeId, k: usize) -> Option<f64> {
-        self.histories.read().get(&node)?.windowed_rate(k)
+        self.histories
+            .get(node.0 as usize)?
+            .as_ref()?
+            .windowed_rate(k)
     }
 
     /// Smoothed (mean over history) power estimate for `node`.
     pub fn smoothed_power_of(&self, node: NodeId) -> Option<f64> {
-        self.histories.read().get(&node)?.mean()
-    }
-
-    /// Ingests a batch, fanning the writes out over worker threads.
-    ///
-    /// The batch is sharded by node id, so all samples of one node are
-    /// applied by one worker in input order — the end state is identical
-    /// to sequential ingestion as long as each node's samples arrive
-    /// time-ordered within the batch (agents produce exactly that).
-    pub fn ingest_concurrent(&self, samples: Vec<NodeSample>) {
-        if samples.len() < 64 {
-            for s in samples {
-                self.ingest(s);
-            }
-            return;
-        }
-        const WORKERS: usize = 4;
-        let mut shards: Vec<Vec<NodeSample>> = (0..WORKERS).map(|_| Vec::new()).collect();
-        for s in samples {
-            shards[s.node.0 as usize % WORKERS].push(s);
-        }
-        crossbeam::scope(|scope| {
-            for shard in shards {
-                scope.spawn(move |_| {
-                    for s in shard {
-                        self.ingest(s);
-                    }
-                });
-            }
-        })
-        .expect("collector ingest worker panicked");
+        self.histories.get(node.0 as usize)?.as_ref()?.mean()
     }
 
     /// Drops a node from the store (it left the candidate set).
-    pub fn forget(&self, node: NodeId) {
-        self.slots.write().remove(&node);
-        self.histories.write().remove(&node);
+    pub fn forget(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if slot.take().is_some() {
+                self.populated -= 1;
+            }
+        }
+        if let Some(history) = self.histories.get_mut(idx) {
+            *history = None;
+        }
     }
 
-    /// Drops every stored sample.
-    pub fn clear(&self) {
-        self.slots.write().clear();
-        self.histories.write().clear();
+    /// Drops every stored sample (capacity is kept for reuse).
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.histories.iter_mut().for_each(|h| *h = None);
+        self.populated = 0;
     }
 
     /// Number of nodes with at least one sample.
     pub fn node_count(&self) -> usize {
-        self.slots.read().len()
+        self.populated
     }
 
     /// Latest sample for `node`.
     pub fn latest(&self, node: NodeId) -> Option<NodeSample> {
-        self.slots.read().get(&node).map(|s| s.latest)
+        self.slot(node).map(|s| s.latest)
     }
 
     /// Latest power estimate for `node`, watts.
     pub fn power_of(&self, node: NodeId) -> Option<f64> {
-        self.slots.read().get(&node).map(|s| s.latest.power_w)
+        self.slot(node).map(|s| s.latest.power_w)
     }
 
     /// Previous-interval power estimate for `node`, watts.
     pub fn prev_power_of(&self, node: NodeId) -> Option<f64> {
-        self.slots.read().get(&node).and_then(|s| s.prev_power_w)
+        self.slot(node).and_then(|s| s.prev_power_w)
     }
 
     /// Rate of increase `ΔP^t(x)` for `node`: `(P^t − P^{t−1}) / P^{t−1}`.
     /// `None` until two samples exist.
     pub fn power_rate_of(&self, node: NodeId) -> Option<f64> {
-        let slots = self.slots.read();
-        let slot = slots.get(&node)?;
+        let slot = self.slot(node)?;
         let prev = slot.prev_power_w?;
         if prev <= 0.0 {
             return None;
@@ -178,30 +179,32 @@ impl Collector {
     /// `Power(J)` when given `Nodes(J)`), watts. Nodes without samples
     /// contribute zero.
     pub fn aggregate_power(&self, nodes: &[NodeId]) -> f64 {
-        let slots = self.slots.read();
         nodes
             .iter()
-            .filter_map(|n| slots.get(n).map(|s| s.latest.power_w))
+            .filter_map(|&n| self.slot(n).map(|s| s.latest.power_w))
             .sum()
     }
 
     /// Sum of previous-interval estimates over `nodes` (`P^{t−1}(J)`).
     pub fn aggregate_prev_power(&self, nodes: &[NodeId]) -> f64 {
-        let slots = self.slots.read();
         nodes
             .iter()
-            .filter_map(|n| slots.get(n).and_then(|s| s.prev_power_w))
+            .filter_map(|&n| self.slot(n).and_then(|s| s.prev_power_w))
             .sum()
     }
 
     /// Estimated total power of all monitored nodes, watts.
     pub fn estimated_total_w(&self) -> f64 {
-        self.slots.read().values().map(|s| s.latest.power_w).sum()
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.latest.power_w)
+            .sum()
     }
 
     /// Timestamp of the freshest sample, if any.
     pub fn freshest(&self) -> Option<SimTime> {
-        self.slots.read().values().map(|s| s.latest.at).max()
+        self.slots.iter().flatten().map(|s| s.latest.at).max()
     }
 }
 
@@ -226,7 +229,7 @@ mod tests {
 
     #[test]
     fn ingest_and_query() {
-        let c = Collector::new();
+        let mut c = Collector::new();
         c.ingest(sample(1, 0, 200.0));
         c.ingest(sample(2, 0, 300.0));
         assert_eq!(c.node_count(), 2);
@@ -237,7 +240,7 @@ mod tests {
 
     #[test]
     fn newer_sample_shifts_previous() {
-        let c = Collector::new();
+        let mut c = Collector::new();
         c.ingest(sample(1, 0, 200.0));
         assert_eq!(c.prev_power_of(NodeId(1)), None);
         assert_eq!(c.power_rate_of(NodeId(1)), None);
@@ -249,7 +252,7 @@ mod tests {
 
     #[test]
     fn stale_sample_is_ignored() {
-        let c = Collector::new();
+        let mut c = Collector::new();
         c.ingest(sample(1, 5, 500.0));
         c.ingest(sample(1, 3, 100.0));
         assert_eq!(c.power_of(NodeId(1)), Some(500.0));
@@ -258,7 +261,7 @@ mod tests {
 
     #[test]
     fn aggregation_over_job_nodes() {
-        let c = Collector::new();
+        let mut c = Collector::new();
         for i in 0..4 {
             c.ingest(sample(i, 0, 100.0 * (i + 1) as f64));
         }
@@ -270,15 +273,18 @@ mod tests {
 
     #[test]
     fn concurrent_ingest_matches_sequential() {
-        let seq = Collector::new();
-        let con = Collector::new();
+        // The batched fast path must leave exactly the state one-by-one
+        // ingestion does (the invariant the old thread-sharded ingest was
+        // tested for).
+        let mut seq = Collector::new();
+        let mut con = Collector::new();
         let batch: Vec<NodeSample> = (0..500)
             .map(|i| sample(i % 100, (i / 100) as u64, i as f64))
             .collect();
         for s in batch.clone() {
             seq.ingest(s);
         }
-        con.ingest_concurrent(batch);
+        con.ingest_batch(&batch);
         assert_eq!(seq.node_count(), con.node_count());
         for i in 0..100 {
             assert_eq!(seq.power_of(NodeId(i)), con.power_of(NodeId(i)), "node {i}");
@@ -291,8 +297,33 @@ mod tests {
     }
 
     #[test]
+    fn sparse_ids_and_gaps_are_exact() {
+        // Dense storage must behave identically for high ids and holes.
+        let mut c = Collector::new();
+        c.ingest(sample(10_000, 0, 123.0));
+        c.ingest(sample(3, 0, 7.0));
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.power_of(NodeId(10_000)), Some(123.0));
+        assert_eq!(c.power_of(NodeId(9_999)), None, "gap below a high id");
+        assert_eq!(c.power_of(NodeId(20_000)), None, "beyond the store");
+        assert_eq!(c.estimated_total_w(), 130.0);
+        assert_eq!(
+            c.aggregate_power(&[NodeId(3), NodeId(5_000), NodeId(10_000)]),
+            130.0
+        );
+        assert_eq!(c.freshest(), Some(SimTime::from_secs(0)));
+        c.forget(NodeId(10_000));
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.power_of(NodeId(10_000)), None);
+        // Forgetting an id that never had a sample is a no-op.
+        c.forget(NodeId(77));
+        c.forget(NodeId(40_000));
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
     fn forget_and_clear() {
-        let c = Collector::new();
+        let mut c = Collector::new();
         c.ingest(sample(1, 0, 1.0));
         c.ingest(sample(2, 0, 2.0));
         c.forget(NodeId(1));
@@ -300,11 +331,16 @@ mod tests {
         c.clear();
         assert_eq!(c.node_count(), 0);
         assert_eq!(c.freshest(), None);
+        // A cleared collector accepts fresh samples (capacity reused).
+        c.ingest(sample(2, 9, 4.0));
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.power_of(NodeId(2)), Some(4.0));
+        assert_eq!(c.prev_power_of(NodeId(2)), None, "clear resets history");
     }
 
     #[test]
     fn history_enabled_collector_reports_windowed_rates() {
-        let c = Collector::new().with_history(4);
+        let mut c = Collector::new().with_history(4);
         for (t, p) in [(0u64, 100.0), (1, 110.0), (2, 121.0), (3, 133.1)] {
             c.ingest(sample(1, t, p));
         }
@@ -312,7 +348,7 @@ mod tests {
         assert!((c.windowed_rate_of(NodeId(1), 3).unwrap() - 0.331).abs() < 1e-9);
         assert!(c.smoothed_power_of(NodeId(1)).unwrap() > 100.0);
         // Default collector has no histories.
-        let plain = Collector::new();
+        let mut plain = Collector::new();
         plain.ingest(sample(1, 0, 10.0));
         plain.ingest(sample(1, 1, 20.0));
         assert_eq!(plain.windowed_rate_of(NodeId(1), 1), None);
@@ -323,7 +359,7 @@ mod tests {
 
     #[test]
     fn rate_undefined_for_zero_previous_power() {
-        let c = Collector::new();
+        let mut c = Collector::new();
         c.ingest(sample(1, 0, 0.0));
         c.ingest(sample(1, 1, 50.0));
         assert_eq!(c.power_rate_of(NodeId(1)), None);

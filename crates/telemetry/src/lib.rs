@@ -10,8 +10,8 @@
 //!   Formula (1) — [`agent::ProfilingAgent`], with failure injection
 //!   (dropped samples) to exercise the manager's robustness;
 //! * a **central collector** on the management node ingests agent samples
-//!   (concurrently, via crossbeam channels) and maintains the per-node and
-//!   per-job power views the selection policies read —
+//!   into dense per-node slots and serves the per-node and per-job power
+//!   views the selection policies read as lock-free array reads —
 //!   [`collector::Collector`];
 //! * the **management cost** of doing all this grows non-linearly with the
 //!   number of monitored nodes (the paper's Figure 5) — [`cost`] accounts

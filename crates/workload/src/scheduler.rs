@@ -13,7 +13,7 @@ use crate::scaling::nodes_needed;
 use crate::trace::JobRecord;
 use ppc_node::NodeId;
 use ppc_simkit::{SimDuration, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// How queued jobs are admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -34,8 +34,12 @@ pub struct Scheduler {
     free: BTreeSet<NodeId>,
     cores_per_node: u32,
     running: Vec<Job>,
-    /// node → index into `running`, rebuilt on start/finish.
-    node_owner: HashMap<NodeId, JobId>,
+    /// Dense node-indexed owner table: `node_owner[node]` is the index of
+    /// the owning job in `running` (`None` = idle). Maintained across
+    /// `swap_remove` on completion, so per-node lookups (`load_on`, every
+    /// node every tick) are one array read instead of a hash plus a
+    /// linear scan over the run-queue.
+    node_owner: Vec<Option<usize>>,
     total_nodes: usize,
     admission: AdmissionPolicy,
 }
@@ -50,11 +54,12 @@ impl Scheduler {
         let free: BTreeSet<NodeId> = nodes.into_iter().collect();
         assert!(!free.is_empty(), "scheduler needs at least one node");
         let total_nodes = free.len();
+        let max_id = free.iter().next_back().expect("non-empty").0 as usize;
         Scheduler {
+            node_owner: vec![None; max_id + 1],
             free,
             cores_per_node,
             running: Vec::new(),
-            node_owner: HashMap::new(),
             total_nodes,
             admission: AdmissionPolicy::default(),
         }
@@ -98,7 +103,8 @@ impl Scheduler {
 
     /// The job occupying `node`, if any.
     pub fn job_of_node(&self, node: NodeId) -> Option<JobId> {
-        self.node_owner.get(&node).copied()
+        let idx = (*self.node_owner.get(node.0 as usize)?)?;
+        Some(self.running[idx].id())
     }
 
     /// Maximum NPROCS this cluster can host (whole machine).
@@ -151,9 +157,10 @@ impl Scheduler {
         let needed = nodes_needed(job.nprocs(), self.cores_per_node) as usize;
         debug_assert!(needed <= self.free.len());
         let alloc: Vec<NodeId> = self.free.iter().copied().take(needed).collect();
+        let slot = self.running.len();
         for &n in &alloc {
             self.free.remove(&n);
-            self.node_owner.insert(n, job.id());
+            self.node_owner[n.0 as usize] = Some(slot);
         }
         job.start(alloc, now);
         let id = job.id();
@@ -180,7 +187,14 @@ impl Scheduler {
                 job.finish(finish_at);
                 for &n in job.nodes() {
                     self.free.insert(n);
-                    self.node_owner.remove(&n);
+                    self.node_owner[n.0 as usize] = None;
+                }
+                // The job swapped down from the tail (if any) now lives at
+                // slot `i` — repoint its nodes.
+                if let Some(moved) = self.running.get(i) {
+                    for &n in moved.nodes() {
+                        self.node_owner[n.0 as usize] = Some(i);
+                    }
                 }
                 records.push(JobRecord::from_job(&job));
             } else {
@@ -192,32 +206,33 @@ impl Scheduler {
 
     /// The load `node` currently carries, or `None` if idle.
     pub fn load_on(&self, node: NodeId) -> Option<NodeLoad> {
-        let owner = self.job_of_node(node)?;
-        self.running
-            .iter()
-            .find(|j| j.id() == owner)
-            .and_then(|j| j.load_on(node, self.cores_per_node))
+        let idx = (*self.node_owner.get(node.0 as usize)?)?;
+        self.running[idx].load_on(node, self.cores_per_node)
     }
 
     /// Checks internal consistency (tests and debug assertions).
     pub fn check_invariants(&self) {
-        // Every running job's nodes are owned by it and not free.
-        for job in &self.running {
+        // Every running job's nodes point back at its slot and are not free.
+        for (slot, job) in self.running.iter().enumerate() {
             assert_eq!(job.status(), JobStatus::Running);
             for &n in job.nodes() {
-                assert_eq!(self.node_owner.get(&n), Some(&job.id()));
+                assert_eq!(
+                    self.node_owner[n.0 as usize],
+                    Some(slot),
+                    "owner table must track {n} to slot {slot}"
+                );
                 assert!(!self.free.contains(&n), "running node must not be free");
             }
         }
-        // Ownership maps only to running jobs.
-        for (&n, &jid) in &self.node_owner {
-            assert!(
-                self.running.iter().any(|j| j.id() == jid),
-                "owner of {n} is not running"
-            );
+        // Ownership maps only to live run-queue slots.
+        let owned = self.node_owner.iter().flatten().copied();
+        let mut owned_count = 0;
+        for idx in owned {
+            assert!(idx < self.running.len(), "owner slot {idx} out of range");
+            owned_count += 1;
         }
         // Conservation: free + owned = total.
-        assert_eq!(self.free.len() + self.node_owner.len(), self.total_nodes);
+        assert_eq!(self.free.len() + owned_count, self.total_nodes);
     }
 }
 
@@ -344,6 +359,35 @@ mod tests {
         let records = s.advance(5.0, SimTime::from_secs(5), &|_| 1.0);
         assert_eq!(records.len(), 2);
         s.check_invariants();
+    }
+
+    #[test]
+    fn owner_table_survives_out_of_order_completion() {
+        // Three jobs; the first finishes while later ones keep running, so
+        // completion swap-removes from the middle of the run-queue and the
+        // dense owner table must be repointed at the moved job.
+        let mut s = sched(6);
+        let mut q = JobQueue::new();
+        q.push(job(1, 24, 3.0)); // nodes 0-1, finishes first
+        q.push(job(2, 12, 50.0)); // node 2
+        q.push(job(3, 24, 50.0)); // nodes 3-4
+        s.try_start(&mut q, SimTime::ZERO);
+        s.check_invariants();
+        let records = s.advance(5.0, SimTime::from_secs(5), &|_| 1.0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, JobId(1));
+        s.check_invariants();
+        // The tail job (3) was swapped into slot 0; lookups must follow.
+        assert_eq!(s.job_of_node(NodeId(3)), Some(JobId(3)));
+        assert_eq!(s.job_of_node(NodeId(2)), Some(JobId(2)));
+        assert_eq!(s.job_of_node(NodeId(0)), None, "freed node is idle");
+        assert!(s.load_on(NodeId(4)).is_some());
+        assert!(s.load_on(NodeId(0)).is_none());
+        // Free nodes are reused and re-owned correctly.
+        q.push(job(4, 36, 10.0)); // nodes 0, 1, 5
+        s.try_start(&mut q, SimTime::ZERO);
+        s.check_invariants();
+        assert_eq!(s.job_of_node(NodeId(5)), Some(JobId(4)));
     }
 
     #[test]

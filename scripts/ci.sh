@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# The gate every change must pass (see README, "Performance tracking").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

@@ -1,11 +1,12 @@
 //! Reproducibility: identical seeds produce bit-identical experiments,
 //! different seeds produce different ones — across the whole stack,
-//! including the parallel node updates and the concurrent collector.
+//! including the worker-pool node updates, at any pool width.
 
 use ppc::cluster::experiment::{run_experiment, ExperimentConfig};
 use ppc::cluster::{ClusterSim, ClusterSpec};
-use ppc::core::PolicyKind;
-use ppc::simkit::SimDuration;
+use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc::simkit::{SimDuration, WorkerPool};
+use std::sync::Arc;
 
 #[test]
 fn same_seed_same_everything() {
@@ -52,6 +53,43 @@ fn stepping_granularity_does_not_change_results() {
     assert_eq!(one.now(), batched.now());
     assert_eq!(one.true_power().values(), batched.true_power().values());
     assert_eq!(one.finished().len(), batched.finished().len());
+}
+
+#[test]
+fn power_trace_is_invariant_across_worker_counts() {
+    // The worker pool's static chunking must make parallel execution
+    // bit-identical to sequential, whatever the pool width. Run the same
+    // managed experiment under pools of width 1, 2 and 8 (inline
+    // threshold zero forces even the 8-node cluster through the parallel
+    // path) and under the default global pool, and demand the exact same
+    // bits everywhere.
+    let run = |pool: Option<Arc<WorkerPool>>| {
+        let mut spec = ClusterSpec::mini(8);
+        spec.provision_fraction = 0.60; // tight: capping engages
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+        };
+        let manager = PowerManager::new(config, sets).unwrap();
+        let mut sim = ClusterSim::new(spec).with_manager(manager);
+        if let Some(pool) = pool {
+            sim = sim.with_worker_pool(pool);
+        }
+        sim.run_for(SimDuration::from_secs(400));
+        let bits: Vec<u64> = sim.true_power().values().iter().map(|v| v.to_bits()).collect();
+        (bits, sim.finished().len(), sim.commands_applied())
+    };
+    let baseline = run(None);
+    assert!(baseline.2 > 0, "capping must engage for a meaningful check");
+    for workers in [1, 2, 8] {
+        let pool = Arc::new(WorkerPool::new(workers).with_inline_threshold(0));
+        let got = run(Some(pool));
+        assert_eq!(
+            got, baseline,
+            "worker count {workers} changed the power trace"
+        );
+    }
 }
 
 #[test]

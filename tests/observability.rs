@@ -100,7 +100,7 @@ fn mixed_thermal_and_plain_partitions_account_only_thermal_nodes() {
 fn history_backed_windowed_rates_smooth_single_interval_noise() {
     use ppc::node::{Level, NodeId, OperatingState};
     use ppc::simkit::SimTime;
-    let c = Collector::new().with_history(8);
+    let mut c = Collector::new().with_history(8);
     // A sawtooth: alternating ±20% around a rising trend.
     let powers = [200.0, 245.0, 230.0, 280.0, 260.0, 320.0];
     for (t, &p) in powers.iter().enumerate() {
