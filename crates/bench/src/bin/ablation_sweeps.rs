@@ -70,7 +70,10 @@ fn main() {
             relative_std: std,
             dropout_prob: 0.0,
         };
-        rows.push(row(format!("meter σ={:.0}%", std * 100.0), &run_labeled(&cfg)));
+        rows.push(row(
+            format!("meter σ={:.0}%", std * 100.0),
+            &run_labeled(&cfg),
+        ));
     }
     println!("{}", render_table(&HEADERS, &rows));
 
@@ -82,7 +85,10 @@ fn main() {
             relative_std: 0.0,
             dropout_prob: drop,
         };
-        rows.push(row(format!("dropout={:.0}%", drop * 100.0), &run_labeled(&cfg)));
+        rows.push(row(
+            format!("dropout={:.0}%", drop * 100.0),
+            &run_labeled(&cfg),
+        ));
     }
     println!("{}", render_table(&HEADERS, &rows));
 

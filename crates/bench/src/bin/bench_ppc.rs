@@ -133,7 +133,7 @@ fn main() {
         },
     });
     let rendered = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write("BENCH_ppc.json", rendered + "\n").expect("write BENCH_ppc.json");
+    std::fs::write("BENCH_ppc.json", format!("{rendered}\n")).expect("write BENCH_ppc.json");
     println!("{rendered}");
     println!("\nwrote BENCH_ppc.json");
 }

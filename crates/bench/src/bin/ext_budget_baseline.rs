@@ -35,8 +35,8 @@ fn main() {
     eprintln!("running proportional-budget baseline …");
     let spec = ClusterSpec::tianhe_1a_variant();
     let provision_w = spec.provision_w();
-    let mut sim = ClusterSim::new(spec)
-        .with_budget_controller(ProportionalBudgetController::new(thresholds));
+    let mut sim =
+        ClusterSim::new(spec).with_budget_controller(ProportionalBudgetController::new(thresholds));
     sim.run_for(default_training());
     let t0 = sim.now();
     let finished_at_t0 = sim.finished().len();

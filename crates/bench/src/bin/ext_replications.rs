@@ -26,7 +26,10 @@ fn main() {
         let rep = run_replicated(&paper_config(policy, None), &SEEDS);
         rows.push(vec![
             label.clone(),
-            format!("{:.4} ± {:.4}", rep.performance.mean, rep.performance.std_dev),
+            format!(
+                "{:.4} ± {:.4}",
+                rep.performance.mean, rep.performance.std_dev
+            ),
             format!(
                 "{:.1}% ± {:.1}%",
                 rep.cplj_fraction.mean * 100.0,
@@ -73,7 +76,11 @@ fn main() {
         "MPC beats HRI on ΔP×T in {}/{} seeds; capping reduced P_max in {}",
         mpc_wins_overspend,
         SEEDS.len(),
-        if capped_every_seed { "every seed" } else { "NOT every seed" },
+        if capped_every_seed {
+            "every seed"
+        } else {
+            "NOT every seed"
+        },
     );
 
     // Within-run bootstrap of the canonical seed's per-job ratios.

@@ -35,9 +35,18 @@ fn main() {
     let total_j = trace.integrate(ppc_simkit::series::Interp::Step);
     let over_j = overspend_energy_j(&trace, p_th);
     let rows = vec![
-        vec!["total energy (grey area)".to_string(), format!("{total_j:.0} J")],
-        vec!["overspent energy (dark grey)".to_string(), format!("{over_j:.0} J")],
-        vec!["ΔP×T".to_string(), format!("{:.5}", overspend_ratio(&trace, p_th))],
+        vec![
+            "total energy (grey area)".to_string(),
+            format!("{total_j:.0} J"),
+        ],
+        vec![
+            "overspent energy (dark grey)".to_string(),
+            format!("{over_j:.0} J"),
+        ],
+        vec![
+            "ΔP×T".to_string(),
+            format!("{:.5}", overspend_ratio(&trace, p_th)),
+        ],
         vec![
             "time above P_th".to_string(),
             format!("{:.1}%", time_above_fraction(&trace, p_th) * 100.0),

@@ -52,9 +52,21 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["run", "policy", "|A_candidate|", "P_max (norm.)", "ΔP×T (norm.)"],
+            &[
+                "run",
+                "policy",
+                "|A_candidate|",
+                "P_max (norm.)",
+                "ΔP×T (norm.)"
+            ],
             &rows
         )
     );
-    println!("CSV:\n{}", render_csv(&["policy", "size", "pmax_norm", "overspend_norm"], &csv_rows));
+    println!(
+        "CSV:\n{}",
+        render_csv(
+            &["policy", "size", "pmax_norm", "overspend_norm"],
+            &csv_rows
+        )
+    );
 }

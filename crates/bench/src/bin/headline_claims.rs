@@ -94,7 +94,11 @@ fn main() {
 
     println!(
         "\noverall: {}",
-        if all { "ALL CLAIMS REPRODUCED" } else { "SOME CLAIMS FAILED" }
+        if all {
+            "ALL CLAIMS REPRODUCED"
+        } else {
+            "SOME CLAIMS FAILED"
+        }
     );
     if !all {
         std::process::exit(1);

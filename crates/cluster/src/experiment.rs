@@ -17,7 +17,8 @@ use crate::sim::ClusterSim;
 use crate::spec::ClusterSpec;
 use ppc_core::manager::ManagerStats;
 use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager, PowerState};
-use ppc_metrics::RunMetrics;
+use ppc_faults::FaultInjection;
+use ppc_metrics::{AvailabilityReport, RunMetrics};
 use ppc_simkit::{SimDuration, TimeSeries};
 use ppc_telemetry::cost::ManagementCostModel;
 use ppc_workload::JobRecord;
@@ -48,6 +49,8 @@ pub struct ExperimentConfig {
     pub high_margin: Option<f64>,
     /// Pin the thresholds to the provision-derived pair (admin mode).
     pub frozen_thresholds: bool,
+    /// Fault injection for the run (`None` = healthy machine).
+    pub faults: Option<FaultInjection>,
 }
 
 impl ExperimentConfig {
@@ -69,6 +72,7 @@ impl ExperimentConfig {
             low_margin: None,
             high_margin: None,
             frozen_thresholds: false,
+            faults: None,
         }
     }
 
@@ -86,6 +90,7 @@ impl ExperimentConfig {
             low_margin: None,
             high_margin: None,
             frozen_thresholds: false,
+            faults: None,
         }
     }
 
@@ -124,6 +129,10 @@ pub struct ExperimentOutcome {
     pub modeled_mgmt_util: f64,
     /// Candidate-set size in force.
     pub candidate_count: usize,
+    /// Availability report (`None` without faults). Outage accounting
+    /// covers the whole run; the Red/conservative cycle fractions are
+    /// rebased on the measurement window when manager stats exist.
+    pub availability: Option<AvailabilityReport>,
 }
 
 /// Runs one experiment (training + measurement) and computes its metrics.
@@ -155,6 +164,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
             (label, ClusterSim::new(spec.clone()).with_manager(manager))
         }
     };
+    if let Some(faults) = config.faults.clone() {
+        sim = sim.with_faults(faults);
+    }
 
     // Phase 1: training (runs even for the baseline so both see the same
     // warmed-up cluster at measurement start).
@@ -184,6 +196,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
             red_cycles: end.red_cycles - start.red_cycles,
             commands_issued: end.commands_issued - start.commands_issued,
             threshold_adjustments: end.threshold_adjustments - start.threshold_adjustments,
+            conservative_cycles: end.conservative_cycles - start.conservative_cycles,
         }),
         _ => None,
     };
@@ -205,6 +218,18 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
         None => (provision_w, (0.0, 0.0)),
     };
 
+    // Rebase the report's cycle fractions on the measurement window: the
+    // training hour legitimately spends cycles in Red while the manager
+    // only observes, and charging those against the fault run would make
+    // the capping-safety figure unreadable.
+    let mut availability = sim.availability_report();
+    if let (Some(a), Some(stats)) = (availability.as_mut(), manager_stats.as_ref()) {
+        if stats.cycles > 0 {
+            a.red_fraction = stats.red_cycles as f64 / stats.cycles as f64;
+            a.conservative_fraction = stats.conservative_cycles as f64 / stats.cycles as f64;
+        }
+    }
+
     ExperimentOutcome {
         label,
         metrics,
@@ -218,6 +243,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
         mgmt_cost_secs: sim.mean_mgmt_cost_secs(),
         modeled_mgmt_util: ManagementCostModel::tianhe_1a().utilization(candidate_count),
         candidate_count,
+        availability,
     }
 }
 
@@ -251,9 +277,8 @@ pub fn run_replicated(config: &ExperimentConfig, seeds: &[u64]) -> ReplicatedOut
             run_experiment(&cfg)
         })
         .collect();
-    let collect = |f: &dyn Fn(&ExperimentOutcome) -> f64| -> Vec<f64> {
-        outcomes.iter().map(f).collect()
-    };
+    let collect =
+        |f: &dyn Fn(&ExperimentOutcome) -> f64| -> Vec<f64> { outcomes.iter().map(f).collect() };
     ReplicatedOutcome {
         performance: ppc_metrics::summarize_replications(&collect(&|o| o.metrics.performance)),
         cplj_fraction: ppc_metrics::summarize_replications(&collect(&|o| o.metrics.cplj_fraction)),
@@ -278,7 +303,11 @@ mod tests {
         assert_eq!(out.candidate_count, 0);
         // Uncapped jobs run at full speed: performance is 1 up to the
         // millisecond resolution of recorded finish times.
-        assert!(out.metrics.performance > 0.9999, "{}", out.metrics.performance);
+        assert!(
+            out.metrics.performance > 0.9999,
+            "{}",
+            out.metrics.performance
+        );
         assert_eq!(out.metrics.cplj, out.metrics.jobs_finished);
     }
 

@@ -20,6 +20,6 @@ pub mod output;
 pub mod sim;
 pub mod spec;
 
-pub use experiment::{ExperimentConfig, ExperimentOutcome, run_experiment};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutcome};
 pub use sim::ClusterSim;
 pub use spec::ClusterSpec;

@@ -102,10 +102,7 @@ mod tests {
 
     #[test]
     fn csv_shape() {
-        let csv = render_csv(
-            &["x", "y"],
-            &[vec!["1".to_string(), "2".to_string()]],
-        );
+        let csv = render_csv(&["x", "y"], &[vec!["1".to_string(), "2".to_string()]]);
         assert_eq!(csv, "x,y\n1,2\n");
     }
 

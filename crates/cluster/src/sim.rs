@@ -20,17 +20,55 @@ use crate::spec::ClusterSpec;
 use ppc_core::capping::LevelView;
 use ppc_core::observe::observe_jobs;
 use ppc_core::{BudgetNodeView, PowerManager, PowerState, ProportionalBudgetController};
+use ppc_faults::{FaultEngine, FaultInjection, FaultTransition};
+use ppc_metrics::{AvailabilityInputs, AvailabilityReport};
 use ppc_node::node::Node;
 use ppc_node::{Level, NodeId, OperatingState, PowerModel};
 use ppc_simkit::journal::{Journal, Severity};
 use ppc_simkit::par::WorkerPool;
 use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries};
 use ppc_telemetry::cost::CycleCostMeter;
-use ppc_telemetry::{Collector, NodeSample, ProfilingAgent, SystemPowerMeter};
+use ppc_telemetry::{Collector, MeterReading, NodeSample, ProfilingAgent, SystemPowerMeter};
 use ppc_workload::{
     AdmissionPolicy, JobGenerator, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
 };
+use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// Give up on a frozen-actuator command after this many attempts (the
+/// initial send plus backed-off retries at 1-, 2- and 4-cycle gaps).
+const MAX_COMMAND_ATTEMPTS: u32 = 3;
+
+/// A throttling command whose first send hit a frozen DVFS actuator,
+/// waiting out its backoff before the next attempt.
+#[derive(Debug, Clone, Copy)]
+struct PendingRetry {
+    node: NodeId,
+    level: Level,
+    /// Sends performed so far (≥ 1: the failed original).
+    attempts: u32,
+    /// Control cycles to skip before the next attempt.
+    cooldown: u32,
+}
+
+/// Runtime fault state: the schedule replay engine plus the robustness
+/// bookkeeping the cluster layer accumulates around it.
+struct FaultState {
+    engine: FaultEngine,
+    requeue_cap: u32,
+    staleness_limit: SimDuration,
+    /// Jobs evicted from dead nodes and successfully requeued.
+    jobs_requeued: u64,
+    /// Jobs dropped after exhausting the requeue cap.
+    jobs_failed: u64,
+    /// DVFS commands whose first send failed (dead node or frozen
+    /// actuator). Retries and give-ups do not recount.
+    commands_failed: u64,
+    /// Failed commands waiting out their retry backoff.
+    retries: Vec<PendingRetry>,
+    /// Scratch: candidates with fresh telemetry this cycle.
+    fresh: BTreeSet<NodeId>,
+}
 
 /// Level lookup over the node array.
 struct NodesView<'a>(&'a [Node]);
@@ -84,12 +122,16 @@ pub struct ClusterSim {
     /// Worker-pool override (`None` = the process-global pool). Explicit
     /// pools let tests prove worker-count invariance of the traces.
     pool: Option<Arc<WorkerPool>>,
+    /// Fault injection (`None` = a perfectly healthy machine).
+    faults: Option<FaultState>,
     /// Per-tick scratch buffers, reused across ticks so the steady-state
     /// step path performs no per-tick allocation.
     scratch_loads: Vec<OperatingState>,
     scratch_speeds: Vec<f64>,
     scratch_samples: Vec<NodeSample>,
     scratch_views: Vec<BudgetNodeView>,
+    scratch_transitions: Vec<FaultTransition>,
+    scratch_down: Vec<bool>,
 }
 
 impl ClusterSim {
@@ -167,12 +209,40 @@ impl ClusterSim {
             peak_temp_c: f64::NEG_INFINITY,
             failure_integral: 0.0,
             pool: None,
+            faults: None,
             scratch_loads: Vec::new(),
             scratch_speeds: Vec::new(),
             scratch_samples: Vec::new(),
             scratch_views: Vec::new(),
+            scratch_transitions: Vec::new(),
+            scratch_down: Vec::new(),
             spec,
         }
+    }
+
+    /// Attaches a fault-injection schedule. Node crashes evict and requeue
+    /// the hosted job (up to the injection's requeue cap), remove the node
+    /// from scheduling, telemetry, and the candidate set, and rejoin it at
+    /// the lowest DVFS level on reboot. Hangs freeze the DVFS actuator
+    /// (commands fail and retry with backoff); silences and partitions
+    /// stop agent samples, driving the manager's staleness/coverage
+    /// fallback.
+    ///
+    /// # Panics
+    /// Panics if the schedule targets nodes outside the cluster.
+    pub fn with_faults(mut self, injection: FaultInjection) -> Self {
+        let engine = FaultEngine::new(&injection.schedule, self.spec.total_nodes());
+        self.faults = Some(FaultState {
+            engine,
+            requeue_cap: injection.requeue_cap,
+            staleness_limit: injection.staleness_limit,
+            jobs_requeued: 0,
+            jobs_failed: 0,
+            commands_failed: 0,
+            retries: Vec::new(),
+            fresh: BTreeSet::new(),
+        });
+        self
     }
 
     /// Overrides the worker pool used for node updates and power sums
@@ -262,6 +332,66 @@ impl ClusterSim {
         self.commands_applied
     }
 
+    /// The fault engine, if fault injection is attached.
+    pub fn fault_engine(&self) -> Option<&FaultEngine> {
+        self.faults.as_ref().map(|f| &f.engine)
+    }
+
+    /// Jobs evicted from dead nodes and successfully requeued (0 without
+    /// fault injection).
+    pub fn jobs_requeued(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.jobs_requeued)
+    }
+
+    /// Jobs dropped after exhausting the requeue cap (0 without faults).
+    pub fn jobs_failed(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.jobs_failed)
+    }
+
+    /// DVFS commands whose first send failed against a dead or frozen
+    /// actuator (0 without faults).
+    pub fn commands_failed(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.commands_failed)
+    }
+
+    /// The availability report for the run so far (`None` without fault
+    /// injection). Open outages are charged up to the current instant.
+    pub fn availability_report(&self) -> Option<AvailabilityReport> {
+        let fs = self.faults.as_ref()?;
+        let now = self.clock.now();
+        let stats = fs.engine.stats_at(now);
+        let (red_cycles, conservative_cycles, total_cycles) = match self.manager.as_ref() {
+            Some(m) => {
+                let s = m.stats();
+                (s.red_cycles, s.conservative_cycles, s.cycles)
+            }
+            None => {
+                let red = self
+                    .state_log
+                    .iter()
+                    .filter(|(_, s)| *s == PowerState::Red)
+                    .count() as u64;
+                (red, 0, self.state_log.len() as u64)
+            }
+        };
+        Some(AvailabilityReport::compute(&AvailabilityInputs {
+            crashes: stats.crashes,
+            hangs: stats.hangs,
+            silences: stats.silences,
+            repairs: stats.repairs,
+            node_seconds_lost: stats.node_seconds_lost,
+            repair_secs_total: stats.repair_secs_total,
+            jobs_requeued: fs.jobs_requeued,
+            jobs_failed: fs.jobs_failed,
+            commands_failed: fs.commands_failed,
+            red_cycles,
+            conservative_cycles,
+            total_cycles,
+            node_count: self.spec.total_nodes(),
+            window_secs: now.as_secs_f64(),
+        }))
+    }
+
     /// The bounded event journal (job lifecycle, state flips, thresholds).
     pub fn journal(&self) -> &Journal {
         &self.journal
@@ -287,10 +417,115 @@ impl ClusterSim {
         self.scheduler.running_jobs().len()
     }
 
+    /// Replays the fault schedule up to `now` and reacts to every edge:
+    /// crashed nodes are evicted, de-scheduled, forgotten by telemetry and
+    /// dropped from `A_candidate`; rebooted nodes rejoin at the lowest
+    /// DVFS level and re-enter the candidate set as degraded (steady-green
+    /// recovery promotes them back one level at a time).
+    fn fault_tick(&mut self, now: SimTime) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        self.scratch_transitions.clear();
+        self.scratch_transitions
+            .extend_from_slice(fs.engine.advance(now));
+        for i in 0..self.scratch_transitions.len() {
+            match self.scratch_transitions[i] {
+                FaultTransition::NodeDown(n) => {
+                    // The node is dead: whatever command we owed it is moot.
+                    fs.retries.retain(|r| r.node != n);
+                    if let Some(mut job) = self.scheduler.evict_job_on(n) {
+                        // Release dynamic SLA protection, mirroring the
+                        // completion path: the job is no longer running.
+                        if job.priority() == JobPriority::Critical {
+                            for &m in job.nodes() {
+                                if self.spec.privileged.contains(&m) {
+                                    continue;
+                                }
+                                self.nodes[m.0 as usize].set_privileged(false);
+                                if let Some(mgr) = self.manager.as_mut() {
+                                    mgr.sets_mut().set_privileged(m, false);
+                                }
+                            }
+                        }
+                        let id = job.id();
+                        if job.requeues() >= fs.requeue_cap {
+                            fs.jobs_failed += 1;
+                            let cap = fs.requeue_cap;
+                            self.journal.record_with(now, Severity::Warn, "fault", || {
+                                format!(
+                                    "{id} failed: node {} died, requeue cap {cap} exhausted",
+                                    n.0
+                                )
+                            });
+                        } else {
+                            job.requeue();
+                            let attempt = job.requeues();
+                            self.queue.push_front(job);
+                            fs.jobs_requeued += 1;
+                            self.journal.record_with(now, Severity::Warn, "fault", || {
+                                format!(
+                                    "{id} evicted: node {} died, requeued (attempt {attempt})",
+                                    n.0
+                                )
+                            });
+                        }
+                    }
+                    self.scheduler.set_node_down(n);
+                    self.collector.forget(n);
+                    if let Some(mgr) = self.manager.as_mut() {
+                        mgr.note_node_down(n);
+                    }
+                    self.journal.record_with(now, Severity::Warn, "fault", || {
+                        format!("node {} down", n.0)
+                    });
+                }
+                FaultTransition::NodeUp(n) => {
+                    self.scheduler.set_node_up(n);
+                    let node = &mut self.nodes[n.0 as usize];
+                    if !node.is_privileged() {
+                        node.force_lowest().expect("node checked not privileged");
+                    }
+                    if let Some(mgr) = self.manager.as_mut() {
+                        mgr.note_node_rejoined(n);
+                    }
+                    self.journal.record_with(now, Severity::Info, "fault", || {
+                        format!("node {} rebooted, rejoins at lowest level", n.0)
+                    });
+                }
+                FaultTransition::HangStart(n) => {
+                    self.journal.record_with(now, Severity::Warn, "fault", || {
+                        format!("node {} DVFS actuator frozen", n.0)
+                    });
+                }
+                FaultTransition::HangEnd(n) => {
+                    self.journal.record_with(now, Severity::Info, "fault", || {
+                        format!("node {} DVFS actuator thawed", n.0)
+                    });
+                }
+                FaultTransition::SilenceStart(n) => {
+                    self.journal.record_with(now, Severity::Warn, "fault", || {
+                        format!("node {} telemetry dark", n.0)
+                    });
+                }
+                FaultTransition::SilenceEnd(n) => {
+                    self.journal.record_with(now, Severity::Info, "fault", || {
+                        format!("node {} telemetry restored", n.0)
+                    });
+                }
+            }
+        }
+        self.faults = Some(fs);
+    }
+
     /// Advances the simulation by one tick.
     pub fn step(&mut self) {
         let dt = self.clock.dt_secs();
         let now0 = self.clock.now();
+
+        // 0. Fault edges strike before anything else this tick, so a node
+        //    that dies now neither hosts a new job nor contributes power.
+        self.fault_tick(now0);
 
         // 1. Job arrival and placement. With a replay trace, jobs arrive
         //    at their recorded times; otherwise an empty queue is refilled
@@ -353,8 +588,7 @@ impl ClusterSim {
                         // to its top level (it may carry a degradation from
                         // earlier capping), then freeze it.
                         let top = node.highest_level();
-                        node.set_level(top)
-                            .expect("node checked not privileged");
+                        node.set_level(top).expect("node checked not privileged");
                         node.set_privileged(true);
                         if let Some(m) = self.manager.as_mut() {
                             m.sets_mut().set_privileged(n, true);
@@ -369,21 +603,36 @@ impl ClusterSim {
         //    scheduler), applied to nodes in parallel via the pool. The
         //    load/speed buffers are scratch fields reused across ticks.
         self.scratch_loads.clear();
-        self.scratch_loads
-            .extend(self.nodes.iter().map(|n| match self.scheduler.load_on(n.id()) {
+        self.scratch_loads.extend(self.nodes.iter().map(
+            |n| match self.scheduler.load_on(n.id()) {
                 Some(load) => OperatingState {
                     cpu_util: load.cpu_util,
                     mem_used_bytes: load.mem_bytes,
-                    nic_bytes: (load.nic_fraction
-                        * n.spec().nic.bandwidth_bytes_per_sec
-                        * dt) as u64,
+                    nic_bytes: (load.nic_fraction * n.spec().nic.bandwidth_bytes_per_sec * dt)
+                        as u64,
                 },
                 None => OperatingState::IDLE,
-            }));
-        let pool = self.pool.as_deref().unwrap_or_else(WorkerPool::global);
+            },
+        ));
+        // Down nodes are dark: they neither advance counters nor draw
+        // power until their reboot. The mask is all-false without faults.
+        self.scratch_down.clear();
+        match self.faults.as_ref() {
+            Some(fs) => self
+                .scratch_down
+                .extend(self.nodes.iter().map(|n| fs.engine.is_down(n.id()))),
+            None => self.scratch_down.resize(self.nodes.len(), false),
+        }
+        let pool: &WorkerPool = match self.pool.as_deref() {
+            Some(p) => p,
+            None => WorkerPool::global(),
+        };
         let loads = &self.scratch_loads;
+        let down = &self.scratch_down;
         pool.for_each_mut(&mut self.nodes, |i, node| {
-            node.run_interval(loads[i], dt);
+            if !down[i] {
+                node.run_interval(loads[i], dt);
+            }
         });
 
         // 3. Jobs progress at the min rate over their members' speeds.
@@ -434,15 +683,35 @@ impl ClusterSim {
         }
 
         // 4. Power sensing.
-        let true_power_w = pool.sum_f64(&self.nodes, |_, n| n.power_w());
+        let down = &self.scratch_down;
+        let true_power_w =
+            pool.sum_f64(&self.nodes, |i, n| if down[i] { 0.0 } else { n.power_w() });
         self.true_power.push(now1, true_power_w);
-        let metered_w = self.meter.read(true_power_w, now1);
+        let reading = self.meter.read(true_power_w, now1);
+        match reading {
+            MeterReading::Held(w) => {
+                self.journal.record_with(now1, Severity::Info, "meter", || {
+                    format!("meter dropout: holding last good reading {w:.1} W")
+                });
+            }
+            MeterReading::Gap => {
+                self.journal.record_with(now1, Severity::Warn, "meter", || {
+                    "meter dropout before any good reading: control cycle skipped".to_string()
+                });
+            }
+            MeterReading::Fresh(_) => {}
+        }
 
-        // 5/6. Profiling, collection, control, actuation.
-        if self.manager.is_some() {
-            self.control_cycle(now1, metered_w);
-        } else if self.budget_controller.is_some() {
-            self.budget_cycle(now1, metered_w);
+        // 5/6. Profiling, collection, control, actuation. A meter gap
+        // carries no information: acting on it (the old code fed the
+        // controller 0.0 W) would read as maximal headroom and promote
+        // every degraded node, so the cycle is skipped instead.
+        if let Some(metered_w) = reading.value() {
+            if self.manager.is_some() {
+                self.control_cycle(now1, metered_w);
+            } else if self.budget_controller.is_some() {
+                self.budget_cycle(now1, metered_w);
+            }
         }
     }
 
@@ -455,6 +724,12 @@ impl ClusterSim {
         for node in &self.nodes {
             if node.is_privileged() {
                 continue;
+            }
+            if let Some(fs) = self.faults.as_ref() {
+                // Dead nodes have no agent; silent ones produce no samples.
+                if fs.engine.is_down(node.id()) || fs.engine.is_silent(node.id()) {
+                    continue;
+                }
             }
             let idx = node.id().0 as usize;
             let Some(sample) = self.agents[idx].sample(node, now) else {
@@ -486,15 +761,18 @@ impl ClusterSim {
                     Severity::Info
                 },
                 "state",
-                || format!("budget controller: state -> {state} at {:.2} kW", metered_w / 1e3),
+                || {
+                    format!(
+                        "budget controller: state -> {state} at {:.2} kW",
+                        metered_w / 1e3
+                    )
+                },
             );
             self.last_state = Some(state);
         }
+        self.process_retries(now);
         for cmd in &commands {
-            self.nodes[cmd.node.0 as usize]
-                .set_level(cmd.level)
-                .expect("budget commands target controllable nodes on their own ladders");
-            self.commands_applied += 1;
+            self.apply_command(cmd.node, cmd.level, now);
         }
     }
 
@@ -505,9 +783,15 @@ impl ClusterSim {
 
         // Agents run on candidate nodes only; monitoring everything would
         // be the unscalable design Figure 5 warns about. The sample buffer
-        // is scratch, reused across cycles.
+        // is scratch, reused across cycles. Dead and silenced nodes
+        // deliver nothing — their collector entries go stale.
         self.scratch_samples.clear();
         for &id in manager.sets().candidates() {
+            if let Some(fs) = self.faults.as_ref() {
+                if fs.engine.is_down(id) || fs.engine.is_silent(id) {
+                    continue;
+                }
+            }
             let idx = id.0 as usize;
             if let Some(sample) = self.agents[idx].sample(&self.nodes[idx], now) {
                 self.scratch_samples.push(sample);
@@ -517,20 +801,47 @@ impl ClusterSim {
         // Everything the management node computes per cycle is measured:
         // ingestion, observation building, classification, selection. Job
         // membership is borrowed straight from the run-queue — no clones.
+        // Under fault injection the staleness filter runs first: only
+        // candidates with fresh samples are selectable, and the fresh
+        // fraction feeds the manager's coverage-floor fallback.
         let models = &self.models;
         let collector = &mut self.collector;
         let nodes = &self.nodes;
         let scheduler = &self.scheduler;
         let samples = &self.scratch_samples;
+        let faults = self.faults.as_mut();
         let outcome = self.cost_meter.measure(|| {
             collector.ingest_batch(samples);
-            let observations = observe_jobs(
-                collector,
-                scheduler.running_jobs().iter().map(|j| (j.id(), j.nodes())),
-                manager.sets().candidates(),
-                &|n: NodeId| Arc::clone(&models[n.0 as usize]),
-            );
-            manager.control_cycle(metered_w, observations, &NodesView(nodes))
+            let model_of = |n: NodeId| Arc::clone(&models[n.0 as usize]);
+            let jobs = || scheduler.running_jobs().iter().map(|j| (j.id(), j.nodes()));
+            match faults {
+                Some(fs) => {
+                    fs.fresh.clear();
+                    let candidates = manager.sets().candidates();
+                    for &id in candidates {
+                        if collector.is_fresh(id, now, fs.staleness_limit) {
+                            fs.fresh.insert(id);
+                        }
+                    }
+                    let coverage = if candidates.is_empty() {
+                        1.0
+                    } else {
+                        fs.fresh.len() as f64 / candidates.len() as f64
+                    };
+                    let observations = observe_jobs(collector, jobs(), &fs.fresh, &model_of);
+                    manager.control_cycle_with_coverage(
+                        metered_w,
+                        observations,
+                        &NodesView(nodes),
+                        coverage,
+                    )
+                }
+                None => {
+                    let observations =
+                        observe_jobs(collector, jobs(), manager.sets().candidates(), &model_of);
+                    manager.control_cycle(metered_w, observations, &NodesView(nodes))
+                }
+            }
         });
         self.state_log.push((now, outcome.state));
         if self.last_state != Some(outcome.state) {
@@ -539,18 +850,23 @@ impl ClusterSim {
                 _ => Severity::Info,
             };
             self.journal.record_with(now, severity, "state", || {
-                format!("power state -> {} at {:.2} kW", outcome.state, metered_w / 1e3)
+                format!(
+                    "power state -> {} at {:.2} kW",
+                    outcome.state,
+                    metered_w / 1e3
+                )
             });
             self.last_state = Some(outcome.state);
         }
         if outcome.thresholds_adjusted {
-            self.journal.record_with(now, Severity::Info, "threshold", || {
-                format!(
-                    "adjusted: P_L={:.2} kW, P_H={:.2} kW",
-                    outcome.thresholds.p_low_w() / 1e3,
-                    outcome.thresholds.p_high_w() / 1e3
-                )
-            });
+            self.journal
+                .record_with(now, Severity::Info, "threshold", || {
+                    format!(
+                        "adjusted: P_L={:.2} kW, P_H={:.2} kW",
+                        outcome.thresholds.p_low_w() / 1e3,
+                        outcome.thresholds.p_high_w() / 1e3
+                    )
+                });
         }
 
         // Training period: observe only, never throttle.
@@ -563,15 +879,111 @@ impl ClusterSim {
         if in_training {
             return;
         }
+        self.process_retries(now);
         for cmd in &outcome.commands {
+            self.apply_command(cmd.node, cmd.level, now);
+        }
+    }
+
+    /// Sends one throttling command to a node, routing around faults.
+    ///
+    /// A healthy node applies it directly. A dead node's command is
+    /// dropped outright (the node rejoins at the lowest level anyway); a
+    /// frozen actuator queues the command for retry with backoff. Either
+    /// failure counts once in `commands_failed`, and because the control
+    /// loop reads actual node levels (`LevelView`), the next cycle sees
+    /// the un-actuated truth and re-plans — the reconcile path.
+    fn apply_command(&mut self, node: NodeId, level: Level, now: SimTime) {
+        let Some(fs) = self.faults.as_mut() else {
             // Privileged nodes are never candidates, so set_level cannot
             // hit the Privileged error; InvalidLevel cannot happen because
             // commands derive from the node's own ladder.
-            self.nodes[cmd.node.0 as usize]
-                .set_level(cmd.level)
-                .expect("manager commands are validated against the ladder");
+            self.nodes[node.0 as usize]
+                .set_level(level)
+                .expect("commands are validated against the ladder");
             self.commands_applied += 1;
+            return;
+        };
+        // A newer command supersedes any queued retry for the node.
+        fs.retries.retain(|r| r.node != node);
+        if fs.engine.is_down(node) {
+            fs.commands_failed += 1;
+            self.journal.record_with(now, Severity::Warn, "fault", || {
+                format!("command to dead node {} dropped", node.0)
+            });
+            return;
         }
+        if fs.engine.is_hung(node) {
+            fs.commands_failed += 1;
+            fs.retries.push(PendingRetry {
+                node,
+                level,
+                attempts: 1,
+                cooldown: 1,
+            });
+            self.journal.record_with(now, Severity::Warn, "fault", || {
+                format!(
+                    "command to node {} timed out (actuator frozen), will retry",
+                    node.0
+                )
+            });
+            return;
+        }
+        self.nodes[node.0 as usize]
+            .set_level(level)
+            .expect("commands are validated against the ladder");
+        self.commands_applied += 1;
+    }
+
+    /// Walks the retry queue: applies commands whose actuator thawed,
+    /// backs off ones still frozen (1, 2, 4 cycles), and drops commands
+    /// whose node died or whose attempts ran out.
+    fn process_retries(&mut self, now: SimTime) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        let mut i = 0;
+        while i < fs.retries.len() {
+            if fs.retries[i].cooldown > 0 {
+                fs.retries[i].cooldown -= 1;
+                i += 1;
+                continue;
+            }
+            let r = fs.retries[i];
+            if fs.engine.is_down(r.node) {
+                fs.retries.remove(i);
+                continue;
+            }
+            if fs.engine.is_hung(r.node) {
+                if r.attempts >= MAX_COMMAND_ATTEMPTS {
+                    fs.retries.remove(i);
+                    self.journal.record_with(now, Severity::Warn, "fault", || {
+                        format!(
+                            "giving up on node {} after {} attempts (actuator still frozen)",
+                            r.node.0, r.attempts
+                        )
+                    });
+                } else {
+                    fs.retries[i].attempts += 1;
+                    // 1 << attempts: cooldowns of 2 then 4 cycles.
+                    fs.retries[i].cooldown = 1 << r.attempts;
+                    i += 1;
+                }
+                continue;
+            }
+            self.nodes[r.node.0 as usize]
+                .set_level(r.level)
+                .expect("commands are validated against the ladder");
+            self.commands_applied += 1;
+            self.journal.record_with(now, Severity::Info, "fault", || {
+                format!(
+                    "retried command applied: node {} -> {:?}",
+                    r.node.0, r.level
+                )
+            });
+            fs.retries.remove(i);
+        }
+        self.faults = Some(fs);
     }
 
     /// Peak die temperature observed, °C (`None` without a thermal model).
@@ -582,7 +994,11 @@ impl ClusterSim {
     /// True if any node carries a thermal model.
     fn thermal_enabled(&self) -> bool {
         self.spec.node_spec.thermal.is_some()
-            || self.spec.extra_groups.iter().any(|g| g.spec.thermal.is_some())
+            || self
+                .spec
+                .extra_groups
+                .iter()
+                .any(|g| g.spec.thermal.is_some())
     }
 
     /// Integral of the cluster-mean relative failure rate over time, in
@@ -626,10 +1042,7 @@ mod tests {
         assert_eq!(sim.true_power().len(), 300);
         assert!(sim.utilization() > 0.0, "jobs should be running");
         // All nodes stay at the top level without a manager.
-        assert!(sim
-            .node_levels()
-            .iter()
-            .all(|&l| l == Level::new(9)));
+        assert!(sim.node_levels().iter().all(|&l| l == Level::new(9)));
         let p = sim.true_power().max().unwrap();
         // 4 busy Tianhe nodes: somewhere between idle (4×145) and max (4×341).
         assert!(p > 580.0 && p < 1_370.0, "peak={p}");
@@ -664,10 +1077,7 @@ mod tests {
         assert!(stats.yellow_cycles + stats.red_cycles > 0);
         // Some node must have been degraded at some point; after red
         // cycles at least the state log shows non-green.
-        assert!(sim
-            .state_log()
-            .iter()
-            .any(|(_, s)| *s != PowerState::Green));
+        assert!(sim.state_log().iter().any(|(_, s)| *s != PowerState::Green));
     }
 
     #[test]
@@ -708,6 +1118,121 @@ mod tests {
         assert!(sim.manager().unwrap().learner().in_training());
         // Peak observation is happening.
         assert!(sim.manager().unwrap().learner().observed_peak_w() > 0.0);
+    }
+
+    #[test]
+    fn crash_evicts_requeues_and_rejoins_at_lowest_level() {
+        use ppc_faults::{FaultEvent, FaultInjection, FaultKind, FaultSchedule};
+        let schedule = FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_secs(60),
+            node: NodeId(1),
+            kind: FaultKind::Crash {
+                reboot: SimDuration::from_secs(30),
+            },
+        }]);
+        let mut sim = managed_mini(4, PolicyKind::Mpc, 0.70);
+        sim = sim.with_faults(FaultInjection::new(schedule));
+        sim.run_for(SimDuration::from_secs(70));
+        // Mid-outage: the node is down, off the candidate set, powerless.
+        assert!(sim.fault_engine().unwrap().is_down(NodeId(1)));
+        assert!(!sim
+            .manager()
+            .unwrap()
+            .sets()
+            .candidates()
+            .contains(&NodeId(1)));
+        assert_eq!(
+            sim.jobs_requeued() + sim.jobs_failed(),
+            1,
+            "mini cluster is saturated"
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        // Rebooted: back in the candidate set at the lowest DVFS level.
+        assert!(!sim.fault_engine().unwrap().is_down(NodeId(1)));
+        assert!(sim
+            .manager()
+            .unwrap()
+            .sets()
+            .candidates()
+            .contains(&NodeId(1)));
+        let report = sim.availability_report().unwrap();
+        assert_eq!(report.crashes, 1);
+        assert!((report.mttr_secs - 30.0).abs() < 1.0);
+        assert!(report.availability < 1.0);
+    }
+
+    #[test]
+    fn down_node_draws_no_power() {
+        use ppc_faults::{FaultEvent, FaultInjection, FaultKind, FaultSchedule};
+        let schedule = FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_secs(50),
+            node: NodeId(0),
+            kind: FaultKind::Crash {
+                reboot: SimDuration::from_secs(1_000),
+            },
+        }]);
+        let healthy = {
+            let mut sim = ClusterSim::new(ClusterSpec::mini(4));
+            sim.run_for(SimDuration::from_secs(100));
+            sim.true_power().values().to_vec()
+        };
+        let mut sim =
+            ClusterSim::new(ClusterSpec::mini(4)).with_faults(FaultInjection::new(schedule));
+        sim.run_for(SimDuration::from_secs(100));
+        let faulted = sim.true_power().values().to_vec();
+        // Identical until the crash, strictly lower afterwards.
+        assert_eq!(healthy[..49], faulted[..49]);
+        assert!(faulted[60] < healthy[60] * 0.9);
+    }
+
+    #[test]
+    fn hung_actuator_fails_commands_and_retries() {
+        use ppc_faults::{FaultEvent, FaultInjection, FaultKind, FaultSchedule};
+        // Freeze every node's actuator over a window in which the tightly
+        // provisioned cluster is certain to issue commands.
+        let events = (0..4)
+            .map(|n| FaultEvent {
+                at: SimTime::from_secs(20),
+                node: NodeId(n),
+                kind: FaultKind::Hang {
+                    duration: SimDuration::from_secs(120),
+                },
+            })
+            .collect();
+        let mut sim = managed_mini(4, PolicyKind::Mpc, 0.55)
+            .with_faults(FaultInjection::new(FaultSchedule::new(events)));
+        sim.run_for(SimDuration::from_secs(300));
+        assert!(
+            sim.commands_failed() > 0,
+            "frozen actuators must fail commands"
+        );
+        assert!(
+            sim.commands_applied() > 0,
+            "commands succeed after the thaw"
+        );
+    }
+
+    #[test]
+    fn silence_starves_telemetry_into_conservative_mode() {
+        use ppc_faults::{FaultEvent, FaultInjection, FaultKind, FaultSchedule};
+        // Darken the whole cluster's telemetry for a long window; coverage
+        // hits 0 and every capping cycle in the window runs conservative.
+        let schedule = FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_secs(30),
+            node: NodeId(0),
+            kind: FaultKind::SubtreePartition {
+                width: 4,
+                duration: SimDuration::from_secs(200),
+            },
+        }]);
+        let mut sim =
+            managed_mini(4, PolicyKind::Mpc, 0.55).with_faults(FaultInjection::new(schedule));
+        sim.run_for(SimDuration::from_secs(300));
+        let stats = sim.manager().unwrap().stats();
+        assert!(stats.conservative_cycles > 0, "coverage floor must trip");
+        let report = sim.availability_report().unwrap();
+        assert_eq!(report.silences, 4);
+        assert!(report.conservative_fraction > 0.0);
     }
 
     #[test]

@@ -113,6 +113,47 @@ impl CappingAlgorithm {
         }
     }
 
+    /// Adopts a node into `A_degraded` without issuing a command — used
+    /// when a crashed node rejoins the cluster at its lowest level: the
+    /// fault path already set the level, and adoption makes steady-green
+    /// recovery promote the node back up exactly like a capped one.
+    pub fn adopt(&mut self, node: NodeId) {
+        self.degraded.insert(node);
+    }
+
+    /// Degraded-telemetry Yellow cycle: too few candidates have fresh
+    /// samples for the selection policy's savings estimates to mean
+    /// anything, so instead of optimizing, degrade *every* observed
+    /// degradable candidate one level. Strictly more conservative than any
+    /// policy selection (the policy picks a subset of these nodes), so the
+    /// capping guarantee survives telemetry loss at the cost of
+    /// performance.
+    pub fn conservative_yellow(
+        &mut self,
+        ctx: &SelectionContext,
+        candidates: &BTreeSet<NodeId>,
+        view: &dyn LevelView,
+    ) -> Vec<NodeCommand> {
+        self.degraded.retain(|n| candidates.contains(n));
+        self.time_g = 0;
+        let mut commands = Vec::new();
+        let mut seen = BTreeSet::new();
+        for job in &ctx.jobs {
+            for obs in &job.nodes {
+                let node = obs.node;
+                if !candidates.contains(&node) || !seen.insert(node) {
+                    continue;
+                }
+                let Some(lower) = view.level_of(node).down() else {
+                    continue;
+                };
+                commands.push(NodeCommand { node, level: lower });
+                self.degraded.insert(node);
+            }
+        }
+        commands
+    }
+
     fn green_cycle(&mut self, view: &dyn LevelView) -> Vec<NodeCommand> {
         self.time_g += 1;
         if self.time_g < self.t_g || self.degraded.is_empty() {
@@ -254,11 +295,21 @@ mod tests {
         let mut alg = CappingAlgorithm::new(10);
         let mut policy = PolicyKind::Mpc.build();
         let c = ctx(
-            vec![jobs_obs(1, vec![nobs(0, 9, 300.0), nobs(1, 9, 300.0)], None)],
+            vec![jobs_obs(
+                1,
+                vec![nobs(0, 9, 300.0), nobs(1, 9, 300.0)],
+                None,
+            )],
             1_100.0,
             1_000.0,
         );
-        let commands = alg.cycle(PowerState::Yellow, &c, policy.as_mut(), &cands(&[0, 1, 2]), &levels);
+        let commands = alg.cycle(
+            PowerState::Yellow,
+            &c,
+            policy.as_mut(),
+            &cands(&[0, 1, 2]),
+            &levels,
+        );
         levels.apply(&commands);
         assert_eq!(commands.len(), 2);
         assert_eq!(levels.level(0), Level::new(8));
@@ -274,7 +325,13 @@ mod tests {
         let mut alg = CappingAlgorithm::new(10);
         let mut policy = PolicyKind::Hri.build();
         let c = ctx(vec![], 2_000.0, 1_000.0);
-        let commands = alg.cycle(PowerState::Red, &c, policy.as_mut(), &cands(&[0, 1, 2]), &levels);
+        let commands = alg.cycle(
+            PowerState::Red,
+            &c,
+            policy.as_mut(),
+            &cands(&[0, 1, 2]),
+            &levels,
+        );
         levels.apply(&commands);
         assert_eq!(commands.len(), 3);
         for n in [0, 1, 2] {
@@ -334,7 +391,13 @@ mod tests {
             1_100.0,
             1_000.0,
         );
-        let cmds = alg.cycle(PowerState::Yellow, &c_yellow, policy.as_mut(), &cand, &levels);
+        let cmds = alg.cycle(
+            PowerState::Yellow,
+            &c_yellow,
+            policy.as_mut(),
+            &cand,
+            &levels,
+        );
         levels.apply(&cmds);
         assert_eq!(alg.time_g(), 0);
     }
@@ -345,12 +408,24 @@ mod tests {
         let mut alg = CappingAlgorithm::new(1);
         let mut policy = PolicyKind::Mpc.build();
         let c_red = ctx(vec![], 9_999.0, 1_000.0);
-        let cmds = alg.cycle(PowerState::Red, &c_red, policy.as_mut(), &cands(&[0, 1]), &levels);
+        let cmds = alg.cycle(
+            PowerState::Red,
+            &c_red,
+            policy.as_mut(),
+            &cands(&[0, 1]),
+            &levels,
+        );
         levels.apply(&cmds);
         assert_eq!(alg.degraded().len(), 2);
         // Node 1 becomes privileged (leaves the candidate set).
         let c_green = ctx(vec![], 1.0, 1_000.0);
-        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cands(&[0]), &levels);
+        let cmds = alg.cycle(
+            PowerState::Green,
+            &c_green,
+            policy.as_mut(),
+            &cands(&[0]),
+            &levels,
+        );
         assert!(alg.degraded().iter().all(|&n| n == NodeId(0)));
         // Only node 0 gets a recovery command.
         assert!(cmds.iter().all(|c| c.node == NodeId(0)));
@@ -367,7 +442,13 @@ mod tests {
             1_100.0,
             1_000.0,
         );
-        let cmds = alg.cycle(PowerState::Yellow, &c_yellow, policy.as_mut(), &cand, &levels);
+        let cmds = alg.cycle(
+            PowerState::Yellow,
+            &c_yellow,
+            policy.as_mut(),
+            &cand,
+            &levels,
+        );
         levels.apply(&cmds);
         assert_eq!(alg.degraded().len(), 1);
         // An operator resets the node to top level out-of-band.
@@ -379,6 +460,54 @@ mod tests {
         let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
         assert!(cmds.is_empty());
         assert!(alg.degraded().is_empty());
+    }
+
+    #[test]
+    fn adopted_node_recovers_via_green_cycles() {
+        let levels = Levels::new(&[0, 1], 2);
+        // Node 0 rejoined after a crash at the lowest level.
+        levels.apply(&[NodeCommand {
+            node: NodeId(0),
+            level: Level::LOWEST,
+        }]);
+        let mut alg = CappingAlgorithm::new(1);
+        alg.adopt(NodeId(0));
+        let mut policy = PolicyKind::Mpc.build();
+        let cand = cands(&[0, 1]);
+        let c_green = ctx(vec![], 1.0, 1_000.0);
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(levels.level(0), Level::new(1), "adopted node promoted");
+        assert_eq!(levels.level(1), Level::new(2), "untouched");
+        let cmds = alg.cycle(PowerState::Green, &c_green, policy.as_mut(), &cand, &levels);
+        levels.apply(&cmds);
+        assert_eq!(levels.level(0), Level::new(2));
+        assert!(alg.degraded().is_empty());
+    }
+
+    #[test]
+    fn conservative_yellow_degrades_every_observed_candidate() {
+        let levels = Levels::new(&[0, 1, 2, 3], 9);
+        let mut alg = CappingAlgorithm::new(10);
+        // Job spans nodes 0-2; node 3 idle, node 2 not a candidate.
+        let c = ctx(
+            vec![jobs_obs(
+                1,
+                vec![nobs(0, 9, 300.0), nobs(1, 9, 300.0), nobs(2, 9, 300.0)],
+                None,
+            )],
+            1_100.0,
+            1_000.0,
+        );
+        let commands = alg.conservative_yellow(&c, &cands(&[0, 1, 3]), &levels);
+        levels.apply(&commands);
+        assert_eq!(commands.len(), 2, "all observed candidates, nothing else");
+        assert_eq!(levels.level(0), Level::new(8));
+        assert_eq!(levels.level(1), Level::new(8));
+        assert_eq!(levels.level(2), Level::new(9), "non-candidate untouched");
+        assert_eq!(levels.level(3), Level::new(9), "idle node untouched");
+        assert_eq!(alg.degraded().len(), 2);
+        assert_eq!(alg.time_g(), 0);
     }
 
     mod prop {
@@ -412,11 +541,7 @@ mod tests {
                         }
                     })
                     .collect();
-                let c = ctx(
-                    vec![jobs_obs(1, nodes, None)],
-                    1_100.0,
-                    1_000.0,
-                );
+                let c = ctx(vec![jobs_obs(1, nodes, None)], 1_100.0, 1_000.0);
                 let commands = alg.cycle(state, &c, policy.as_mut(), &cand, &levels);
                 // Invariants on the issued commands.
                 for cmd in &commands {
@@ -469,7 +594,13 @@ mod tests {
         let mut policy = PolicyKind::MpcC.build();
         let none = BTreeSet::new();
         for state in [PowerState::Green, PowerState::Yellow, PowerState::Red] {
-            let cmds = alg.cycle(state, &ctx(vec![], 5_000.0, 1_000.0), policy.as_mut(), &none, &levels);
+            let cmds = alg.cycle(
+                state,
+                &ctx(vec![], 5_000.0, 1_000.0),
+                policy.as_mut(),
+                &none,
+                &levels,
+            );
             assert!(cmds.is_empty(), "{state}");
         }
     }

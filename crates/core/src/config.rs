@@ -22,6 +22,12 @@ pub struct ManagerConfig {
     pub high_margin: f64,
     /// The target-set selection policy.
     pub policy: PolicyKind,
+    /// Minimum fraction of candidates with fresh telemetry required to
+    /// trust the selection policy. Below this floor a Yellow cycle stops
+    /// optimizing and conservatively degrades every observed candidate
+    /// (and Green holds recovery) until coverage returns. `0.0` disables
+    /// the fallback.
+    pub coverage_floor: f64,
     /// When true, thresholds stay pinned at the administrator-set pair
     /// derived from `p_provision_w` (no training, no adjustment) — the
     /// paper's manual-configuration mode.
@@ -39,6 +45,7 @@ impl ManagerConfig {
             low_margin: LOW_MARGIN,
             high_margin: HIGH_MARGIN,
             policy,
+            coverage_floor: 0.5,
             frozen_thresholds: false,
         }
     }
@@ -56,6 +63,12 @@ impl ManagerConfig {
         }
         if self.t_g_cycles == 0 {
             return Err(CoreError::InvalidConfig("T_g must be >= 1".to_string()));
+        }
+        if !(0.0..=1.0).contains(&self.coverage_floor) {
+            return Err(CoreError::InvalidConfig(format!(
+                "coverage floor must be in [0, 1], got {}",
+                self.coverage_floor
+            )));
         }
         if !(0.0..1.0).contains(&self.high_margin)
             || !(self.high_margin..1.0).contains(&self.low_margin)
@@ -85,10 +98,50 @@ mod tests {
     #[test]
     fn validation_catches_bad_values() {
         let base = ManagerConfig::paper_defaults(40_000.0, PolicyKind::Mpc);
-        assert!(ManagerConfig { p_provision_w: 0.0, ..base }.validate().is_err());
-        assert!(ManagerConfig { t_p_cycles: 0, ..base }.validate().is_err());
-        assert!(ManagerConfig { t_g_cycles: 0, ..base }.validate().is_err());
-        assert!(ManagerConfig { low_margin: 0.05, ..base }.validate().is_err(), "low < high");
-        assert!(ManagerConfig { high_margin: -0.1, ..base }.validate().is_err());
+        assert!(ManagerConfig {
+            p_provision_w: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ManagerConfig {
+            t_p_cycles: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ManagerConfig {
+            t_g_cycles: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(
+            ManagerConfig {
+                low_margin: 0.05,
+                ..base
+            }
+            .validate()
+            .is_err(),
+            "low < high"
+        );
+        assert!(ManagerConfig {
+            high_margin: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ManagerConfig {
+            coverage_floor: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ManagerConfig {
+            coverage_floor: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -41,6 +41,8 @@ mod tests {
             p_high_w: 4.0,
         };
         assert!(e.to_string().contains("P_L=5"));
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -49,6 +49,9 @@ pub struct ManagerStats {
     pub commands_issued: u64,
     /// Threshold adjustments performed.
     pub threshold_adjustments: u64,
+    /// Cycles run in the conservative degraded-telemetry mode (candidate
+    /// coverage below the configured floor).
+    pub conservative_cycles: u64,
 }
 
 /// The cluster-level power manager.
@@ -69,7 +72,11 @@ impl PowerManager {
             config.p_provision_w,
             // Frozen mode: no training period, no adjustment — the pair
             // derived from the provision capability stands forever.
-            if config.frozen_thresholds { 0 } else { config.training_cycles },
+            if config.frozen_thresholds {
+                0
+            } else {
+                config.training_cycles
+            },
             config.t_p_cycles,
             config.low_margin,
             config.high_margin,
@@ -125,7 +132,29 @@ impl PowerManager {
         self.capping.degraded().len()
     }
 
-    /// Runs one control cycle.
+    /// The capping algorithm's current `A_degraded` set.
+    pub fn capping_degraded(&self) -> &std::collections::BTreeSet<ppc_node::NodeId> {
+        self.capping.degraded()
+    }
+
+    /// Marks a crashed node offline: it leaves `A_candidate` until it
+    /// rejoins, so no selection, observation, or command will touch it.
+    pub fn note_node_down(&mut self, node: ppc_node::NodeId) {
+        self.sets.set_offline(node, true);
+    }
+
+    /// Marks a rebooted node back online. The fault path restarts crashed
+    /// nodes at their lowest DVFS level, so the node is also adopted into
+    /// `A_degraded`: steady-green recovery promotes it back to full speed
+    /// one level at a time instead of leaving it throttled forever.
+    pub fn note_node_rejoined(&mut self, node: ppc_node::NodeId) {
+        self.sets.set_offline(node, false);
+        if self.sets.is_candidate(node) {
+            self.capping.adopt(node);
+        }
+    }
+
+    /// Runs one control cycle with full telemetry coverage.
     ///
     /// * `power_w` — the metered total system power;
     /// * `jobs` — this cycle's job observations (built via
@@ -137,6 +166,25 @@ impl PowerManager {
         jobs: Vec<JobObservation>,
         view: &dyn LevelView,
     ) -> CycleOutcome {
+        self.control_cycle_with_coverage(power_w, jobs, view, 1.0)
+    }
+
+    /// Runs one control cycle with an explicit telemetry-coverage figure:
+    /// the fraction of candidate nodes whose collector samples are fresh.
+    ///
+    /// When coverage drops below the configured floor the manager stops
+    /// trusting the selection policy's savings estimates: Yellow degrades
+    /// every observed candidate (strictly more conservative than any
+    /// policy pick), Green holds recovery rather than promote blind, and
+    /// Red floors everything as usual (it needs no telemetry). This keeps
+    /// the capping guarantee intact while the telemetry fabric is dark.
+    pub fn control_cycle_with_coverage(
+        &mut self,
+        power_w: f64,
+        jobs: Vec<JobObservation>,
+        view: &dyn LevelView,
+        coverage: f64,
+    ) -> CycleOutcome {
         let thresholds_adjusted = self.learner.observe_cycle(power_w);
         let thresholds = self.learner.thresholds();
         let state = thresholds.classify(power_w);
@@ -147,9 +195,23 @@ impl PowerManager {
             power_w,
             p_low_w: thresholds.p_low_w(),
         };
+        let conservative = coverage < self.config.coverage_floor;
         let commands = if candidates.is_empty() {
             // Size-0 candidate set: monitoring-only deployment, no capping.
             Vec::new()
+        } else if conservative {
+            self.stats.conservative_cycles += 1;
+            match state {
+                // Promoting on stale estimates risks overshooting the
+                // provision; recovery can wait for telemetry.
+                PowerState::Green => Vec::new(),
+                PowerState::Yellow => self.capping.conservative_yellow(&ctx, candidates, view),
+                // Red is telemetry-free: flatten everything.
+                PowerState::Red => {
+                    self.capping
+                        .cycle(state, &ctx, self.policy.as_mut(), candidates, view)
+                }
+            }
         } else {
             self.capping
                 .cycle(state, &ctx, self.policy.as_mut(), candidates, view)
@@ -213,7 +275,11 @@ mod tests {
     #[test]
     fn yellow_cycle_degrades_target_job() {
         let mut m = manager(PolicyKind::Mpc, None);
-        let jobs = vec![jobs_obs(1, vec![nobs(0, 9, 300.0), nobs(1, 9, 280.0)], None)];
+        let jobs = vec![jobs_obs(
+            1,
+            vec![nobs(0, 9, 300.0), nobs(1, 9, 280.0)],
+            None,
+        )];
         // P in [840, 930): Yellow.
         let out = m.control_cycle(900.0, jobs, &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(out.state, PowerState::Yellow);
@@ -260,6 +326,81 @@ mod tests {
         m.control_cycle(740.0, vec![], &view);
         let out = m.control_cycle(740.0, vec![], &view);
         assert!(out.thresholds_adjusted);
+    }
+
+    #[test]
+    fn low_coverage_yellow_degrades_every_observed_candidate() {
+        let mut m = manager(PolicyKind::Mpc, None);
+        assert_eq!(m.config().coverage_floor, 0.5);
+        let jobs = vec![jobs_obs(
+            1,
+            vec![nobs(0, 9, 300.0), nobs(1, 9, 280.0)],
+            None,
+        )];
+        // Coverage 0.25 < floor 0.5: conservative Yellow, no policy.
+        let out = m.control_cycle_with_coverage(
+            900.0,
+            jobs,
+            &FlatView(Level::new(9), Level::new(9)),
+            0.25,
+        );
+        assert_eq!(out.state, PowerState::Yellow);
+        assert_eq!(out.commands.len(), 2, "all observed candidates degraded");
+        assert!(out.commands.iter().all(|c| c.level == Level::new(8)));
+        assert_eq!(m.stats().conservative_cycles, 1);
+    }
+
+    #[test]
+    fn low_coverage_green_holds_recovery() {
+        let mut m = manager(PolicyKind::Mpc, None);
+        // Degrade via a normal Yellow first.
+        let jobs = vec![jobs_obs(1, vec![nobs(0, 9, 300.0)], None)];
+        m.control_cycle(900.0, jobs, &FlatView(Level::new(9), Level::new(9)));
+        assert_eq!(m.degraded_count(), 1);
+        // t_g = 10; run plenty of blind Green cycles: no promotion.
+        for _ in 0..20 {
+            let out = m.control_cycle_with_coverage(
+                500.0,
+                vec![],
+                &FlatView(Level::new(8), Level::new(9)),
+                0.0,
+            );
+            assert_eq!(out.state, PowerState::Green);
+            assert!(out.commands.is_empty(), "no blind promotion");
+        }
+        assert_eq!(m.degraded_count(), 1, "still waiting for telemetry");
+        assert_eq!(m.stats().conservative_cycles, 20);
+    }
+
+    #[test]
+    fn low_coverage_red_still_floors_everything() {
+        let mut m = manager(PolicyKind::Mpc, None);
+        let out = m.control_cycle_with_coverage(
+            5_000.0,
+            vec![],
+            &FlatView(Level::new(9), Level::new(9)),
+            0.0,
+        );
+        assert_eq!(out.state, PowerState::Red);
+        assert_eq!(out.commands.len(), 8, "red needs no telemetry");
+        assert!(out.commands.iter().all(|c| c.level == Level::LOWEST));
+    }
+
+    #[test]
+    fn node_down_and_rejoin_churn_the_candidate_set() {
+        let mut m = manager(PolicyKind::Mpc, None);
+        assert_eq!(m.sets().candidate_count(), 8);
+        m.note_node_down(NodeId(3));
+        assert_eq!(m.sets().candidate_count(), 7);
+        assert!(!m.sets().is_candidate(NodeId(3)));
+        // Red while the node is down: commands must skip it.
+        let out = m.control_cycle(5_000.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        assert_eq!(out.commands.len(), 7);
+        assert!(out.commands.iter().all(|c| c.node != NodeId(3)));
+        // Rejoin at the lowest level: adopted for green recovery.
+        m.note_node_rejoined(NodeId(3));
+        assert!(m.sets().is_candidate(NodeId(3)));
+        assert!(m.capping_degraded().contains(&NodeId(3)));
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod tests {
             vec![nobs(3, 5, 300.0), nobs(4, 5, 300.0), nobs(5, 5, 300.0)],
             None,
         ); // saves 30
-        // Deficit 15 → two-node job (20 ≥ 15) beats three-node (30 ≥ 15).
+           // Deficit 15 → two-node job (20 ≥ 15) beats three-node (30 ≥ 15).
         let c = ctx(vec![one_node, two_node, three_node], 1_015.0, 1_000.0);
         assert_eq!(Bfp.select(&c), vec![NodeId(1), NodeId(2)]);
     }

@@ -69,7 +69,7 @@ mod tests {
         let slow_ramp = jobs_obs(1, vec![nobs(0, 5, 110.0)], Some(100.0)); // +10%
         let fast_ramp = jobs_obs(2, vec![nobs(1, 5, 150.0)], Some(100.0)); // +50%
         let flat = jobs_obs(3, vec![nobs(2, 5, 500.0)], Some(500.0)); // 0%
-        // Deficit 15: fast (10) then slow (10) covers it; flat untouched.
+                                                                      // Deficit 15: fast (10) then slow (10) covers it; flat untouched.
         let c = ctx(vec![slow_ramp, fast_ramp, flat], 1_015.0, 1_000.0);
         assert_eq!(HriC.select(&c), vec![NodeId(0), NodeId(1)]);
     }

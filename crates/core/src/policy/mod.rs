@@ -155,16 +155,19 @@ impl std::fmt::Display for PolicyKind {
 pub(crate) fn argmax_job<'a>(
     jobs: impl Iterator<Item = (&'a JobObservation, f64)>,
 ) -> Option<&'a JobObservation> {
-    jobs.fold(None::<(&JobObservation, f64)>, |best, (job, key)| match best {
-        None => Some((job, key)),
-        Some((bj, bk)) => {
-            if key > bk || (key == bk && job.id < bj.id) {
-                Some((job, key))
-            } else {
-                Some((bj, bk))
+    jobs.fold(
+        None::<(&JobObservation, f64)>,
+        |best, (job, key)| match best {
+            None => Some((job, key)),
+            Some((bj, bk)) => {
+                if key > bk || (key == bk && job.id < bj.id) {
+                    Some((job, key))
+                } else {
+                    Some((bj, bk))
+                }
             }
-        }
-    })
+        },
+    )
     .map(|(j, _)| j)
 }
 

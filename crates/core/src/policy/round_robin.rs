@@ -76,7 +76,7 @@ mod tests {
     fn skips_vanished_jobs() {
         let mut p = RoundRobin::default();
         p.select(&three_jobs()); // last = job 1
-        // Job 2 has finished; next eligible above 1 is job 3.
+                                 // Job 2 has finished; next eligible above 1 is job 3.
         let c = ctx(
             vec![
                 jobs_obs(1, vec![nobs(0, 5, 100.0)], None),

@@ -30,6 +30,10 @@ use std::collections::BTreeSet;
 pub struct NodeSets {
     total: BTreeSet<NodeId>,
     privileged: BTreeSet<NodeId>,
+    /// Nodes currently down (crashed, awaiting reboot). Offline nodes
+    /// consume no power and accept no commands, so they leave
+    /// `A_candidate` until they rejoin.
+    offline: BTreeSet<NodeId>,
     /// Optional cap on the candidate count (`None` = all controllable).
     candidate_cap: Option<usize>,
     /// Cached `A_candidate` (derived; excluded from the wire format).
@@ -37,12 +41,13 @@ pub struct NodeSets {
     candidates: BTreeSet<NodeId>,
 }
 
-/// Wire shape of [`NodeSets`]: the three source fields only; the candidate
+/// Wire shape of [`NodeSets`]: the source fields only; the candidate
 /// cache is rebuilt on deserialization.
 #[derive(Deserialize)]
 struct NodeSetsWire {
     total: BTreeSet<NodeId>,
     privileged: BTreeSet<NodeId>,
+    offline: BTreeSet<NodeId>,
     candidate_cap: Option<usize>,
 }
 
@@ -51,6 +56,7 @@ impl From<NodeSetsWire> for NodeSets {
         let mut sets = NodeSets {
             total: wire.total,
             privileged: wire.privileged,
+            offline: wire.offline,
             candidate_cap: wire.candidate_cap,
             candidates: BTreeSet::new(),
         };
@@ -77,6 +83,7 @@ impl NodeSets {
         let mut sets = NodeSets {
             total,
             privileged,
+            offline: BTreeSet::new(),
             candidate_cap: None,
             candidates: BTreeSet::new(),
         };
@@ -86,7 +93,11 @@ impl NodeSets {
 
     /// Recomputes the cached candidate set from the source fields.
     fn rebuild(&mut self) {
-        let it = self.total.difference(&self.privileged).copied();
+        let it = self
+            .total
+            .difference(&self.privileged)
+            .filter(|n| !self.offline.contains(n))
+            .copied();
         self.candidates = match self.candidate_cap {
             Some(cap) => it.take(cap).collect(),
             None => it.collect(),
@@ -121,6 +132,29 @@ impl NodeSets {
         if changed {
             self.rebuild();
         }
+    }
+
+    /// Marks a node offline (down) or back online. Offline nodes leave
+    /// `A_candidate` immediately; a rejoining node re-enters on the next
+    /// rebuild (membership churn under faults).
+    ///
+    /// # Panics
+    /// Panics if the node is not in the total set.
+    pub fn set_offline(&mut self, node: NodeId, offline: bool) {
+        assert!(self.total.contains(&node), "unknown node {node}");
+        let changed = if offline {
+            self.offline.insert(node)
+        } else {
+            self.offline.remove(&node)
+        };
+        if changed {
+            self.rebuild();
+        }
+    }
+
+    /// Nodes currently offline.
+    pub fn offline(&self) -> &BTreeSet<NodeId> {
+        &self.offline
     }
 
     /// `A_total`.
@@ -207,6 +241,45 @@ mod tests {
     #[should_panic(expected = "part of the total set")]
     fn foreign_privileged_node_rejected() {
         NodeSets::new(ids(0..4), ids([9]));
+    }
+
+    #[test]
+    fn offline_nodes_leave_and_rejoin_the_candidate_pool() {
+        let mut s = NodeSets::new(ids(0..6), ids([0]));
+        assert_eq!(s.candidate_count(), 5);
+        s.set_offline(NodeId(2), true);
+        s.set_offline(NodeId(3), true);
+        assert_eq!(s.candidate_count(), 3);
+        assert!(!s.is_candidate(NodeId(2)));
+        assert_eq!(s.offline().len(), 2);
+        // Redundant marking is a no-op.
+        s.set_offline(NodeId(2), true);
+        assert_eq!(s.candidate_count(), 3);
+        // Rejoin restores membership.
+        s.set_offline(NodeId(2), false);
+        assert!(s.is_candidate(NodeId(2)));
+        assert_eq!(s.candidate_count(), 4);
+    }
+
+    #[test]
+    fn offline_interacts_with_the_cap_by_backfilling() {
+        // Cap 2 takes the lowest controllable online nodes; when one goes
+        // offline the next-lowest node backfills the capped set.
+        let mut s = NodeSets::new(ids(0..5), ids([])).with_candidate_cap(Some(2));
+        assert_eq!(
+            s.candidates().iter().copied().collect::<Vec<_>>(),
+            ids([0, 1])
+        );
+        s.set_offline(NodeId(0), true);
+        assert_eq!(
+            s.candidates().iter().copied().collect::<Vec<_>>(),
+            ids([1, 2])
+        );
+        s.set_offline(NodeId(0), false);
+        assert_eq!(
+            s.candidates().iter().copied().collect::<Vec<_>>(),
+            ids([0, 1])
+        );
     }
 
     proptest! {

@@ -49,12 +49,8 @@ impl Thresholds {
 
     /// Derives thresholds from a peak observation with the paper's
     /// margins: `P_H = (1 − high_margin)·P_peak`, `P_L = (1 − low_margin)·P_peak`.
-    pub fn from_peak(
-        p_peak_w: f64,
-        low_margin: f64,
-        high_margin: f64,
-    ) -> Result<Self, CoreError> {
-        if !(p_peak_w > 0.0) {
+    pub fn from_peak(p_peak_w: f64, low_margin: f64, high_margin: f64) -> Result<Self, CoreError> {
+        if p_peak_w.is_nan() || p_peak_w <= 0.0 {
             return Err(CoreError::InvalidThresholds {
                 p_low_w: 0.0,
                 p_high_w: 0.0,
@@ -65,7 +61,10 @@ impl Thresholds {
                 "margins must satisfy 0 <= high ({high_margin}) <= low ({low_margin}) < 1"
             )));
         }
-        Thresholds::new((1.0 - low_margin) * p_peak_w, (1.0 - high_margin) * p_peak_w)
+        Thresholds::new(
+            (1.0 - low_margin) * p_peak_w,
+            (1.0 - high_margin) * p_peak_w,
+        )
     }
 
     /// `P_L`, watts.
@@ -129,7 +128,10 @@ mod tests {
 
     #[test]
     fn from_peak_validates_margins() {
-        assert!(Thresholds::from_peak(1000.0, 0.07, 0.16).is_err(), "swapped");
+        assert!(
+            Thresholds::from_peak(1000.0, 0.07, 0.16).is_err(),
+            "swapped"
+        );
         assert!(Thresholds::from_peak(1000.0, 1.2, 0.07).is_err());
         assert!(Thresholds::from_peak(0.0, 0.16, 0.07).is_err());
     }

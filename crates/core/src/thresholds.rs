@@ -52,7 +52,13 @@ impl ThresholdLearner {
         training_cycles: u64,
         t_p_cycles: u64,
     ) -> Result<Self, CoreError> {
-        Self::with_margins(p_provision_w, training_cycles, t_p_cycles, LOW_MARGIN, HIGH_MARGIN)
+        Self::with_margins(
+            p_provision_w,
+            training_cycles,
+            t_p_cycles,
+            LOW_MARGIN,
+            HIGH_MARGIN,
+        )
     }
 
     /// As [`ThresholdLearner::new`] with explicit margins (ablations).

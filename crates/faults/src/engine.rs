@@ -1,0 +1,379 @@
+//! Per-node fault lifecycle engine.
+
+use crate::schedule::{FaultKind, FaultSchedule};
+use ppc_node::NodeId;
+use ppc_simkit::SimTime;
+use serde::Serialize;
+
+/// Health of one node, as tracked by the engine.
+///
+/// Down dominates: a crashed node is neither hung nor silent — those
+/// overlays are cleared on crash and ignored while down.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeHealth {
+    /// `Some(t)` while the node is down; it reboots at `t`.
+    pub down_until: Option<SimTime>,
+    /// `Some(t)` while the DVFS actuator is frozen; it thaws at `t`.
+    pub hung_until: Option<SimTime>,
+    /// `Some(t)` while the node's telemetry is dark; it resumes at `t`.
+    pub silent_until: Option<SimTime>,
+    /// Instant the current outage started (accounting).
+    down_since: Option<SimTime>,
+}
+
+/// An edge transition the cluster layer must react to.
+///
+/// Within one tick, recoveries are reported first (in node-id order), then
+/// newly striking faults (in schedule order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTransition {
+    /// Node lost power: evict its job, drop it from scheduling and from the
+    /// candidate set.
+    NodeDown(NodeId),
+    /// Node rebooted: it rejoins at the lowest DVFS level.
+    NodeUp(NodeId),
+    /// DVFS actuator frozen: commands to this node will fail.
+    HangStart(NodeId),
+    /// Actuator thawed.
+    HangEnd(NodeId),
+    /// Telemetry dark: the agent stops producing samples.
+    SilenceStart(NodeId),
+    /// Telemetry restored.
+    SilenceEnd(NodeId),
+}
+
+/// Availability accounting accumulated by the engine.
+///
+/// `node_seconds_lost` and `repair_secs_total` include outages still open
+/// at the instant [`FaultEngine::stats_at`] is called.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FaultStats {
+    /// Up→down transitions (a crash landing on an already-down node only
+    /// extends the outage).
+    pub crashes: u64,
+    /// Hang windows started.
+    pub hangs: u64,
+    /// Silence windows started (partitions count once per affected node).
+    pub silences: u64,
+    /// Completed reboots.
+    pub repairs: u64,
+    /// Total node-seconds of downtime.
+    pub node_seconds_lost: f64,
+    /// Total seconds from crash to reboot over completed repairs (MTTR
+    /// numerator).
+    pub repair_secs_total: f64,
+}
+
+/// Replays a [`FaultSchedule`] against simulation time.
+///
+/// Call [`advance`](FaultEngine::advance) once per tick with the current
+/// instant; it returns the transitions that fired. Health queries are O(1)
+/// array lookups, cheap enough for per-node hot paths (power summation,
+/// telemetry sweeps).
+#[derive(Debug, Clone)]
+pub struct FaultEngine {
+    events: Vec<crate::schedule::FaultEvent>,
+    next_event: usize,
+    health: Vec<NodeHealth>,
+    stats: FaultStats,
+    transitions: Vec<FaultTransition>,
+}
+
+impl FaultEngine {
+    /// Builds an engine for a `node_count`-node cluster.
+    ///
+    /// # Panics
+    /// Panics if the schedule fails [`FaultSchedule::validate`] — an
+    /// out-of-range schedule is a configuration error, not a runtime
+    /// condition.
+    pub fn new(schedule: &FaultSchedule, node_count: u32) -> Self {
+        if let Err(msg) = schedule.validate(node_count) {
+            panic!("invalid fault schedule: {msg}");
+        }
+        FaultEngine {
+            events: schedule.events().to_vec(),
+            next_event: 0,
+            health: vec![NodeHealth::default(); node_count as usize],
+            stats: FaultStats::default(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Advances to `now`, returning the transitions that fired since the
+    /// previous call. Recoveries first (node-id order), then new faults
+    /// (schedule order). The returned slice is valid until the next call.
+    pub fn advance(&mut self, now: SimTime) -> &[FaultTransition] {
+        self.transitions.clear();
+
+        // Recoveries: scan in node-id order so the output is deterministic.
+        for (i, h) in self.health.iter_mut().enumerate() {
+            let node = NodeId(i as u32);
+            if let Some(t) = h.down_until {
+                if t <= now {
+                    h.down_until = None;
+                    let since = h.down_since.take().expect("down node has a start instant");
+                    let lost = (now - since).as_secs_f64();
+                    self.stats.node_seconds_lost += lost;
+                    self.stats.repair_secs_total += lost;
+                    self.stats.repairs += 1;
+                    self.transitions.push(FaultTransition::NodeUp(node));
+                }
+            }
+            if let Some(t) = h.hung_until {
+                if t <= now {
+                    h.hung_until = None;
+                    self.transitions.push(FaultTransition::HangEnd(node));
+                }
+            }
+            if let Some(t) = h.silent_until {
+                if t <= now {
+                    h.silent_until = None;
+                    self.transitions.push(FaultTransition::SilenceEnd(node));
+                }
+            }
+        }
+
+        // Newly striking faults.
+        while self.next_event < self.events.len() && self.events[self.next_event].at <= now {
+            let e = self.events[self.next_event];
+            self.next_event += 1;
+            match e.kind {
+                FaultKind::Crash { reboot } => self.strike_crash(e.node, now + reboot, now),
+                FaultKind::Hang { duration } => {
+                    let h = &mut self.health[e.node.0 as usize];
+                    if h.down_until.is_some() {
+                        continue; // down dominates
+                    }
+                    let until = now + duration;
+                    let fresh = h.hung_until.is_none();
+                    h.hung_until = Some(h.hung_until.map_or(until, |t| t.max(until)));
+                    if fresh {
+                        self.stats.hangs += 1;
+                        self.transitions.push(FaultTransition::HangStart(e.node));
+                    }
+                }
+                FaultKind::AgentSilence { duration } => self.strike_silence(e.node, now + duration),
+                FaultKind::SubtreePartition { width, duration } => {
+                    for n in e.node.0..e.node.0 + width {
+                        self.strike_silence(NodeId(n), now + duration);
+                    }
+                }
+            }
+        }
+
+        &self.transitions
+    }
+
+    fn strike_crash(&mut self, node: NodeId, until: SimTime, now: SimTime) {
+        let h = &mut self.health[node.0 as usize];
+        if h.down_until.is_some() {
+            // Already down: the new crash only extends the outage.
+            h.down_until = Some(h.down_until.unwrap().max(until));
+            return;
+        }
+        // Down dominates any hang/silence overlay.
+        if h.hung_until.take().is_some() {
+            self.transitions.push(FaultTransition::HangEnd(node));
+        }
+        if h.silent_until.take().is_some() {
+            self.transitions.push(FaultTransition::SilenceEnd(node));
+        }
+        h.down_until = Some(until);
+        h.down_since = Some(now);
+        self.stats.crashes += 1;
+        self.transitions.push(FaultTransition::NodeDown(node));
+    }
+
+    fn strike_silence(&mut self, node: NodeId, until: SimTime) {
+        let h = &mut self.health[node.0 as usize];
+        if h.down_until.is_some() {
+            return; // down dominates
+        }
+        let fresh = h.silent_until.is_none();
+        h.silent_until = Some(h.silent_until.map_or(until, |t| t.max(until)));
+        if fresh {
+            self.stats.silences += 1;
+            self.transitions.push(FaultTransition::SilenceStart(node));
+        }
+    }
+
+    /// True if the node is currently down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.health[node.0 as usize].down_until.is_some()
+    }
+
+    /// True if the node's DVFS actuator is currently frozen.
+    pub fn is_hung(&self, node: NodeId) -> bool {
+        self.health[node.0 as usize].hung_until.is_some()
+    }
+
+    /// True if the node's telemetry is currently dark (explicit silence or
+    /// partition; down nodes are dark too, but report via [`is_down`]).
+    ///
+    /// [`is_down`]: FaultEngine::is_down
+    pub fn is_silent(&self, node: NodeId) -> bool {
+        self.health[node.0 as usize].silent_until.is_some()
+    }
+
+    /// Number of nodes currently down.
+    pub fn down_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| h.down_until.is_some())
+            .count()
+    }
+
+    /// Health record for one node.
+    pub fn health(&self, node: NodeId) -> NodeHealth {
+        self.health[node.0 as usize]
+    }
+
+    /// Availability accounting as of `now`, charging outages still open at
+    /// `now` for the time they have already lasted.
+    pub fn stats_at(&self, now: SimTime) -> FaultStats {
+        let mut s = self.stats;
+        for h in &self.health {
+            if h.down_until.is_some() {
+                let since = h.down_since.expect("down node has a start instant");
+                s.node_seconds_lost += (now - since).as_secs_f64();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultSchedule};
+    use ppc_simkit::SimDuration;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn crash_lifecycle_and_accounting() {
+        let sched = FaultSchedule::new(vec![FaultEvent {
+            at: secs(5),
+            node: NodeId(1),
+            kind: FaultKind::Crash {
+                reboot: SimDuration::from_secs(10),
+            },
+        }]);
+        let mut eng = FaultEngine::new(&sched, 4);
+
+        assert!(eng.advance(secs(4)).is_empty());
+        assert_eq!(
+            eng.advance(secs(5)),
+            &[FaultTransition::NodeDown(NodeId(1))]
+        );
+        assert!(eng.is_down(NodeId(1)));
+        assert!(eng.advance(secs(14)).is_empty());
+        // Mid-outage stats charge the open outage.
+        assert!((eng.stats_at(secs(14)).node_seconds_lost - 9.0).abs() < 1e-9);
+        assert_eq!(eng.advance(secs(15)), &[FaultTransition::NodeUp(NodeId(1))]);
+        assert!(!eng.is_down(NodeId(1)));
+
+        let s = eng.stats_at(secs(20));
+        assert_eq!((s.crashes, s.repairs), (1, 1));
+        assert!((s.node_seconds_lost - 10.0).abs() < 1e-9);
+        assert!((s.repair_secs_total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_clears_hang_and_silence_overlays() {
+        let sched = FaultSchedule::new(vec![
+            FaultEvent {
+                at: secs(1),
+                node: NodeId(0),
+                kind: FaultKind::Hang {
+                    duration: SimDuration::from_secs(100),
+                },
+            },
+            FaultEvent {
+                at: secs(1),
+                node: NodeId(0),
+                kind: FaultKind::AgentSilence {
+                    duration: SimDuration::from_secs(100),
+                },
+            },
+            FaultEvent {
+                at: secs(2),
+                node: NodeId(0),
+                kind: FaultKind::Crash {
+                    reboot: SimDuration::from_secs(5),
+                },
+            },
+        ]);
+        let mut eng = FaultEngine::new(&sched, 1);
+        eng.advance(secs(1));
+        assert!(eng.is_hung(NodeId(0)) && eng.is_silent(NodeId(0)));
+        let tr = eng.advance(secs(2)).to_vec();
+        assert!(tr.contains(&FaultTransition::HangEnd(NodeId(0))));
+        assert!(tr.contains(&FaultTransition::SilenceEnd(NodeId(0))));
+        assert!(tr.contains(&FaultTransition::NodeDown(NodeId(0))));
+        assert!(!eng.is_hung(NodeId(0)) && !eng.is_silent(NodeId(0)));
+        // The stale hang/silence recoveries do not re-fire after reboot.
+        assert_eq!(eng.advance(secs(7)), &[FaultTransition::NodeUp(NodeId(0))]);
+    }
+
+    #[test]
+    fn partition_darkens_the_whole_subtree_once() {
+        let sched = FaultSchedule::new(vec![FaultEvent {
+            at: secs(3),
+            node: NodeId(4),
+            kind: FaultKind::SubtreePartition {
+                width: 4,
+                duration: SimDuration::from_secs(6),
+            },
+        }]);
+        let mut eng = FaultEngine::new(&sched, 8);
+        let tr = eng.advance(secs(3)).to_vec();
+        assert_eq!(tr.len(), 4);
+        for n in 4..8u32 {
+            assert!(tr.contains(&FaultTransition::SilenceStart(NodeId(n))));
+            assert!(eng.is_silent(NodeId(n)));
+        }
+        assert!(!eng.is_silent(NodeId(0)));
+        let tr = eng.advance(secs(9)).to_vec();
+        assert_eq!(tr.len(), 4);
+        assert!(tr.contains(&FaultTransition::SilenceEnd(NodeId(7))));
+        assert_eq!(eng.stats_at(secs(9)).silences, 4);
+    }
+
+    #[test]
+    fn overlapping_silences_extend_instead_of_restarting() {
+        let sched = FaultSchedule::new(vec![
+            FaultEvent {
+                at: secs(1),
+                node: NodeId(0),
+                kind: FaultKind::AgentSilence {
+                    duration: SimDuration::from_secs(10),
+                },
+            },
+            FaultEvent {
+                at: secs(5),
+                node: NodeId(0),
+                kind: FaultKind::AgentSilence {
+                    duration: SimDuration::from_secs(2),
+                },
+            },
+        ]);
+        let mut eng = FaultEngine::new(&sched, 1);
+        assert_eq!(eng.advance(secs(1)).len(), 1);
+        assert!(
+            eng.advance(secs(5)).is_empty(),
+            "overlap does not re-announce"
+        );
+        assert!(
+            eng.advance(secs(7)).is_empty(),
+            "shorter overlap does not cut the window"
+        );
+        assert_eq!(
+            eng.advance(secs(11)),
+            &[FaultTransition::SilenceEnd(NodeId(0))]
+        );
+        assert_eq!(eng.stats_at(secs(11)).silences, 1);
+    }
+}

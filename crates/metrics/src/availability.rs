@@ -1,0 +1,147 @@
+//! Availability metrics under fault injection.
+//!
+//! The capping metrics (`Performance`, CPLJ, ΔP×T) measure how much the
+//! power manager costs a healthy machine; this module measures how the
+//! whole stack behaves on an unhealthy one. All inputs are plain counters
+//! so the module has no dependency on the fault engine itself — the
+//! cluster layer gathers them and calls [`AvailabilityReport::compute`].
+
+use serde::{Deserialize, Serialize};
+
+/// Raw fault/robustness counters gathered over one run window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityInputs {
+    /// Node crashes (up→down transitions).
+    pub crashes: u64,
+    /// Actuator-hang windows.
+    pub hangs: u64,
+    /// Telemetry-silence windows (partitions count per affected node).
+    pub silences: u64,
+    /// Completed reboots.
+    pub repairs: u64,
+    /// Total node-seconds of downtime (open outages included).
+    pub node_seconds_lost: f64,
+    /// Total crash-to-reboot seconds over completed repairs.
+    pub repair_secs_total: f64,
+    /// Jobs evicted and successfully requeued.
+    pub jobs_requeued: u64,
+    /// Jobs dropped after exhausting the requeue cap.
+    pub jobs_failed: u64,
+    /// DVFS commands that failed (dead or frozen actuator) and were handed
+    /// to the retry path.
+    pub commands_failed: u64,
+    /// Control cycles classified Red over the window.
+    pub red_cycles: u64,
+    /// Control cycles run in the conservative degraded-telemetry mode.
+    pub conservative_cycles: u64,
+    /// Total control cycles over the window.
+    pub total_cycles: u64,
+    /// Nodes in the cluster.
+    pub node_count: u32,
+    /// Window length, seconds.
+    pub window_secs: f64,
+}
+
+/// The normalized availability report for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    /// Node-hours of capacity lost to outages.
+    pub node_hours_lost: f64,
+    /// Delivered capacity fraction: `1 − lost / (nodes × window)`.
+    pub availability: f64,
+    /// Mean time to repair over completed reboots, seconds (0 if none).
+    pub mttr_secs: f64,
+    /// Node crashes.
+    pub crashes: u64,
+    /// Actuator-hang windows.
+    pub hangs: u64,
+    /// Telemetry-silence windows.
+    pub silences: u64,
+    /// Jobs evicted and requeued.
+    pub jobs_requeued: u64,
+    /// Jobs dropped after exhausting the requeue cap.
+    pub jobs_failed: u64,
+    /// Failed DVFS commands.
+    pub commands_failed: u64,
+    /// Fraction of control cycles spent in Red — the capping-safety-under-
+    /// faults figure (the paper's safety claim is that capping keeps this
+    /// at 0; fault tolerance must preserve that).
+    pub red_fraction: f64,
+    /// Fraction of control cycles run in the conservative
+    /// degraded-telemetry mode.
+    pub conservative_fraction: f64,
+}
+
+impl AvailabilityReport {
+    /// Normalizes raw counters into the report.
+    pub fn compute(inputs: &AvailabilityInputs) -> Self {
+        let capacity_secs = f64::from(inputs.node_count) * inputs.window_secs;
+        let cycle_fraction = |n: u64| {
+            if inputs.total_cycles == 0 {
+                0.0
+            } else {
+                n as f64 / inputs.total_cycles as f64
+            }
+        };
+        AvailabilityReport {
+            node_hours_lost: inputs.node_seconds_lost / 3_600.0,
+            availability: if capacity_secs > 0.0 {
+                (1.0 - inputs.node_seconds_lost / capacity_secs).clamp(0.0, 1.0)
+            } else {
+                1.0
+            },
+            mttr_secs: if inputs.repairs == 0 {
+                0.0
+            } else {
+                inputs.repair_secs_total / inputs.repairs as f64
+            },
+            crashes: inputs.crashes,
+            hangs: inputs.hangs,
+            silences: inputs.silences,
+            jobs_requeued: inputs.jobs_requeued,
+            jobs_failed: inputs.jobs_failed,
+            commands_failed: inputs.commands_failed,
+            red_fraction: cycle_fraction(inputs.red_cycles),
+            conservative_fraction: cycle_fraction(inputs.conservative_cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_normalizes_counters() {
+        let r = AvailabilityReport::compute(&AvailabilityInputs {
+            crashes: 4,
+            hangs: 2,
+            silences: 3,
+            repairs: 3,
+            node_seconds_lost: 7_200.0,
+            repair_secs_total: 360.0,
+            jobs_requeued: 5,
+            jobs_failed: 1,
+            commands_failed: 7,
+            red_cycles: 2,
+            conservative_cycles: 10,
+            total_cycles: 100,
+            node_count: 8,
+            window_secs: 3_600.0,
+        });
+        assert!((r.node_hours_lost - 2.0).abs() < 1e-12);
+        assert!((r.availability - 0.75).abs() < 1e-12);
+        assert!((r.mttr_secs - 120.0).abs() < 1e-12);
+        assert!((r.red_fraction - 0.02).abs() < 1e-12);
+        assert!((r.conservative_fraction - 0.1).abs() < 1e-12);
+        assert_eq!(r.jobs_failed, 1);
+    }
+
+    #[test]
+    fn empty_window_yields_perfect_availability() {
+        let r = AvailabilityReport::compute(&AvailabilityInputs::default());
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.mttr_secs, 0.0);
+        assert_eq!(r.red_fraction, 0.0);
+    }
+}

@@ -166,7 +166,10 @@ mod tests {
     fn replication_summary_matches_hand_math() {
         let s = summarize_replications(&[2.0, 4.0, 6.0]);
         assert_eq!(s.mean, 4.0);
-        assert!((s.std_dev - 2.0).abs() < 1e-12, "sample std of [2,4,6] is 2");
+        assert!(
+            (s.std_dev - 2.0).abs() < 1e-12,
+            "sample std of [2,4,6] is 2"
+        );
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 6.0);
         assert_eq!(s.n, 3);

@@ -32,9 +32,9 @@ mod tests {
     #[test]
     fn counts_exact_and_tolerated() {
         let records = vec![
-            record(1, 100.0, 100.0),  // lossless
-            record(2, 100.0, 100.5),  // within 1%
-            record(3, 100.0, 150.0),  // lossy
+            record(1, 100.0, 100.0), // lossless
+            record(2, 100.0, 100.5), // within 1%
+            record(3, 100.0, 150.0), // lossy
         ];
         assert_eq!(cplj(&records, 0.0), 1);
         assert_eq!(cplj(&records, DEFAULT_TOLERANCE), 2);

@@ -17,6 +17,7 @@
 //!    [`report::RunMetrics`] with normalization against an unmanaged
 //!    baseline (how Figures 6 and 7 are presented).
 
+pub mod availability;
 pub mod bootstrap;
 pub mod cplj;
 pub mod energy;
@@ -25,5 +26,8 @@ pub mod peak;
 pub mod performance;
 pub mod report;
 
-pub use bootstrap::{bootstrap_mean_ci, summarize_replications, ConfidenceInterval, ReplicationSummary};
+pub use availability::{AvailabilityInputs, AvailabilityReport};
+pub use bootstrap::{
+    bootstrap_mean_ci, summarize_replications, ConfidenceInterval, ReplicationSummary,
+};
 pub use report::{NormalizedMetrics, RunMetrics};

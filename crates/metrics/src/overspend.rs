@@ -82,8 +82,20 @@ mod tests {
     #[test]
     fn capping_reduces_the_metric() {
         // Same total time; the "capped" trace clips the spike.
-        let uncapped = trace(&[(0, 100.0), (10, 150.0), (20, 150.0), (30, 100.0), (40, 100.0)]);
-        let capped = trace(&[(0, 100.0), (10, 110.0), (20, 110.0), (30, 100.0), (40, 100.0)]);
+        let uncapped = trace(&[
+            (0, 100.0),
+            (10, 150.0),
+            (20, 150.0),
+            (30, 100.0),
+            (40, 100.0),
+        ]);
+        let capped = trace(&[
+            (0, 100.0),
+            (10, 110.0),
+            (20, 110.0),
+            (30, 100.0),
+            (40, 100.0),
+        ]);
         let th = 105.0;
         assert!(overspend_ratio(&capped, th) < overspend_ratio(&uncapped, th));
     }

@@ -212,7 +212,11 @@ mod tests {
         }
         assert!((scales[9] - 1.0).abs() < 1e-12);
         // Bottom level draws roughly (1.6/2.93)·(0.85/1.2)² ≈ 27% of top.
-        assert!(scales[0] > 0.2 && scales[0] < 0.35, "scale[0]={}", scales[0]);
+        assert!(
+            scales[0] > 0.2 && scales[0] < 0.35,
+            "scale[0]={}",
+            scales[0]
+        );
     }
 
     #[test]

@@ -122,10 +122,9 @@ impl Node {
         self.proc_counters.advance(&state, dt_secs);
         if self.thermal.is_some() {
             let p = self.power_w();
-            self.thermal
-                .as_mut()
-                .expect("checked above")
-                .advance(p, dt_secs);
+            if let Some(thermal) = &mut self.thermal {
+                thermal.advance(p, dt_secs);
+            }
         }
     }
 

@@ -96,8 +96,7 @@ impl PowerModel {
     pub fn power_w(&self, level: Level, state: &OperatingState) -> f64 {
         let i = level.index();
         let cpu_util = state.cpu_util.clamp(0.0, 1.0);
-        let mem_ratio =
-            (state.mem_used_bytes as f64 / self.mem_total_bytes as f64).clamp(0.0, 1.0);
+        let mem_ratio = (state.mem_used_bytes as f64 / self.mem_total_bytes as f64).clamp(0.0, 1.0);
         let nic_cap = self.nic.interval_capacity_bytes(self.tau_secs);
         let nic_ratio = (state.nic_bytes as f64 / nic_cap).clamp(0.0, 1.0);
         self.table.idle_w[i]

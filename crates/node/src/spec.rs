@@ -215,7 +215,11 @@ mod tests {
         let a = NodeSpec::tianhe_1a();
         let b = NodeSpec::tianhe_1a_x5650();
         assert_eq!(b.ladder.len(), 7);
-        assert_eq!(a.cores(), b.cores(), "uniform rank placement requires equal cores");
+        assert_eq!(
+            a.cores(),
+            b.cores(),
+            "uniform rank placement requires equal cores"
+        );
         assert!(b.theoretical_max_w() < a.theoretical_max_w());
         assert_eq!(b.ladder.max_freq_ghz(), 2.66);
     }

@@ -55,9 +55,18 @@ impl ThermalSpec {
     /// # Panics
     /// Panics on non-physical values.
     pub fn validate(&self) {
-        assert!(self.r_th_c_per_w > 0.0, "thermal resistance must be positive");
-        assert!(self.c_th_j_per_c > 0.0, "thermal capacitance must be positive");
-        assert!(self.leakage_per_c >= 0.0, "leakage slope cannot be negative");
+        assert!(
+            self.r_th_c_per_w > 0.0,
+            "thermal resistance must be positive"
+        );
+        assert!(
+            self.c_th_j_per_c > 0.0,
+            "thermal capacitance must be positive"
+        );
+        assert!(
+            self.leakage_per_c >= 0.0,
+            "leakage slope cannot be negative"
+        );
         assert!(
             self.ambient_c > -50.0 && self.ambient_c < 60.0,
             "implausible ambient temperature {}",
@@ -212,9 +221,7 @@ mod tests {
         assert!((base - 1.0).abs() < 1e-9);
         s.advance(340.0, 1e9); // ≈65 °C
         let hot = s.relative_failure_rate(25.0);
-        assert!(
-            (hot - 2f64.powf((s.temperature_c() - 25.0) / 10.0)).abs() < 1e-9
-        );
+        assert!((hot - 2f64.powf((s.temperature_c() - 25.0) / 10.0)).abs() < 1e-9);
         assert!(hot > 10.0, "40 °C hotter ⇒ >16× failure rate, got {hot}");
     }
 

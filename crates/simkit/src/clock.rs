@@ -60,7 +60,7 @@ impl TickClock {
 
     /// True on ticks that are a multiple of `period` (never on tick 0).
     pub fn every(&self, period: u64) -> bool {
-        period > 0 && self.tick > 0 && self.tick % period == 0
+        period > 0 && self.tick > 0 && self.tick.is_multiple_of(period)
     }
 
     /// Number of ticks needed to cover `span` (rounding up).

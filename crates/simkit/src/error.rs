@@ -53,6 +53,8 @@ mod tests {
         assert!(SimError::EventBudgetExhausted { budget: 7 }
             .to_string()
             .contains('7'));
-        assert!(SimError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(SimError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -239,7 +239,12 @@ mod tests {
     #[test]
     fn display_formats() {
         let mut j = journal(2);
-        j.record(SimTime::from_secs(61), Severity::Warn, "state", "red entered");
+        j.record(
+            SimTime::from_secs(61),
+            Severity::Warn,
+            "state",
+            "red entered",
+        );
         let line = j.iter().next().unwrap().to_string();
         assert!(line.contains("WARN"));
         assert!(line.contains("00:01:01"));

@@ -293,10 +293,7 @@ impl WorkerPool {
             }
             return;
         }
-        let _submit = self
-            .submit
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _submit = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
         let shared = &*self.shared;
         // SAFETY: lifetime erasure is sound because of the completion
         // barrier below — `run` returns only after every worker finished.
@@ -389,8 +386,8 @@ impl WorkerPool {
                 return;
             }
             let end = (start + chunk).min(n);
-            for i in start..end {
-                let value = f(i, &items[i]);
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                let value = f(i, item);
                 // SAFETY: slot i is written exactly once, by this worker.
                 unsafe { dst.get().add(i).write(MaybeUninit::new(value)) };
             }
@@ -561,7 +558,11 @@ mod tests {
         let v: Vec<f64> = (0..4_321).map(|i| (i as f64) * 0.1 + 0.003).collect();
         let seq: f64 = v.iter().map(|x| x.sin()).sum();
         let par = par_sum_f64(&v, |_, x| x.sin());
-        assert_eq!(seq.to_bits(), par.to_bits(), "ordered reduction must be exact");
+        assert_eq!(
+            seq.to_bits(),
+            par.to_bits(),
+            "ordered reduction must be exact"
+        );
     }
 
     #[test]
@@ -613,7 +614,10 @@ mod tests {
             let mut none: Vec<u8> = vec![];
             pool.for_each_mut(&mut none, |_, _| panic!("must not run"));
             let one = [2.5f64];
-            assert_eq!(pool.sum_f64(&one, |_, x| *x * 2.0).to_bits(), 5f64.to_bits());
+            assert_eq!(
+                pool.sum_f64(&one, |_, x| *x * 2.0).to_bits(),
+                5f64.to_bits()
+            );
             assert_eq!(pool.map(&one, |i, x| (i, *x)), vec![(0, 2.5)]);
             let mut mut_one = [1u32];
             pool.for_each_mut(&mut mut_one, |i, x| *x += i as u32 + 9);
@@ -642,7 +646,10 @@ mod tests {
             *x += par_sum_f64(&inner, |_, &y| y as f64) as u64;
         });
         let inner_sum: u64 = (0..50).sum();
-        assert!(outer.iter().enumerate().all(|(i, &x)| x == i as u64 + inner_sum));
+        assert!(outer
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == i as u64 + inner_sum));
     }
 
     #[test]

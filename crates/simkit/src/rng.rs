@@ -54,10 +54,7 @@ impl DetRng {
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -248,7 +245,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = DetRng::seed_from_u64(1);
         let mut b = DetRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -324,7 +323,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements staying put is ~impossible");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements staying put is ~impossible"
+        );
     }
 
     #[test]

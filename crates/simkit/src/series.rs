@@ -185,7 +185,7 @@ impl TimeSeries {
         for i in (0..n).step_by(stride) {
             out.push(self.times[i], self.values[i]);
         }
-        if n > 0 && (n - 1) % stride != 0 {
+        if n > 0 && !(n - 1).is_multiple_of(stride) {
             out.push(self.times[n - 1], self.values[n - 1]);
         }
         out

@@ -19,7 +19,7 @@
 use crate::history::PowerHistory;
 use crate::sample::NodeSample;
 use ppc_node::NodeId;
-use ppc_simkit::SimTime;
+use ppc_simkit::{SimDuration, SimTime};
 
 /// Per-node power bookkeeping.
 #[derive(Debug, Clone, Copy)]
@@ -195,16 +195,43 @@ impl Collector {
 
     /// Estimated total power of all monitored nodes, watts.
     pub fn estimated_total_w(&self) -> f64 {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|s| s.latest.power_w)
-            .sum()
+        self.slots.iter().flatten().map(|s| s.latest.power_w).sum()
     }
 
     /// Timestamp of the freshest sample, if any.
     pub fn freshest(&self) -> Option<SimTime> {
         self.slots.iter().flatten().map(|s| s.latest.at).max()
+    }
+
+    /// Age of `node`'s latest sample relative to `now` (`None` if the node
+    /// has never reported). Saturates at zero for future-stamped samples.
+    pub fn sample_age(&self, node: NodeId, now: SimTime) -> Option<SimDuration> {
+        self.slot(node).map(|s| now.duration_since(s.latest.at))
+    }
+
+    /// True if `node`'s latest sample is no older than `max_age` at `now`.
+    pub fn is_fresh(&self, node: NodeId, now: SimTime, max_age: SimDuration) -> bool {
+        self.sample_age(node, now).is_some_and(|age| age <= max_age)
+    }
+
+    /// Fraction of `nodes` with a fresh sample (age ≤ `max_age` at `now`).
+    /// An empty node set has full coverage by convention.
+    pub fn coverage<'a>(
+        &self,
+        nodes: impl IntoIterator<Item = &'a NodeId>,
+        now: SimTime,
+        max_age: SimDuration,
+    ) -> f64 {
+        let (mut fresh, mut total) = (0usize, 0usize);
+        for &n in nodes {
+            total += 1;
+            fresh += usize::from(self.is_fresh(n, now, max_age));
+        }
+        if total == 0 {
+            1.0
+        } else {
+            fresh as f64 / total as f64
+        }
     }
 }
 
@@ -355,6 +382,38 @@ mod tests {
         // Forget clears history too.
         c.forget(NodeId(1));
         assert_eq!(c.windowed_rate_of(NodeId(1), 1), None);
+    }
+
+    #[test]
+    fn staleness_and_coverage_track_sample_age() {
+        let mut c = Collector::new();
+        c.ingest(sample(0, 10, 100.0));
+        c.ingest(sample(1, 14, 100.0));
+        let now = SimTime::from_secs(15);
+        let max_age = SimDuration::from_secs(5);
+        assert_eq!(
+            c.sample_age(NodeId(0), now),
+            Some(SimDuration::from_secs(5))
+        );
+        assert_eq!(
+            c.sample_age(NodeId(1), now),
+            Some(SimDuration::from_secs(1))
+        );
+        assert_eq!(c.sample_age(NodeId(9), now), None, "never reported");
+        assert!(
+            c.is_fresh(NodeId(0), now, max_age),
+            "age == max_age is fresh"
+        );
+        assert!(!c.is_fresh(NodeId(0), SimTime::from_secs(16), max_age));
+        assert!(!c.is_fresh(NodeId(9), now, max_age));
+        // Coverage over {0, 1, 9}: node 9 never reported.
+        let nodes = [NodeId(0), NodeId(1), NodeId(9)];
+        assert!((c.coverage(&nodes, now, max_age) - 2.0 / 3.0).abs() < 1e-12);
+        // Later, node 0 goes stale too.
+        let later = SimTime::from_secs(18);
+        assert!((c.coverage(&nodes, later, max_age) - 1.0 / 3.0).abs() < 1e-12);
+        // Empty set: full coverage by convention.
+        assert_eq!(c.coverage(&[], now, max_age), 1.0);
     }
 
     #[test]

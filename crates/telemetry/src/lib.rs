@@ -30,7 +30,7 @@ pub mod tree;
 pub use agent::ProfilingAgent;
 pub use collector::Collector;
 pub use history::PowerHistory;
-pub use meter::SystemPowerMeter;
+pub use meter::{MeterReading, SystemPowerMeter};
 pub use noise::NoiseModel;
 pub use sample::NodeSample;
 pub use tree::AggregationTree;

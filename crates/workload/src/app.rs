@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn ep_is_most_compute_bound_cg_least() {
-        let alphas: Vec<f64> = NpbApp::ALL.iter().map(|a| a.profile().compute_alpha).collect();
+        let alphas: Vec<f64> = NpbApp::ALL
+            .iter()
+            .map(|a| a.profile().compute_alpha)
+            .collect();
         let ep = NpbApp::Ep.profile().compute_alpha;
         let cg = NpbApp::Cg.profile().compute_alpha;
         assert!(alphas.iter().all(|&a| a <= ep));

@@ -52,7 +52,10 @@ impl JobGenerator {
     /// # Panics
     /// Panics if `fraction` is outside [0, 1].
     pub fn with_critical_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.critical_fraction = fraction;
         self
     }
@@ -77,13 +80,12 @@ impl JobGenerator {
         // sequence of *picks* and the *content* of jobs are decoupled.
         let mut phase_rng = self.factory.stream("job-phases", id.0);
         let phases = build_phases(app, self.class, nprocs, &mut phase_rng);
-        let priority = if self.critical_fraction > 0.0
-            && self.pick_rng.bernoulli(self.critical_fraction)
-        {
-            JobPriority::Critical
-        } else {
-            JobPriority::Normal
-        };
+        let priority =
+            if self.critical_fraction > 0.0 && self.pick_rng.bernoulli(self.critical_fraction) {
+                JobPriority::Critical
+            } else {
+                JobPriority::Normal
+            };
         Job::new(id, app, self.class, nprocs, phases, now).with_priority(priority)
     }
 
@@ -181,15 +183,15 @@ mod tests {
 
     #[test]
     fn critical_fraction_is_respected() {
-        let mut g = JobGenerator::new(RngFactory::new(7), Class::D, 256)
-            .with_critical_fraction(0.25);
+        let mut g =
+            JobGenerator::new(RngFactory::new(7), Class::D, 256).with_critical_fraction(0.25);
         let critical = (0..2_000)
             .filter(|_| g.next_job(SimTime::ZERO).priority() == crate::job::JobPriority::Critical)
             .count();
         assert!((400..600).contains(&critical), "critical={critical}");
         let mut none = JobGenerator::new(RngFactory::new(7), Class::D, 256);
-        assert!((0..100).all(|_| none.next_job(SimTime::ZERO).priority()
-            == crate::job::JobPriority::Normal));
+        assert!((0..100)
+            .all(|_| none.next_job(SimTime::ZERO).priority() == crate::job::JobPriority::Normal));
     }
 
     #[test]

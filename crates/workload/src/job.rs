@@ -32,7 +32,9 @@ impl fmt::Display for JobId {
 /// Scheduling priority (paper §II.A: nodes running urgent / high-priority
 /// / SLA-critical tasks are privileged — uncontrollable by the power
 /// manager — for as long as that work runs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum JobPriority {
     /// Ordinary batch work: its nodes are capping candidates.
     #[default]
@@ -84,6 +86,8 @@ pub struct Job {
     /// Wall seconds during which at least one member node was throttled.
     throttled_secs: f64,
     priority: JobPriority,
+    /// Times this job has been evicted and requeued after losing a node.
+    requeues: u32,
 }
 
 impl Job {
@@ -118,6 +122,7 @@ impl Job {
             done_in_phase_secs: 0.0,
             throttled_secs: 0.0,
             priority: JobPriority::Normal,
+            requeues: 0,
         }
     }
 
@@ -207,7 +212,11 @@ impl Job {
     /// # Panics
     /// Panics if the job is not queued or `nodes` is empty.
     pub fn start(&mut self, nodes: Vec<NodeId>, at: SimTime) {
-        assert_eq!(self.status, JobStatus::Queued, "job must be queued to start");
+        assert_eq!(
+            self.status,
+            JobStatus::Queued,
+            "job must be queued to start"
+        );
         assert!(!nodes.is_empty(), "job must get at least one node");
         self.nodes = nodes;
         self.started_at = Some(at);
@@ -252,6 +261,35 @@ impl Job {
             }
         }
         (self.cur_phase >= self.phases.len()).then_some(remaining)
+    }
+
+    /// Times this job has been evicted and requeued.
+    pub fn requeues(&self) -> u32 {
+        self.requeues
+    }
+
+    /// Evicts a running job back to the queue after one of its nodes died.
+    ///
+    /// There is no checkpointing in the model: all completed work is lost
+    /// and the job restarts from its first phase on its next placement.
+    /// `throttled_secs` keeps accumulating across attempts — it measures
+    /// total throttled wall time, which the cost metrics charge regardless
+    /// of whether the attempt survived.
+    ///
+    /// # Panics
+    /// Panics if the job is not running.
+    pub fn requeue(&mut self) {
+        assert_eq!(
+            self.status,
+            JobStatus::Running,
+            "only running jobs can be requeued"
+        );
+        self.status = JobStatus::Queued;
+        self.nodes.clear();
+        self.started_at = None;
+        self.cur_phase = 0;
+        self.done_in_phase_secs = 0.0;
+        self.requeues += 1;
     }
 
     /// Marks the job finished at `at`.
@@ -332,7 +370,11 @@ mod tests {
         let finished = j.advance(20.0, &speeds);
         assert!(finished.is_none());
         // Should be exactly at the phase boundary.
-        assert!((j.progress() - 0.5).abs() < 1e-9, "progress={}", j.progress());
+        assert!(
+            (j.progress() - 0.5).abs() < 1e-9,
+            "progress={}",
+            j.progress()
+        );
         assert_eq!(j.throttled_secs(), 20.0);
         // Phase 2 is α=0: speed does not matter, 10 s.
         let finished = j.advance(10.0, &speeds);
@@ -382,6 +424,30 @@ mod tests {
             assert!(p >= last);
             last = p;
         }
+    }
+
+    #[test]
+    fn requeue_resets_execution_state_and_counts() {
+        let mut j = two_phase_job();
+        j.start(vec![NodeId(0), NodeId(1)], SimTime::from_secs(5));
+        j.advance(12.0, &|_| 1.0);
+        assert!(j.progress() > 0.5);
+        j.requeue();
+        assert_eq!(j.status(), JobStatus::Queued);
+        assert!(j.nodes().is_empty());
+        assert_eq!(j.started_at(), None);
+        assert_eq!(j.progress(), 0.0, "no checkpointing: work is lost");
+        assert_eq!(j.requeues(), 1);
+        // The job can start again and run to completion.
+        j.start(vec![NodeId(2)], SimTime::from_secs(40));
+        assert!(j.advance(25.0, &|_| 1.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "only running jobs")]
+    fn requeue_requires_running() {
+        let mut j = two_phase_job();
+        j.requeue();
     }
 
     #[test]

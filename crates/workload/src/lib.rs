@@ -14,8 +14,8 @@
 //! * SPMD bottleneck semantics ([`job`]): a well-balanced job progresses at
 //!   the rate of its **slowest** member node, `rate = min_i 1/(α·f_max/f_i
 //!   + 1−α)` — the very property the paper's state-based policies exploit
-//!   (degrading one node of a job costs the same performance as degrading
-//!   all of them);
+//!     (degrading one node of a job costs the same performance as degrading
+//!     all of them);
 //! * strong scaling with imperfect parallel efficiency ([`scaling`]);
 //! * the paper's job-arrival protocol ([`generator`]): a random app with a
 //!   random NPROCS is appended whenever the queue is empty, and jobs start

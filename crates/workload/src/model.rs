@@ -41,12 +41,13 @@ pub fn build_phases(app: NpbApp, class: Class, nprocs: u32, rng: &mut DetRng) ->
     let per_iter_comm = total * profile.comm_fraction / iters as f64;
 
     let jitter = |rng: &mut DetRng| rng.range_f64(0.9, 1.1);
-    let util_jitter = |rng: &mut DetRng, base: f64| (base + rng.range_f64(-0.04, 0.04)).clamp(0.05, 1.0);
+    let util_jitter =
+        |rng: &mut DetRng, base: f64| (base + rng.range_f64(-0.04, 0.04)).clamp(0.05, 1.0);
 
     let mut phases = Vec::with_capacity(iters as usize * 3 + STARTUP_STEPS);
     // Startup ramp: MPI init and input distribution bring utilization up in
     // steps, so a big job's power rises over several control cycles.
-    let startup_total = (total * 0.03).min(30.0).max(3.0);
+    let startup_total = (total * 0.03).clamp(3.0, 30.0);
     for step in 0..STARTUP_STEPS {
         let frac = (step + 1) as f64 / (STARTUP_STEPS + 1) as f64;
         phases.push(Phase {

@@ -46,7 +46,10 @@ impl Phase {
     /// # Panics
     /// Panics (debug) if `s` is out of `(0, 1]`.
     pub fn rate_at_speed(&self, s: f64) -> f64 {
-        debug_assert!(s > 0.0 && s <= 1.0 + 1e-12, "relative speed {s} out of range");
+        debug_assert!(
+            s > 0.0 && s <= 1.0 + 1e-12,
+            "relative speed {s} out of range"
+        );
         1.0 / (self.alpha / s + (1.0 - self.alpha))
     }
 
@@ -111,10 +114,26 @@ mod tests {
     #[test]
     fn validity_checks() {
         assert!(phase(0.5).is_valid());
-        assert!(!Phase { work_secs: 0.0, ..phase(0.5) }.is_valid());
-        assert!(!Phase { alpha: 1.5, ..phase(0.5) }.is_valid());
-        assert!(!Phase { cpu_util: -0.1, ..phase(0.5) }.is_valid());
-        assert!(!Phase { nic_fraction: 2.0, ..phase(0.5) }.is_valid());
+        assert!(!Phase {
+            work_secs: 0.0,
+            ..phase(0.5)
+        }
+        .is_valid());
+        assert!(!Phase {
+            alpha: 1.5,
+            ..phase(0.5)
+        }
+        .is_valid());
+        assert!(!Phase {
+            cpu_util: -0.1,
+            ..phase(0.5)
+        }
+        .is_valid());
+        assert!(!Phase {
+            nic_fraction: 2.0,
+            ..phase(0.5)
+        }
+        .is_valid());
     }
 
     proptest! {

@@ -26,6 +26,13 @@ impl JobQueue {
         self.jobs.push_back(job);
     }
 
+    /// Reinserts a job at the head (evicted jobs keep their place in line:
+    /// they were admitted earliest, so requeueing must not send them to the
+    /// back behind work submitted after them).
+    pub fn push_front(&mut self, job: Job) {
+        self.jobs.push_front(job);
+    }
+
     /// The job at the head, if any.
     pub fn peek(&self) -> Option<&Job> {
         self.jobs.front()

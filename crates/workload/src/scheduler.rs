@@ -42,6 +42,10 @@ pub struct Scheduler {
     node_owner: Vec<Option<usize>>,
     total_nodes: usize,
     admission: AdmissionPolicy,
+    /// Nodes currently down (crashed, not yet rebooted). Down nodes are
+    /// neither free nor allocatable; conservation becomes
+    /// `free + owned + down = total`.
+    down: BTreeSet<NodeId>,
 }
 
 impl Scheduler {
@@ -62,6 +66,7 @@ impl Scheduler {
             running: Vec::new(),
             total_nodes,
             admission: AdmissionPolicy::default(),
+            down: BTreeSet::new(),
         }
     }
 
@@ -91,9 +96,10 @@ impl Scheduler {
         self.total_nodes
     }
 
-    /// Fraction of nodes currently allocated.
+    /// Fraction of nodes currently allocated to jobs (down nodes are
+    /// neither free nor utilized).
     pub fn utilization(&self) -> f64 {
-        1.0 - self.free.len() as f64 / self.total_nodes as f64
+        1.0 - (self.free.len() + self.down.len()) as f64 / self.total_nodes as f64
     }
 
     /// The currently running jobs.
@@ -204,6 +210,65 @@ impl Scheduler {
         records
     }
 
+    /// Evicts the job occupying `node`, if any, returning it still in the
+    /// `Running` state (the caller decides whether to requeue or fail it).
+    /// SPMD jobs cannot survive member loss, so the *whole* job comes off
+    /// the machine: all of its nodes are freed and the owner table is
+    /// repointed across the `swap_remove`, exactly as on completion.
+    pub fn evict_job_on(&mut self, node: NodeId) -> Option<Job> {
+        let idx = (*self.node_owner.get(node.0 as usize)?)?;
+        let job = self.running.swap_remove(idx);
+        for &n in job.nodes() {
+            self.free.insert(n);
+            self.node_owner[n.0 as usize] = None;
+        }
+        if let Some(moved) = self.running.get(idx) {
+            for &n in moved.nodes() {
+                self.node_owner[n.0 as usize] = Some(idx);
+            }
+        }
+        Some(job)
+    }
+
+    /// Takes `node` out of service. The node must be idle — evict its job
+    /// first — and not already down.
+    ///
+    /// # Panics
+    /// Panics if the node still owns a job or is not managed by this
+    /// scheduler.
+    pub fn set_node_down(&mut self, node: NodeId) {
+        assert!(
+            self.node_owner
+                .get(node.0 as usize)
+                .copied()
+                .flatten()
+                .is_none(),
+            "evict the job on {node} before marking it down"
+        );
+        if self.down.contains(&node) {
+            return;
+        }
+        assert!(self.free.remove(&node), "{node} is not a managed free node");
+        self.down.insert(node);
+    }
+
+    /// Returns a rebooted node to the free pool.
+    pub fn set_node_up(&mut self, node: NodeId) {
+        if self.down.remove(&node) {
+            self.free.insert(node);
+        }
+    }
+
+    /// True if `node` is currently out of service.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
+    }
+
+    /// Number of nodes currently out of service.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+
     /// The load `node` currently carries, or `None` if idle.
     pub fn load_on(&self, node: NodeId) -> Option<NodeLoad> {
         let idx = (*self.node_owner.get(node.0 as usize)?)?;
@@ -222,6 +287,7 @@ impl Scheduler {
                     "owner table must track {n} to slot {slot}"
                 );
                 assert!(!self.free.contains(&n), "running node must not be free");
+                assert!(!self.down.contains(&n), "running node must not be down");
             }
         }
         // Ownership maps only to live run-queue slots.
@@ -231,8 +297,11 @@ impl Scheduler {
             assert!(idx < self.running.len(), "owner slot {idx} out of range");
             owned_count += 1;
         }
-        // Conservation: free + owned = total.
-        assert_eq!(self.free.len() + owned_count, self.total_nodes);
+        // Conservation: free + owned + down = total.
+        assert_eq!(
+            self.free.len() + owned_count + self.down.len(),
+            self.total_nodes
+        );
     }
 }
 
@@ -393,5 +462,56 @@ mod tests {
     #[test]
     fn max_nprocs_reflects_capacity() {
         assert_eq!(sched(8).max_nprocs(), 96);
+    }
+
+    #[test]
+    fn eviction_frees_all_member_nodes_and_repoints_owners() {
+        let mut s = sched(6);
+        let mut q = JobQueue::new();
+        q.push(job(1, 24, 50.0)); // nodes 0-1
+        q.push(job(2, 24, 50.0)); // nodes 2-3
+        s.try_start(&mut q, SimTime::ZERO);
+        // Node 1 dies: the whole SPMD job 1 comes off, node 0 freed too.
+        let evicted = s.evict_job_on(NodeId(1)).expect("job on node 1");
+        assert_eq!(evicted.id(), JobId(1));
+        assert_eq!(evicted.status(), JobStatus::Running, "caller decides fate");
+        s.set_node_down(NodeId(1));
+        s.check_invariants();
+        assert!(s.is_node_down(NodeId(1)));
+        assert_eq!(s.free_count(), 3, "nodes 0, 4, 5 free; 1 down");
+        assert_eq!(s.job_of_node(NodeId(0)), None);
+        // Job 2 (swap-moved to slot 0) still resolves correctly.
+        assert_eq!(s.job_of_node(NodeId(2)), Some(JobId(2)));
+        assert!(
+            (s.utilization() - 2.0 / 6.0).abs() < 1e-12,
+            "down node is not utilized"
+        );
+        // A new placement must skip the down node.
+        q.push(job(3, 36, 10.0)); // 3 nodes
+        s.try_start(&mut q, SimTime::ZERO);
+        let j3 = &s.running_jobs()[1];
+        assert_eq!(j3.nodes(), &[NodeId(0), NodeId(4), NodeId(5)]);
+        // Reboot: the node returns to the free pool.
+        s.set_node_up(NodeId(1));
+        s.check_invariants();
+        assert_eq!(s.free_count(), 1);
+        assert!(!s.is_node_down(NodeId(1)));
+    }
+
+    #[test]
+    fn evict_on_idle_node_is_none() {
+        let mut s = sched(2);
+        assert!(s.evict_job_on(NodeId(0)).is_none());
+        s.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "evict the job")]
+    fn marking_an_owned_node_down_panics() {
+        let mut s = sched(2);
+        let mut q = JobQueue::new();
+        q.push(job(1, 12, 10.0));
+        s.try_start(&mut q, SimTime::ZERO);
+        s.set_node_down(NodeId(0));
     }
 }

@@ -107,7 +107,11 @@ mod tests {
             SimTime::ZERO,
         );
         j.start(vec![NodeId(0), NodeId(1)], SimTime::from_secs(5));
-        let speed = if actual_steps > 10 { 10.0 / actual_steps as f64 } else { 1.0 };
+        let speed = if actual_steps > 10 {
+            10.0 / actual_steps as f64
+        } else {
+            1.0
+        };
         let mut t = 5;
         loop {
             t += 1;

@@ -39,8 +39,7 @@ fn main() {
     let partition = |range: std::ops::Range<usize>, top: usize| {
         let slice = &levels[range];
         let at_top = slice.iter().filter(|l| l.index() == top).count();
-        let mean: f64 =
-            slice.iter().map(|l| l.index() as f64).sum::<f64>() / slice.len() as f64;
+        let mean: f64 = slice.iter().map(|l| l.index() as f64).sum::<f64>() / slice.len() as f64;
         (slice.len(), at_top, mean)
     };
     let (na, atop_a, mean_a) = partition(0..8, 9);
@@ -66,7 +65,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["partition", "nodes", "top level", "at top now", "mean level now"],
+            &[
+                "partition",
+                "nodes",
+                "top level",
+                "at top now",
+                "mean level now"
+            ],
             &rows
         )
     );

@@ -30,7 +30,8 @@ fn draw(trace: &TimeSeries, p_low: f64, p_high: f64, title: &str) {
     println!("{title}  [{:.1} kW .. {:.1} kW]", lo / 1e3, hi / 1e3);
     for row in (0..ROWS).rev() {
         let mut line = String::with_capacity(cols.len() + 8);
-        let threshold_here = |t: f64| (0.0..1.0).contains(&((t - lo) / (hi - lo))) && to_row(t) == row;
+        let threshold_here =
+            |t: f64| (0.0..1.0).contains(&((t - lo) / (hi - lo))) && to_row(t) == row;
         let marker = if threshold_here(p_high) {
             "PH "
         } else if threshold_here(p_low) {

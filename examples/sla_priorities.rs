@@ -65,7 +65,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["priority", "jobs", "lossless", "mean performance", "throttled time"],
+            &[
+                "priority",
+                "jobs",
+                "lossless",
+                "mean performance",
+                "throttled time"
+            ],
             &rows
         )
     );

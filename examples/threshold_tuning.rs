@@ -43,7 +43,12 @@ fn main() {
         let tf = frozen.manager().unwrap().thresholds();
         rows.push(vec![
             format!("{minute:>2} min"),
-            if m.learner().in_training() { "training" } else { "live" }.to_string(),
+            if m.learner().in_training() {
+                "training"
+            } else {
+                "live"
+            }
+            .to_string(),
             format!("{:.0} W", m.learner().observed_peak_w()),
             format!("{:.0} W", m.learner().p_peak_w()),
             format!("{:.0} W", t.p_low_w()),

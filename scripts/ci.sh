@@ -3,6 +3,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+cargo run --release -p ppc-bench --bin ext_faults -- --smoke

@@ -30,6 +30,7 @@
 
 pub use ppc_cluster as cluster;
 pub use ppc_core as core;
+pub use ppc_faults as faults;
 pub use ppc_metrics as metrics;
 pub use ppc_node as node;
 pub use ppc_simkit as simkit;

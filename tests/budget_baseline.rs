@@ -52,10 +52,7 @@ fn loose_budget_never_throttles() {
     let mut sim = budget_sim(6, 0.99);
     sim.run_for(SimDuration::from_mins(10));
     assert_eq!(sim.commands_applied(), 0);
-    assert!(sim
-        .node_levels()
-        .iter()
-        .all(|&l| l == Level::new(9)));
+    assert!(sim.node_levels().iter().all(|&l| l == Level::new(9)));
     assert_eq!(sim.budget_controller().unwrap().stats().active_cycles, 0);
 }
 

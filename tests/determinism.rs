@@ -5,7 +5,8 @@
 use ppc::cluster::experiment::{run_experiment, ExperimentConfig};
 use ppc::cluster::{ClusterSim, ClusterSpec};
 use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
-use ppc::simkit::{SimDuration, WorkerPool};
+use ppc::faults::{FaultInjection, FaultRates, FaultSchedule};
+use ppc::simkit::{RngFactory, SimDuration, WorkerPool};
 use std::sync::Arc;
 
 #[test]
@@ -14,7 +15,10 @@ fn same_seed_same_everything() {
     let a = run_experiment(&cfg);
     let b = run_experiment(&cfg);
     assert_eq!(a.metrics.p_max_w.to_bits(), b.metrics.p_max_w.to_bits());
-    assert_eq!(a.metrics.performance.to_bits(), b.metrics.performance.to_bits());
+    assert_eq!(
+        a.metrics.performance.to_bits(),
+        b.metrics.performance.to_bits()
+    );
     assert_eq!(a.metrics.overspend.to_bits(), b.metrics.overspend.to_bits());
     assert_eq!(a.metrics.cplj, b.metrics.cplj);
     assert_eq!(a.records.len(), b.records.len());
@@ -77,7 +81,12 @@ fn power_trace_is_invariant_across_worker_counts() {
             sim = sim.with_worker_pool(pool);
         }
         sim.run_for(SimDuration::from_secs(400));
-        let bits: Vec<u64> = sim.true_power().values().iter().map(|v| v.to_bits()).collect();
+        let bits: Vec<u64> = sim
+            .true_power()
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         (bits, sim.finished().len(), sim.commands_applied())
     };
     let baseline = run(None);
@@ -88,6 +97,63 @@ fn power_trace_is_invariant_across_worker_counts() {
         assert_eq!(
             got, baseline,
             "worker count {workers} changed the power trace"
+        );
+    }
+}
+
+#[test]
+fn faulted_run_is_invariant_across_worker_counts() {
+    // Fault injection must preserve the pool-width determinism contract:
+    // the same seeded schedule replays to bit-identical power traces and
+    // the identical availability report at any worker count.
+    let run = |pool: Option<Arc<WorkerPool>>| {
+        let mut spec = ClusterSpec::mini(8);
+        spec.provision_fraction = 0.60;
+        let rates = FaultRates {
+            crash_per_node_hour: 6.0,
+            reboot_mean_secs: 45.0,
+            hang_per_node_hour: 6.0,
+            silence_per_node_hour: 8.0,
+            partition_per_hour: 10.0,
+            partition_width: 4,
+            ..FaultRates::default()
+        };
+        let schedule = FaultSchedule::generate(
+            &rates,
+            8,
+            SimDuration::from_secs(400),
+            &RngFactory::new(spec.seed),
+        );
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+        };
+        let manager = PowerManager::new(config, sets).unwrap();
+        let mut sim = ClusterSim::new(spec)
+            .with_manager(manager)
+            .with_faults(FaultInjection::new(schedule));
+        if let Some(pool) = pool {
+            sim = sim.with_worker_pool(pool);
+        }
+        sim.run_for(SimDuration::from_secs(400));
+        let bits: Vec<u64> = sim
+            .true_power()
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let report = sim.availability_report().expect("faults attached");
+        (bits, sim.finished().len(), sim.commands_applied(), report)
+    };
+    let baseline = run(None);
+    assert!(baseline.3.crashes > 0, "schedule must actually strike");
+    for workers in [1, 2, 8] {
+        let pool = Arc::new(WorkerPool::new(workers).with_inline_threshold(0));
+        let got = run(Some(pool));
+        assert_eq!(
+            got, baseline,
+            "worker count {workers} changed the faulted run"
         );
     }
 }

@@ -13,7 +13,10 @@ fn quick(policy: Option<PolicyKind>) -> ExperimentConfig {
 fn uncapped_baseline_is_lossless_and_unthrottled() {
     let out = run_experiment(&quick(None));
     assert_eq!(out.label, "uncapped");
-    assert!(out.metrics.jobs_finished > 10, "workload must make progress");
+    assert!(
+        out.metrics.jobs_finished > 10,
+        "workload must make progress"
+    );
     assert!(out.metrics.performance > 0.9999);
     assert_eq!(out.metrics.cplj, out.metrics.jobs_finished);
     assert!(out.records.iter().all(|r| r.throttled_secs == 0.0));
@@ -42,7 +45,10 @@ fn capped_run_respects_paper_shape() {
 
     // The manager actually worked.
     let stats = mpc.manager_stats.expect("managed run");
-    assert!(stats.yellow_cycles > 0, "capping must engage on this provision");
+    assert!(
+        stats.yellow_cycles > 0,
+        "capping must engage on this provision"
+    );
     assert!(stats.commands_issued > 0);
 }
 

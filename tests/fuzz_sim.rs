@@ -1,13 +1,17 @@
 //! Property-based fuzzing of whole simulation configurations: random
-//! cluster shapes, policies, provisions and workload knobs must never
-//! panic and must uphold the global invariants.
+//! cluster shapes, policies, provisions and workload knobs — with and
+//! without random fault schedules — must never panic and must uphold the
+//! global invariants (§9 of DESIGN.md): node levels on their ladders,
+//! power inside the envelope, privileged nodes never commanded, dead
+//! nodes out of `A_candidate` and never re-leveled while down.
 
 use ppc::cluster::spec::NodeGroup;
 use ppc::cluster::{ClusterSim, ClusterSpec};
 use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc::faults::{FaultInjection, FaultRates, FaultSchedule};
 use ppc::node::spec::NodeSpec;
-use ppc::node::NodeId;
-use ppc::simkit::SimDuration;
+use ppc::node::{Level, NodeId};
+use ppc::simkit::{RngFactory, SimDuration};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -27,7 +31,12 @@ struct FuzzConfig {
 
 fn arb_config() -> impl Strategy<Value = FuzzConfig> {
     (
-        (2u32..8, 0u32..4, 0.45f64..0.95, 0usize..PolicyKind::ALL.len()),
+        (
+            2u32..8,
+            0u32..4,
+            0.45f64..0.95,
+            0usize..PolicyKind::ALL.len(),
+        ),
         (0u64..30, 1usize..4, any::<bool>(), 0.0f64..0.4),
         (0u32..2, any::<u64>(), any::<bool>()),
     )
@@ -52,7 +61,34 @@ fn arb_config() -> impl Strategy<Value = FuzzConfig> {
         )
 }
 
-fn run_one(cfg: FuzzConfig) {
+fn arb_rates() -> impl Strategy<Value = FaultRates> {
+    (
+        (0.0f64..8.0, 20.0f64..90.0),
+        (0.0f64..8.0, 5.0f64..60.0),
+        (0.0f64..10.0, 5.0f64..60.0),
+        (0.0f64..6.0, 10.0f64..60.0, 2u32..5),
+    )
+        .prop_map(
+            |(
+                (crash_per_node_hour, reboot_mean_secs),
+                (hang_per_node_hour, hang_mean_secs),
+                (silence_per_node_hour, silence_mean_secs),
+                (partition_per_hour, partition_mean_secs, partition_width),
+            )| FaultRates {
+                crash_per_node_hour,
+                reboot_mean_secs,
+                hang_per_node_hour,
+                hang_mean_secs,
+                silence_per_node_hour,
+                silence_mean_secs,
+                partition_per_hour,
+                partition_mean_secs,
+                partition_width,
+            },
+        )
+}
+
+fn run_one(cfg: FuzzConfig, rates: Option<FaultRates>) {
     let mut spec = ClusterSpec::mini(cfg.nodes);
     if cfg.thermal {
         spec.node_spec = NodeSpec::tianhe_1a_thermal();
@@ -68,7 +104,9 @@ fn run_one(cfg: FuzzConfig) {
     spec.queue_depth = cfg.queue_depth;
     spec.backfill = cfg.backfill;
     spec.critical_job_fraction = cfg.critical_frac;
-    spec.privileged = (0..cfg.privileged_first.min(cfg.nodes)).map(NodeId).collect();
+    spec.privileged = (0..cfg.privileged_first.min(cfg.nodes))
+        .map(NodeId)
+        .collect();
     spec.seed = cfg.seed;
 
     let policy = PolicyKind::ALL[cfg.policy_idx];
@@ -79,9 +117,25 @@ fn run_one(cfg: FuzzConfig) {
     };
     let manager = PowerManager::new(config, sets).expect("valid config");
     let mut sim = ClusterSim::new(spec.clone()).with_manager(manager);
+    let faulted = rates.is_some();
+    if let Some(rates) = rates {
+        // The partition width must fit the smallest fuzzed cluster.
+        let width = rates.partition_width.min(spec.total_nodes());
+        let schedule = FaultSchedule::generate(
+            &FaultRates {
+                partition_width: width,
+                ..rates
+            },
+            spec.total_nodes(),
+            SimDuration::from_secs(240),
+            &RngFactory::new(spec.seed),
+        );
+        sim = sim.with_faults(FaultInjection::new(schedule));
+    }
 
     let total_nodes = spec.total_nodes();
     let envelope_hi = spec.theoretical_max_w() * 1.25; // thermal leakage headroom
+    let mut prev: Option<(Vec<Level>, Vec<bool>)> = None;
     for _ in 0..240 {
         sim.step();
         // Global invariants, every tick.
@@ -92,8 +146,31 @@ fn run_one(cfg: FuzzConfig) {
             assert!(*level <= top, "node {i} above its ladder");
         }
         let p = *sim.true_power().values().last().unwrap();
-        assert!(p > 0.0 && p <= envelope_hi, "power {p} outside envelope");
+        if faulted {
+            // Crashes can legitimately take the whole machine dark.
+            assert!(p >= 0.0 && p <= envelope_hi, "power {p} outside envelope");
+        } else {
+            assert!(p > 0.0 && p <= envelope_hi, "power {p} outside envelope");
+        }
         assert!((0.0..=1.0).contains(&sim.utilization()));
+        // Fault invariants: dead nodes leave A_candidate and are never
+        // commanded while down (their level is frozen until reboot).
+        let down: Vec<bool> = (0..total_nodes)
+            .map(|i| sim.fault_engine().is_some_and(|e| e.is_down(NodeId(i))))
+            .collect();
+        if let Some(m) = sim.manager() {
+            for &c in m.sets().candidates() {
+                assert!(!down[c.0 as usize], "down node {c:?} still a candidate");
+            }
+        }
+        if let Some((pl, pd)) = &prev {
+            for i in 0..total_nodes as usize {
+                if down[i] && pd[i] {
+                    assert_eq!(levels[i], pl[i], "down node {i} was commanded");
+                }
+            }
+        }
+        prev = Some((levels, down));
     }
     // Statically privileged nodes never moved.
     for p in &spec.privileged {
@@ -111,6 +188,11 @@ proptest! {
     })]
     #[test]
     fn random_configurations_uphold_invariants(cfg in arb_config()) {
-        run_one(cfg);
+        run_one(cfg, None);
+    }
+
+    #[test]
+    fn random_fault_schedules_uphold_invariants(cfg in arb_config(), rates in arb_rates()) {
+        run_one(cfg, Some(rates));
     }
 }

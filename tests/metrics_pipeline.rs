@@ -21,10 +21,7 @@ fn runner_metrics_match_recomputation() {
         overspend_ratio(&out.trace, out.provision_w)
     );
     assert_eq!(out.metrics.performance, performance(&out.records));
-    assert_eq!(
-        out.metrics.cplj,
-        cplj(&out.records, cfg.lossless_tolerance)
-    );
+    assert_eq!(out.metrics.cplj, cplj(&out.records, cfg.lossless_tolerance));
     assert_eq!(out.metrics.jobs_finished, out.records.len());
 
     let recomputed = RunMetrics::compute(
@@ -69,7 +66,10 @@ fn trace_accounting_identities() {
     let floor = 8.0 * 140.0;
     let ceil = cfg.spec.theoretical_max_w();
     for (_, p) in trace.iter() {
-        assert!(p >= floor && p <= ceil, "power {p} outside [{floor}, {ceil}]");
+        assert!(
+            p >= floor && p <= ceil,
+            "power {p} outside [{floor}, {ceil}]"
+        );
     }
 }
 

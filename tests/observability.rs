@@ -5,7 +5,7 @@ use ppc::cluster::spec::NodeGroup;
 use ppc::cluster::{ClusterSim, ClusterSpec};
 use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
 use ppc::node::spec::NodeSpec;
-use ppc::simkit::{SimDuration, Severity};
+use ppc::simkit::{Severity, SimDuration};
 use ppc::telemetry::{Collector, NodeSample, PowerHistory};
 
 fn managed(mut spec: ClusterSpec, provision: f64) -> ClusterSim {

@@ -84,7 +84,10 @@ fn policy_kind_surface_is_stable() {
         vec!["MPC", "MPC-C", "LPC", "LPC-C", "BFP", "HRI", "HRI-C", "UNIFORM", "RR"]
     );
     let paper: Vec<&str> = PolicyKind::PAPER_FAMILY.iter().map(|k| k.name()).collect();
-    assert_eq!(paper, vec!["MPC", "MPC-C", "LPC", "LPC-C", "BFP", "HRI", "HRI-C"]);
+    assert_eq!(
+        paper,
+        vec!["MPC", "MPC-C", "LPC", "LPC-C", "BFP", "HRI", "HRI-C"]
+    );
     for k in PolicyKind::ALL {
         assert_eq!(k.to_string().parse::<PolicyKind>().unwrap(), k);
     }

@@ -73,5 +73,8 @@ fn exhausted_trace_leaves_cluster_idle() {
     assert_eq!(sim.utilization(), 0.0);
     // Idle cluster still draws idle power.
     let last = *sim.true_power().values().last().unwrap();
-    assert!((8.0 * 140.0..8.0 * 180.0).contains(&last), "idle draw {last}");
+    assert!(
+        (8.0 * 140.0..8.0 * 180.0).contains(&last),
+        "idle draw {last}"
+    );
 }

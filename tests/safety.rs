@@ -105,12 +105,14 @@ fn capping_never_pushes_power_up() {
         spec.provision_fraction = 0.55;
         let mut sim = ClusterSim::new(spec);
         sim.run_for(SimDuration::from_mins(15));
-        sim.true_power().integrate(ppc::simkit::series::Interp::Step)
+        sim.true_power()
+            .integrate(ppc::simkit::series::Interp::Step)
     };
     let capped = {
         let mut sim = pressured_sim(PolicyKind::Mpc, vec![]);
         sim.run_for(SimDuration::from_mins(15));
-        sim.true_power().integrate(ppc::simkit::series::Interp::Step)
+        sim.true_power()
+            .integrate(ppc::simkit::series::Interp::Step)
     };
     assert!(
         capped < base,

@@ -35,7 +35,11 @@ fn critical_jobs_are_never_throttled() {
             "critical job {} was throttled for {}s",
             r.id, r.throttled_secs
         );
-        assert!(r.is_lossless(0.01), "critical job {} lost performance", r.id);
+        assert!(
+            r.is_lossless(0.01),
+            "critical job {} lost performance",
+            r.id
+        );
     }
     // Under this much pressure, normal jobs must have absorbed throttling.
     assert!(
