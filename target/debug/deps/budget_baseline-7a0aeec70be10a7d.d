@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget_baseline-7a0aeec70be10a7d.d: tests/budget_baseline.rs
+
+/root/repo/target/debug/deps/budget_baseline-7a0aeec70be10a7d: tests/budget_baseline.rs
+
+tests/budget_baseline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/budget_baseline-893c6e4c1bfbf358.d: tests/budget_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbudget_baseline-893c6e4c1bfbf358.rmeta: tests/budget_baseline.rs Cargo.toml
+
+tests/budget_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

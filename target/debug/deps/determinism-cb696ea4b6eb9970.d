@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cb696ea4b6eb9970.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cb696ea4b6eb9970: tests/determinism.rs
+
+tests/determinism.rs:

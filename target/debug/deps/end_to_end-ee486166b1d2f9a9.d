@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ee486166b1d2f9a9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ee486166b1d2f9a9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-2060b6bb9e522bdb.d: tests/faults.rs
+
+/root/repo/target/debug/deps/faults-2060b6bb9e522bdb: tests/faults.rs
+
+tests/faults.rs:

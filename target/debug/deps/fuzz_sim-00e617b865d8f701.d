@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sim-00e617b865d8f701.d: tests/fuzz_sim.rs
+
+/root/repo/target/debug/deps/fuzz_sim-00e617b865d8f701: tests/fuzz_sim.rs
+
+tests/fuzz_sim.rs:

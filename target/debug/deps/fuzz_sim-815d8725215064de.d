@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_sim-815d8725215064de.d: tests/fuzz_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_sim-815d8725215064de.rmeta: tests/fuzz_sim.rs Cargo.toml
+
+tests/fuzz_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

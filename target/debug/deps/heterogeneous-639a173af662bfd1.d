@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneous-639a173af662bfd1.d: tests/heterogeneous.rs
+
+/root/repo/target/debug/deps/heterogeneous-639a173af662bfd1: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

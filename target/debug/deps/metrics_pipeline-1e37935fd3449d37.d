@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_pipeline-1e37935fd3449d37.d: tests/metrics_pipeline.rs
+
+/root/repo/target/debug/deps/metrics_pipeline-1e37935fd3449d37: tests/metrics_pipeline.rs
+
+tests/metrics_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_pipeline-b4ba5703b3ae6ceb.d: tests/metrics_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_pipeline-b4ba5703b3ae6ceb.rmeta: tests/metrics_pipeline.rs Cargo.toml
+
+tests/metrics_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-600afbb07adee52c.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-600afbb07adee52c: tests/observability.rs
+
+tests/observability.rs:

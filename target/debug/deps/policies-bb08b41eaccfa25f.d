@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policies-bb08b41eaccfa25f.d: tests/policies.rs
+
+/root/repo/target/debug/deps/policies-bb08b41eaccfa25f: tests/policies.rs
+
+tests/policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc-3260700c63f39be6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc-3260700c63f39be6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

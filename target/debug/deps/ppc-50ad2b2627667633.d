@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ppc-50ad2b2627667633.d: src/lib.rs
+
+/root/repo/target/debug/deps/libppc-50ad2b2627667633.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libppc-50ad2b2627667633.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppc-51286fe577c03375.d: src/lib.rs
+
+/root/repo/target/debug/deps/ppc-51286fe577c03375: src/lib.rs
+
+src/lib.rs:

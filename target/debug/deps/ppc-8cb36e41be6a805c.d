@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc-8cb36e41be6a805c.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc-8cb36e41be6a805c.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

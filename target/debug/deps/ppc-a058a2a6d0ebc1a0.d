@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppc-a058a2a6d0ebc1a0.d: src/main.rs
+
+/root/repo/target/debug/deps/ppc-a058a2a6d0ebc1a0: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc-b9b23e3a8c08b5b7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc-b9b23e3a8c08b5b7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppc-c3b5e73ba0bc7dde.d: src/main.rs
+
+/root/repo/target/debug/deps/ppc-c3b5e73ba0bc7dde: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppc-e939bd7a1e753424.d: src/lib.rs
+
+/root/repo/target/debug/deps/ppc-e939bd7a1e753424: src/lib.rs
+
+src/lib.rs:

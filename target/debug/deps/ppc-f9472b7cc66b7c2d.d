@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc-f9472b7cc66b7c2d.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc-f9472b7cc66b7c2d.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppc_bench-67f9783ba87a1ef0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ppc_bench-67f9783ba87a1ef0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ppc_cluster-090e6d2143d9323c.d: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libppc_cluster-090e6d2143d9323c.rlib: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libppc_cluster-090e6d2143d9323c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/output.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

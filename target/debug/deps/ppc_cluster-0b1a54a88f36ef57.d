@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc_cluster-0b1a54a88f36ef57.d: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/ppc_cluster-0b1a54a88f36ef57: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/output.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

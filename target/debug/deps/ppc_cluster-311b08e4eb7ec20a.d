@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc_cluster-311b08e4eb7ec20a.d: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/ppc_cluster-311b08e4eb7ec20a: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/output.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

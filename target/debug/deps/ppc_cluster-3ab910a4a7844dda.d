@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ppc_cluster-3ab910a4a7844dda.d: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_cluster-3ab910a4a7844dda.rmeta: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/output.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/ppc_core-8be22dc2cae3e401.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/capping.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/manager.rs crates/core/src/observe.rs crates/core/src/policy/mod.rs crates/core/src/policy/bfp.rs crates/core/src/policy/hri.rs crates/core/src/policy/hri_c.rs crates/core/src/policy/lpc.rs crates/core/src/policy/lpc_c.rs crates/core/src/policy/mpc.rs crates/core/src/policy/mpc_c.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/uniform.rs crates/core/src/sets.rs crates/core/src/state.rs crates/core/src/thresholds.rs
+
+/root/repo/target/debug/deps/libppc_core-8be22dc2cae3e401.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/capping.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/manager.rs crates/core/src/observe.rs crates/core/src/policy/mod.rs crates/core/src/policy/bfp.rs crates/core/src/policy/hri.rs crates/core/src/policy/hri_c.rs crates/core/src/policy/lpc.rs crates/core/src/policy/lpc_c.rs crates/core/src/policy/mpc.rs crates/core/src/policy/mpc_c.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/uniform.rs crates/core/src/sets.rs crates/core/src/state.rs crates/core/src/thresholds.rs
+
+/root/repo/target/debug/deps/libppc_core-8be22dc2cae3e401.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/capping.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/manager.rs crates/core/src/observe.rs crates/core/src/policy/mod.rs crates/core/src/policy/bfp.rs crates/core/src/policy/hri.rs crates/core/src/policy/hri_c.rs crates/core/src/policy/lpc.rs crates/core/src/policy/lpc_c.rs crates/core/src/policy/mpc.rs crates/core/src/policy/mpc_c.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/uniform.rs crates/core/src/sets.rs crates/core/src/state.rs crates/core/src/thresholds.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/capping.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/manager.rs:
+crates/core/src/observe.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/bfp.rs:
+crates/core/src/policy/hri.rs:
+crates/core/src/policy/hri_c.rs:
+crates/core/src/policy/lpc.rs:
+crates/core/src/policy/lpc_c.rs:
+crates/core/src/policy/mpc.rs:
+crates/core/src/policy/mpc_c.rs:
+crates/core/src/policy/round_robin.rs:
+crates/core/src/policy/uniform.rs:
+crates/core/src/sets.rs:
+crates/core/src/state.rs:
+crates/core/src/thresholds.rs:

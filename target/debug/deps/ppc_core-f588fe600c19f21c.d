@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/ppc_core-f588fe600c19f21c.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/capping.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/manager.rs crates/core/src/observe.rs crates/core/src/policy/mod.rs crates/core/src/policy/bfp.rs crates/core/src/policy/hri.rs crates/core/src/policy/hri_c.rs crates/core/src/policy/lpc.rs crates/core/src/policy/lpc_c.rs crates/core/src/policy/mpc.rs crates/core/src/policy/mpc_c.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/uniform.rs crates/core/src/sets.rs crates/core/src/state.rs crates/core/src/thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_core-f588fe600c19f21c.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/capping.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/manager.rs crates/core/src/observe.rs crates/core/src/policy/mod.rs crates/core/src/policy/bfp.rs crates/core/src/policy/hri.rs crates/core/src/policy/hri_c.rs crates/core/src/policy/lpc.rs crates/core/src/policy/lpc_c.rs crates/core/src/policy/mpc.rs crates/core/src/policy/mpc_c.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/uniform.rs crates/core/src/sets.rs crates/core/src/state.rs crates/core/src/thresholds.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/capping.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/manager.rs:
+crates/core/src/observe.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/bfp.rs:
+crates/core/src/policy/hri.rs:
+crates/core/src/policy/hri_c.rs:
+crates/core/src/policy/lpc.rs:
+crates/core/src/policy/lpc_c.rs:
+crates/core/src/policy/mpc.rs:
+crates/core/src/policy/mpc_c.rs:
+crates/core/src/policy/round_robin.rs:
+crates/core/src/policy/uniform.rs:
+crates/core/src/sets.rs:
+crates/core/src/state.rs:
+crates/core/src/thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

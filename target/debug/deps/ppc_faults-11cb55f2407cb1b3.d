@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc_faults-11cb55f2407cb1b3.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/libppc_faults-11cb55f2407cb1b3.rlib: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/libppc_faults-11cb55f2407cb1b3.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/schedule.rs:

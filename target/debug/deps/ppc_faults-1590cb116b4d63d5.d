@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ppc_faults-1590cb116b4d63d5.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/ppc_faults-1590cb116b4d63d5: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/schedule.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ppc_faults-1ba8797400600403.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_faults-1ba8797400600403.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

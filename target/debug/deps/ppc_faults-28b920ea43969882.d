@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppc_faults-28b920ea43969882.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/libppc_faults-28b920ea43969882.rlib: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/libppc_faults-28b920ea43969882.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/schedule.rs:

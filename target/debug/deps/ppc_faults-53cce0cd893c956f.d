@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ppc_faults-53cce0cd893c956f.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/debug/deps/ppc_faults-53cce0cd893c956f: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/schedule.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ppc_metrics-0f58e1687e565829.d: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_metrics-0f58e1687e565829.rmeta: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/availability.rs:
+crates/metrics/src/bootstrap.rs:
+crates/metrics/src/cplj.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/overspend.rs:
+crates/metrics/src/peak.rs:
+crates/metrics/src/performance.rs:
+crates/metrics/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

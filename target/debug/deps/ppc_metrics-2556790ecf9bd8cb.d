@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ppc_metrics-2556790ecf9bd8cb.d: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/ppc_metrics-2556790ecf9bd8cb: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/availability.rs:
+crates/metrics/src/bootstrap.rs:
+crates/metrics/src/cplj.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/overspend.rs:
+crates/metrics/src/peak.rs:
+crates/metrics/src/performance.rs:
+crates/metrics/src/report.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ppc_metrics-9b6d2ce471779691.d: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/libppc_metrics-9b6d2ce471779691.rlib: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/libppc_metrics-9b6d2ce471779691.rmeta: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/availability.rs:
+crates/metrics/src/bootstrap.rs:
+crates/metrics/src/cplj.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/overspend.rs:
+crates/metrics/src/peak.rs:
+crates/metrics/src/performance.rs:
+crates/metrics/src/report.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ppc_node-0f599ef6a0c440ce.d: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_node-0f599ef6a0c440ce.rmeta: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs Cargo.toml
+
+crates/node/src/lib.rs:
+crates/node/src/budget.rs:
+crates/node/src/calibration.rs:
+crates/node/src/device.rs:
+crates/node/src/error.rs:
+crates/node/src/freq.rs:
+crates/node/src/node.rs:
+crates/node/src/procfs.rs:
+crates/node/src/profile.rs:
+crates/node/src/spec.rs:
+crates/node/src/thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ppc_node-3b0523e4a32d3387.d: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+/root/repo/target/debug/deps/ppc_node-3b0523e4a32d3387: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+crates/node/src/lib.rs:
+crates/node/src/budget.rs:
+crates/node/src/calibration.rs:
+crates/node/src/device.rs:
+crates/node/src/error.rs:
+crates/node/src/freq.rs:
+crates/node/src/node.rs:
+crates/node/src/procfs.rs:
+crates/node/src/profile.rs:
+crates/node/src/spec.rs:
+crates/node/src/thermal.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ppc_node-8258df8160e2b580.d: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+/root/repo/target/debug/deps/libppc_node-8258df8160e2b580.rlib: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+/root/repo/target/debug/deps/libppc_node-8258df8160e2b580.rmeta: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+crates/node/src/lib.rs:
+crates/node/src/budget.rs:
+crates/node/src/calibration.rs:
+crates/node/src/device.rs:
+crates/node/src/error.rs:
+crates/node/src/freq.rs:
+crates/node/src/node.rs:
+crates/node/src/procfs.rs:
+crates/node/src/profile.rs:
+crates/node/src/spec.rs:
+crates/node/src/thermal.rs:

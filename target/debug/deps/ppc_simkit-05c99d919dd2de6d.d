@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ppc_simkit-05c99d919dd2de6d.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/ppc_simkit-05c99d919dd2de6d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/error.rs:
+crates/simkit/src/journal.rs:
+crates/simkit/src/par.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

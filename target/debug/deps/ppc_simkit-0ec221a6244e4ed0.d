@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ppc_simkit-0ec221a6244e4ed0.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libppc_simkit-0ec221a6244e4ed0.rlib: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libppc_simkit-0ec221a6244e4ed0.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/error.rs:
+crates/simkit/src/journal.rs:
+crates/simkit/src/par.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ppc_simkit-4aaa6e1f81b8d749.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_simkit-4aaa6e1f81b8d749.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/error.rs:
+crates/simkit/src/journal.rs:
+crates/simkit/src/par.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

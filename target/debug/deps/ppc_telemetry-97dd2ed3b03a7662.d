@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ppc_telemetry-97dd2ed3b03a7662.d: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/debug/deps/ppc_telemetry-97dd2ed3b03a7662: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/agent.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/cost.rs:
+crates/telemetry/src/history.rs:
+crates/telemetry/src/meter.rs:
+crates/telemetry/src/noise.rs:
+crates/telemetry/src/sample.rs:
+crates/telemetry/src/tree.rs:

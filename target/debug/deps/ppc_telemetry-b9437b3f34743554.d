@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ppc_telemetry-b9437b3f34743554.d: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/debug/deps/libppc_telemetry-b9437b3f34743554.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/debug/deps/libppc_telemetry-b9437b3f34743554.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/agent.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/cost.rs:
+crates/telemetry/src/history.rs:
+crates/telemetry/src/meter.rs:
+crates/telemetry/src/noise.rs:
+crates/telemetry/src/sample.rs:
+crates/telemetry/src/tree.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ppc_telemetry-e764a2e360105bb9.d: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_telemetry-e764a2e360105bb9.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/agent.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/cost.rs:
+crates/telemetry/src/history.rs:
+crates/telemetry/src/meter.rs:
+crates/telemetry/src/noise.rs:
+crates/telemetry/src/sample.rs:
+crates/telemetry/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ppc_workload-5b4d3f62de13afcb.d: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/ppc_workload-5b4d3f62de13afcb: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/app.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/job.rs:
+crates/workload/src/model.rs:
+crates/workload/src/phase.rs:
+crates/workload/src/queue.rs:
+crates/workload/src/replay.rs:
+crates/workload/src/scaling.rs:
+crates/workload/src/scheduler.rs:
+crates/workload/src/trace.rs:

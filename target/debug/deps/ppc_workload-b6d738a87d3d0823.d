@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ppc_workload-b6d738a87d3d0823.d: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppc_workload-b6d738a87d3d0823.rmeta: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/app.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/job.rs:
+crates/workload/src/model.rs:
+crates/workload/src/phase.rs:
+crates/workload/src/queue.rs:
+crates/workload/src/replay.rs:
+crates/workload/src/scaling.rs:
+crates/workload/src/scheduler.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

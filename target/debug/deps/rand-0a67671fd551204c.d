@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0a67671fd551204c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0a67671fd551204c: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4b8ac8ef5547cf01.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4b8ac8ef5547cf01.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4b8ac8ef5547cf01.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b28900754c8a3dec.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b28900754c8a3dec.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b28900754c8a3dec.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-14253dd6c2ddff49.d: tests/replay.rs
+
+/root/repo/target/debug/deps/replay-14253dd6c2ddff49: tests/replay.rs
+
+tests/replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay-a13392ebdef36ef2.d: tests/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-a13392ebdef36ef2.rmeta: tests/replay.rs Cargo.toml
+
+tests/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety-46d2ba0b0d477c0f.d: tests/safety.rs
+
+/root/repo/target/debug/deps/safety-46d2ba0b0d477c0f: tests/safety.rs
+
+tests/safety.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/safety-d7362afc7657e8cf.d: tests/safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafety-d7362afc7657e8cf.rmeta: tests/safety.rs Cargo.toml
+
+tests/safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

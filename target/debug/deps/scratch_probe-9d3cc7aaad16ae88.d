@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_probe-9d3cc7aaad16ae88.d: tests/scratch_probe.rs
+
+/root/repo/target/debug/deps/scratch_probe-9d3cc7aaad16ae88: tests/scratch_probe.rs
+
+tests/scratch_probe.rs:

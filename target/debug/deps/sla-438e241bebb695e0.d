@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sla-438e241bebb695e0.d: tests/sla.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsla-438e241bebb695e0.rmeta: tests/sla.rs Cargo.toml
+
+tests/sla.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sla-f60bf5bd4a3caff5.d: tests/sla.rs
+
+/root/repo/target/debug/deps/sla-f60bf5bd4a3caff5: tests/sla.rs
+
+tests/sla.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-5ee22aa4b5735b73.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-5ee22aa4b5735b73: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

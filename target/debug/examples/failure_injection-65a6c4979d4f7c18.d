@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_injection-65a6c4979d4f7c18.d: examples/failure_injection.rs
+
+/root/repo/target/debug/examples/failure_injection-65a6c4979d4f7c18: examples/failure_injection.rs
+
+examples/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_injection-e1147268a6eabcea.d: examples/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_injection-e1147268a6eabcea.rmeta: examples/failure_injection.rs Cargo.toml
+
+examples/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

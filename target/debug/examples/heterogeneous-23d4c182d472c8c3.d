@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous-23d4c182d472c8c3.d: examples/heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous-23d4c182d472c8c3.rmeta: examples/heterogeneous.rs Cargo.toml
+
+examples/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-bbf3f0398f6dc6a6.d: examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-bbf3f0398f6dc6a6: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

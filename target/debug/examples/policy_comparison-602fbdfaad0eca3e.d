@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-602fbdfaad0eca3e.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-602fbdfaad0eca3e: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_trace-a0aabfc1acdec226.d: examples/power_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_trace-a0aabfc1acdec226.rmeta: examples/power_trace.rs Cargo.toml
+
+examples/power_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_trace-cd8830c3ecd5c875.d: examples/power_trace.rs
+
+/root/repo/target/debug/examples/power_trace-cd8830c3ecd5c875: examples/power_trace.rs
+
+examples/power_trace.rs:

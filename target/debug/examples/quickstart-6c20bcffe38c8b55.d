@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6c20bcffe38c8b55.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6c20bcffe38c8b55: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_priorities-6e77c0e115e0ea18.d: examples/sla_priorities.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_priorities-6e77c0e115e0ea18.rmeta: examples/sla_priorities.rs Cargo.toml
+
+examples/sla_priorities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

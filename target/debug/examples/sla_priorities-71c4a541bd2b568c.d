@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_priorities-71c4a541bd2b568c.d: examples/sla_priorities.rs
+
+/root/repo/target/debug/examples/sla_priorities-71c4a541bd2b568c: examples/sla_priorities.rs
+
+examples/sla_priorities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_tuning-6c9d4d602518efc2.d: examples/threshold_tuning.rs
+
+/root/repo/target/debug/examples/threshold_tuning-6c9d4d602518efc2: examples/threshold_tuning.rs
+
+examples/threshold_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threshold_tuning-90efbd0cf61323b8.d: examples/threshold_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreshold_tuning-90efbd0cf61323b8.rmeta: examples/threshold_tuning.rs Cargo.toml
+
+examples/threshold_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

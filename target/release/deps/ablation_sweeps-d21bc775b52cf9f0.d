@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sweeps-d21bc775b52cf9f0.d: crates/bench/src/bin/ablation_sweeps.rs
+
+/root/repo/target/release/deps/ablation_sweeps-d21bc775b52cf9f0: crates/bench/src/bin/ablation_sweeps.rs
+
+crates/bench/src/bin/ablation_sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sweeps-e2b5e941dbe1db71.d: crates/bench/src/bin/ablation_sweeps.rs
+
+/root/repo/target/release/deps/ablation_sweeps-e2b5e941dbe1db71: crates/bench/src/bin/ablation_sweeps.rs
+
+crates/bench/src/bin/ablation_sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_ppc-a4ab4d58a6e96454.d: crates/bench/src/bin/bench_ppc.rs
+
+/root/repo/target/release/deps/bench_ppc-a4ab4d58a6e96454: crates/bench/src/bin/bench_ppc.rs
+
+crates/bench/src/bin/bench_ppc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_ppc-eea38e3fdd38f5a3.d: crates/bench/src/bin/bench_ppc.rs
+
+/root/repo/target/release/deps/bench_ppc-eea38e3fdd38f5a3: crates/bench/src/bin/bench_ppc.rs
+
+crates/bench/src/bin/bench_ppc.rs:

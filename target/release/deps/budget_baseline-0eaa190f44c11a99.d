@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/budget_baseline-0eaa190f44c11a99.d: tests/budget_baseline.rs
+
+/root/repo/target/release/deps/budget_baseline-0eaa190f44c11a99: tests/budget_baseline.rs
+
+tests/budget_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/budget_baseline-a3566943d6bca1b6.d: tests/budget_baseline.rs
+
+/root/repo/target/release/deps/budget_baseline-a3566943d6bca1b6: tests/budget_baseline.rs
+
+tests/budget_baseline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6bed4a396561a78d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6bed4a396561a78d.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6bed4a396561a78d.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-869506b2cee412f5.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-869506b2cee412f5: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

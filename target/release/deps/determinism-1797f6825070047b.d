@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-1797f6825070047b.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-1797f6825070047b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5a78b63377d1fcc1.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5a78b63377d1fcc1: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-79f3e70779bbc4a6.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-79f3e70779bbc4a6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

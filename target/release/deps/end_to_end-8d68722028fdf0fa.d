@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-8d68722028fdf0fa.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-8d68722028fdf0fa: tests/end_to_end.rs
+
+tests/end_to_end.rs:

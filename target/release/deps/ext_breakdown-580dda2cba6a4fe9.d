@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_breakdown-580dda2cba6a4fe9.d: crates/bench/src/bin/ext_breakdown.rs
+
+/root/repo/target/release/deps/ext_breakdown-580dda2cba6a4fe9: crates/bench/src/bin/ext_breakdown.rs
+
+crates/bench/src/bin/ext_breakdown.rs:

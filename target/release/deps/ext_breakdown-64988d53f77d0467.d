@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_breakdown-64988d53f77d0467.d: crates/bench/src/bin/ext_breakdown.rs
+
+/root/repo/target/release/deps/ext_breakdown-64988d53f77d0467: crates/bench/src/bin/ext_breakdown.rs
+
+crates/bench/src/bin/ext_breakdown.rs:

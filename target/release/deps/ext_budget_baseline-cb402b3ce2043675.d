@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_budget_baseline-cb402b3ce2043675.d: crates/bench/src/bin/ext_budget_baseline.rs
+
+/root/repo/target/release/deps/ext_budget_baseline-cb402b3ce2043675: crates/bench/src/bin/ext_budget_baseline.rs
+
+crates/bench/src/bin/ext_budget_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_budget_baseline-f8ec6572bb3ab699.d: crates/bench/src/bin/ext_budget_baseline.rs
+
+/root/repo/target/release/deps/ext_budget_baseline-f8ec6572bb3ab699: crates/bench/src/bin/ext_budget_baseline.rs
+
+crates/bench/src/bin/ext_budget_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_faults-9ba5dfc325a3f687.d: crates/bench/src/bin/ext_faults.rs
+
+/root/repo/target/release/deps/ext_faults-9ba5dfc325a3f687: crates/bench/src/bin/ext_faults.rs
+
+crates/bench/src/bin/ext_faults.rs:

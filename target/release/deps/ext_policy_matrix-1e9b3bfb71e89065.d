@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_policy_matrix-1e9b3bfb71e89065.d: crates/bench/src/bin/ext_policy_matrix.rs
+
+/root/repo/target/release/deps/ext_policy_matrix-1e9b3bfb71e89065: crates/bench/src/bin/ext_policy_matrix.rs
+
+crates/bench/src/bin/ext_policy_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_policy_matrix-938a750a3ae185bb.d: crates/bench/src/bin/ext_policy_matrix.rs
+
+/root/repo/target/release/deps/ext_policy_matrix-938a750a3ae185bb: crates/bench/src/bin/ext_policy_matrix.rs
+
+crates/bench/src/bin/ext_policy_matrix.rs:

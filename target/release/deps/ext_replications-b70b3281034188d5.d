@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_replications-b70b3281034188d5.d: crates/bench/src/bin/ext_replications.rs
+
+/root/repo/target/release/deps/ext_replications-b70b3281034188d5: crates/bench/src/bin/ext_replications.rs
+
+crates/bench/src/bin/ext_replications.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_replications-f89e95ac541c3004.d: crates/bench/src/bin/ext_replications.rs
+
+/root/repo/target/release/deps/ext_replications-f89e95ac541c3004: crates/bench/src/bin/ext_replications.rs
+
+crates/bench/src/bin/ext_replications.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_thermal-7e8c52fe908e8463.d: crates/bench/src/bin/ext_thermal.rs
+
+/root/repo/target/release/deps/ext_thermal-7e8c52fe908e8463: crates/bench/src/bin/ext_thermal.rs
+
+crates/bench/src/bin/ext_thermal.rs:

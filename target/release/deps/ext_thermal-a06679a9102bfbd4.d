@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_thermal-a06679a9102bfbd4.d: crates/bench/src/bin/ext_thermal.rs
+
+/root/repo/target/release/deps/ext_thermal-a06679a9102bfbd4: crates/bench/src/bin/ext_thermal.rs
+
+crates/bench/src/bin/ext_thermal.rs:

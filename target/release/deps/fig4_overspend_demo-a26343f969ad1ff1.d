@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_overspend_demo-a26343f969ad1ff1.d: crates/bench/src/bin/fig4_overspend_demo.rs
+
+/root/repo/target/release/deps/fig4_overspend_demo-a26343f969ad1ff1: crates/bench/src/bin/fig4_overspend_demo.rs
+
+crates/bench/src/bin/fig4_overspend_demo.rs:

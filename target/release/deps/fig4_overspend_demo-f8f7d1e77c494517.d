@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_overspend_demo-f8f7d1e77c494517.d: crates/bench/src/bin/fig4_overspend_demo.rs
+
+/root/repo/target/release/deps/fig4_overspend_demo-f8f7d1e77c494517: crates/bench/src/bin/fig4_overspend_demo.rs
+
+crates/bench/src/bin/fig4_overspend_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_scalability-16f186fa63d0ecf4.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/release/deps/fig5_scalability-16f186fa63d0ecf4: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

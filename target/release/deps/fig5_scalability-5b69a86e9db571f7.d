@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_scalability-5b69a86e9db571f7.d: crates/bench/src/bin/fig5_scalability.rs
+
+/root/repo/target/release/deps/fig5_scalability-5b69a86e9db571f7: crates/bench/src/bin/fig5_scalability.rs
+
+crates/bench/src/bin/fig5_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_candidate_sweep-caa2c6c48f48ca7f.d: crates/bench/src/bin/fig6_candidate_sweep.rs
+
+/root/repo/target/release/deps/fig6_candidate_sweep-caa2c6c48f48ca7f: crates/bench/src/bin/fig6_candidate_sweep.rs
+
+crates/bench/src/bin/fig6_candidate_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_candidate_sweep-d045dafdfc08dbce.d: crates/bench/src/bin/fig6_candidate_sweep.rs
+
+/root/repo/target/release/deps/fig6_candidate_sweep-d045dafdfc08dbce: crates/bench/src/bin/fig6_candidate_sweep.rs
+
+crates/bench/src/bin/fig6_candidate_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_policy_comparison-10e7dec8681cb6a9.d: crates/bench/src/bin/fig7_policy_comparison.rs
+
+/root/repo/target/release/deps/fig7_policy_comparison-10e7dec8681cb6a9: crates/bench/src/bin/fig7_policy_comparison.rs
+
+crates/bench/src/bin/fig7_policy_comparison.rs:

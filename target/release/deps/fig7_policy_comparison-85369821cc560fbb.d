@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_policy_comparison-85369821cc560fbb.d: crates/bench/src/bin/fig7_policy_comparison.rs
+
+/root/repo/target/release/deps/fig7_policy_comparison-85369821cc560fbb: crates/bench/src/bin/fig7_policy_comparison.rs
+
+crates/bench/src/bin/fig7_policy_comparison.rs:

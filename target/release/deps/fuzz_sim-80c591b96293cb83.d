@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_sim-80c591b96293cb83.d: tests/fuzz_sim.rs
+
+/root/repo/target/release/deps/fuzz_sim-80c591b96293cb83: tests/fuzz_sim.rs
+
+tests/fuzz_sim.rs:

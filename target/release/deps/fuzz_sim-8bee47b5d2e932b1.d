@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_sim-8bee47b5d2e932b1.d: tests/fuzz_sim.rs
+
+/root/repo/target/release/deps/fuzz_sim-8bee47b5d2e932b1: tests/fuzz_sim.rs
+
+tests/fuzz_sim.rs:

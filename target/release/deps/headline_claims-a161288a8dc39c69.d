@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline_claims-a161288a8dc39c69.d: crates/bench/src/bin/headline_claims.rs
+
+/root/repo/target/release/deps/headline_claims-a161288a8dc39c69: crates/bench/src/bin/headline_claims.rs
+
+crates/bench/src/bin/headline_claims.rs:

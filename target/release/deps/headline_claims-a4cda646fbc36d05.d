@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline_claims-a4cda646fbc36d05.d: crates/bench/src/bin/headline_claims.rs
+
+/root/repo/target/release/deps/headline_claims-a4cda646fbc36d05: crates/bench/src/bin/headline_claims.rs
+
+crates/bench/src/bin/headline_claims.rs:

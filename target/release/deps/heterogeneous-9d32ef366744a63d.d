@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heterogeneous-9d32ef366744a63d.d: tests/heterogeneous.rs
+
+/root/repo/target/release/deps/heterogeneous-9d32ef366744a63d: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

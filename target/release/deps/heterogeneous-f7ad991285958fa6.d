@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heterogeneous-f7ad991285958fa6.d: tests/heterogeneous.rs
+
+/root/repo/target/release/deps/heterogeneous-f7ad991285958fa6: tests/heterogeneous.rs
+
+tests/heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_pipeline-211cfdca07c8422f.d: tests/metrics_pipeline.rs
+
+/root/repo/target/release/deps/metrics_pipeline-211cfdca07c8422f: tests/metrics_pipeline.rs
+
+tests/metrics_pipeline.rs:

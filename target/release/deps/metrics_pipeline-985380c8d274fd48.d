@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_pipeline-985380c8d274fd48.d: tests/metrics_pipeline.rs
+
+/root/repo/target/release/deps/metrics_pipeline-985380c8d274fd48: tests/metrics_pipeline.rs
+
+tests/metrics_pipeline.rs:

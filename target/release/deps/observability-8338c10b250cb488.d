@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-8338c10b250cb488.d: tests/observability.rs
+
+/root/repo/target/release/deps/observability-8338c10b250cb488: tests/observability.rs
+
+tests/observability.rs:

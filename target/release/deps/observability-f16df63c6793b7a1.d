@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-f16df63c6793b7a1.d: tests/observability.rs
+
+/root/repo/target/release/deps/observability-f16df63c6793b7a1: tests/observability.rs
+
+tests/observability.rs:

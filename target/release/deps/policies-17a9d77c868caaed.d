@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policies-17a9d77c868caaed.d: tests/policies.rs
+
+/root/repo/target/release/deps/policies-17a9d77c868caaed: tests/policies.rs
+
+tests/policies.rs:

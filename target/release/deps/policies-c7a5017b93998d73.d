@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policies-c7a5017b93998d73.d: tests/policies.rs
+
+/root/repo/target/release/deps/policies-c7a5017b93998d73: tests/policies.rs
+
+tests/policies.rs:

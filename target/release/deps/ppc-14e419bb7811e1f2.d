@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppc-14e419bb7811e1f2.d: src/lib.rs
+
+/root/repo/target/release/deps/libppc-14e419bb7811e1f2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libppc-14e419bb7811e1f2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-16a36a367e76eaef.d: src/lib.rs
+
+/root/repo/target/release/deps/ppc-16a36a367e76eaef: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppc-22af85415ab98634.d: src/lib.rs
+
+/root/repo/target/release/deps/libppc-22af85415ab98634.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libppc-22af85415ab98634.rmeta: src/lib.rs
+
+src/lib.rs:

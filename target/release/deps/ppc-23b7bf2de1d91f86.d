@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-23b7bf2de1d91f86.d: src/main.rs
+
+/root/repo/target/release/deps/ppc-23b7bf2de1d91f86: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-3026ea19a03bbcc6.d: src/lib.rs
+
+/root/repo/target/release/deps/ppc-3026ea19a03bbcc6: src/lib.rs
+
+src/lib.rs:

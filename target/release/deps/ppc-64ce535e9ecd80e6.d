@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppc-64ce535e9ecd80e6.d: src/lib.rs
+
+/root/repo/target/release/deps/libppc-64ce535e9ecd80e6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libppc-64ce535e9ecd80e6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-83f1c85c68aa14af.d: src/main.rs
+
+/root/repo/target/release/deps/ppc-83f1c85c68aa14af: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-98efe76180fc95c7.d: src/main.rs
+
+/root/repo/target/release/deps/ppc-98efe76180fc95c7: src/main.rs
+
+src/main.rs:

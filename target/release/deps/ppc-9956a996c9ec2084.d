@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-9956a996c9ec2084.d: src/main.rs
+
+/root/repo/target/release/deps/ppc-9956a996c9ec2084: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc-cba7404d1152eb66.d: src/main.rs
+
+/root/repo/target/release/deps/ppc-cba7404d1152eb66: src/main.rs
+
+src/main.rs:

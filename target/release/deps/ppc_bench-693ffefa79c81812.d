@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppc_bench-693ffefa79c81812.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libppc_bench-693ffefa79c81812.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libppc_bench-693ffefa79c81812.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

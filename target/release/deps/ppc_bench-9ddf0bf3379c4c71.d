@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppc_bench-9ddf0bf3379c4c71.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libppc_bench-9ddf0bf3379c4c71.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libppc_bench-9ddf0bf3379c4c71.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

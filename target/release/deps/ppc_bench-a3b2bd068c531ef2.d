@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppc_bench-a3b2bd068c531ef2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ppc_bench-a3b2bd068c531ef2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ppc_cluster-6eef9467e2b765eb.d: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libppc_cluster-6eef9467e2b765eb.rlib: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libppc_cluster-6eef9467e2b765eb.rmeta: crates/cluster/src/lib.rs crates/cluster/src/experiment.rs crates/cluster/src/output.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/experiment.rs:
+crates/cluster/src/output.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ppc_faults-1b3a91fba6e105d1.d: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/release/deps/libppc_faults-1b3a91fba6e105d1.rlib: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+/root/repo/target/release/deps/libppc_faults-1b3a91fba6e105d1.rmeta: crates/faults/src/lib.rs crates/faults/src/engine.rs crates/faults/src/schedule.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/schedule.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ppc_metrics-2ca7eecd04bf652b.d: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/libppc_metrics-2ca7eecd04bf652b.rlib: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/libppc_metrics-2ca7eecd04bf652b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/availability.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/availability.rs:
+crates/metrics/src/bootstrap.rs:
+crates/metrics/src/cplj.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/overspend.rs:
+crates/metrics/src/peak.rs:
+crates/metrics/src/performance.rs:
+crates/metrics/src/report.rs:

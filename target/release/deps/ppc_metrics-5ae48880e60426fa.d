@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ppc_metrics-5ae48880e60426fa.d: crates/metrics/src/lib.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/libppc_metrics-5ae48880e60426fa.rlib: crates/metrics/src/lib.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/libppc_metrics-5ae48880e60426fa.rmeta: crates/metrics/src/lib.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/bootstrap.rs:
+crates/metrics/src/cplj.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/overspend.rs:
+crates/metrics/src/peak.rs:
+crates/metrics/src/performance.rs:
+crates/metrics/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ppc_metrics-e6519990a5ca5d0c.d: crates/metrics/src/lib.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/ppc_metrics-e6519990a5ca5d0c: crates/metrics/src/lib.rs crates/metrics/src/bootstrap.rs crates/metrics/src/cplj.rs crates/metrics/src/energy.rs crates/metrics/src/overspend.rs crates/metrics/src/peak.rs crates/metrics/src/performance.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/bootstrap.rs:
+crates/metrics/src/cplj.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/overspend.rs:
+crates/metrics/src/peak.rs:
+crates/metrics/src/performance.rs:
+crates/metrics/src/report.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ppc_node-c2708b9e7edbce45.d: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+/root/repo/target/release/deps/libppc_node-c2708b9e7edbce45.rlib: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+/root/repo/target/release/deps/libppc_node-c2708b9e7edbce45.rmeta: crates/node/src/lib.rs crates/node/src/budget.rs crates/node/src/calibration.rs crates/node/src/device.rs crates/node/src/error.rs crates/node/src/freq.rs crates/node/src/node.rs crates/node/src/procfs.rs crates/node/src/profile.rs crates/node/src/spec.rs crates/node/src/thermal.rs
+
+crates/node/src/lib.rs:
+crates/node/src/budget.rs:
+crates/node/src/calibration.rs:
+crates/node/src/device.rs:
+crates/node/src/error.rs:
+crates/node/src/freq.rs:
+crates/node/src/node.rs:
+crates/node/src/procfs.rs:
+crates/node/src/profile.rs:
+crates/node/src/spec.rs:
+crates/node/src/thermal.rs:

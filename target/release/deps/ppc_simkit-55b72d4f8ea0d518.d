@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ppc_simkit-55b72d4f8ea0d518.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libppc_simkit-55b72d4f8ea0d518.rlib: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libppc_simkit-55b72d4f8ea0d518.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/engine.rs crates/simkit/src/error.rs crates/simkit/src/journal.rs crates/simkit/src/par.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/error.rs:
+crates/simkit/src/journal.rs:
+crates/simkit/src/par.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ppc_telemetry-0e1f13fdf407c326.d: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/release/deps/libppc_telemetry-0e1f13fdf407c326.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/release/deps/libppc_telemetry-0e1f13fdf407c326.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/agent.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/cost.rs:
+crates/telemetry/src/history.rs:
+crates/telemetry/src/meter.rs:
+crates/telemetry/src/noise.rs:
+crates/telemetry/src/sample.rs:
+crates/telemetry/src/tree.rs:

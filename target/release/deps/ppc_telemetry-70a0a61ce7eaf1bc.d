@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ppc_telemetry-70a0a61ce7eaf1bc.d: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/release/deps/libppc_telemetry-70a0a61ce7eaf1bc.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+/root/repo/target/release/deps/libppc_telemetry-70a0a61ce7eaf1bc.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/agent.rs crates/telemetry/src/collector.rs crates/telemetry/src/cost.rs crates/telemetry/src/history.rs crates/telemetry/src/meter.rs crates/telemetry/src/noise.rs crates/telemetry/src/sample.rs crates/telemetry/src/tree.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/agent.rs:
+crates/telemetry/src/collector.rs:
+crates/telemetry/src/cost.rs:
+crates/telemetry/src/history.rs:
+crates/telemetry/src/meter.rs:
+crates/telemetry/src/noise.rs:
+crates/telemetry/src/sample.rs:
+crates/telemetry/src/tree.rs:

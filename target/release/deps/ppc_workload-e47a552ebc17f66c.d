@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ppc_workload-e47a552ebc17f66c.d: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libppc_workload-e47a552ebc17f66c.rlib: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libppc_workload-e47a552ebc17f66c.rmeta: crates/workload/src/lib.rs crates/workload/src/app.rs crates/workload/src/generator.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/phase.rs crates/workload/src/queue.rs crates/workload/src/replay.rs crates/workload/src/scaling.rs crates/workload/src/scheduler.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/app.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/job.rs:
+crates/workload/src/model.rs:
+crates/workload/src/phase.rs:
+crates/workload/src/queue.rs:
+crates/workload/src/replay.rs:
+crates/workload/src/scaling.rs:
+crates/workload/src/scheduler.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-073f39b3314024b7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-073f39b3314024b7: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-1724b6a4df958eb8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-1724b6a4df958eb8: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

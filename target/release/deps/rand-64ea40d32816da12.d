@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-64ea40d32816da12.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-64ea40d32816da12.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-64ea40d32816da12.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-97f385631c928969.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-97f385631c928969.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-97f385631c928969.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replay-7159f8b04b089aa9.d: tests/replay.rs
+
+/root/repo/target/release/deps/replay-7159f8b04b089aa9: tests/replay.rs
+
+tests/replay.rs:

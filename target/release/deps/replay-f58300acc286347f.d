@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replay-f58300acc286347f.d: tests/replay.rs
+
+/root/repo/target/release/deps/replay-f58300acc286347f: tests/replay.rs
+
+tests/replay.rs:

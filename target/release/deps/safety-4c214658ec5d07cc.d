@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/safety-4c214658ec5d07cc.d: tests/safety.rs
+
+/root/repo/target/release/deps/safety-4c214658ec5d07cc: tests/safety.rs
+
+tests/safety.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/safety-773ff4f2a8713d49.d: tests/safety.rs
+
+/root/repo/target/release/deps/safety-773ff4f2a8713d49: tests/safety.rs
+
+tests/safety.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sla-b799ca9da331d0d8.d: tests/sla.rs
+
+/root/repo/target/release/deps/sla-b799ca9da331d0d8: tests/sla.rs
+
+tests/sla.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sla-e329e285d9a20412.d: tests/sla.rs
+
+/root/repo/target/release/deps/sla-e329e285d9a20412: tests/sla.rs
+
+tests/sla.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-130981e0500d86b8.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-130981e0500d86b8: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-5a1891662f295927.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-5a1891662f295927: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

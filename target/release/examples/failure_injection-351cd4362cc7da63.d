@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_injection-351cd4362cc7da63.d: examples/failure_injection.rs
+
+/root/repo/target/release/examples/failure_injection-351cd4362cc7da63: examples/failure_injection.rs
+
+examples/failure_injection.rs:

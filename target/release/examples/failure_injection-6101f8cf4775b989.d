@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_injection-6101f8cf4775b989.d: examples/failure_injection.rs
+
+/root/repo/target/release/examples/failure_injection-6101f8cf4775b989: examples/failure_injection.rs
+
+examples/failure_injection.rs:

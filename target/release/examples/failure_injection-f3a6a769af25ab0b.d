@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_injection-f3a6a769af25ab0b.d: examples/failure_injection.rs
+
+/root/repo/target/release/examples/failure_injection-f3a6a769af25ab0b: examples/failure_injection.rs
+
+examples/failure_injection.rs:

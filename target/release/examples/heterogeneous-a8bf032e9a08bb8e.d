@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous-a8bf032e9a08bb8e.d: examples/heterogeneous.rs
+
+/root/repo/target/release/examples/heterogeneous-a8bf032e9a08bb8e: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous-eaa517e574c69f65.d: examples/heterogeneous.rs
+
+/root/repo/target/release/examples/heterogeneous-eaa517e574c69f65: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/policy_comparison-95d6a60f2677ce06.d: examples/policy_comparison.rs
+
+/root/repo/target/release/examples/policy_comparison-95d6a60f2677ce06: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

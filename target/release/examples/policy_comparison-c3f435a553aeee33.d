@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/policy_comparison-c3f435a553aeee33.d: examples/policy_comparison.rs
+
+/root/repo/target/release/examples/policy_comparison-c3f435a553aeee33: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

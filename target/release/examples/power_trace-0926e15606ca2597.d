@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_trace-0926e15606ca2597.d: examples/power_trace.rs
+
+/root/repo/target/release/examples/power_trace-0926e15606ca2597: examples/power_trace.rs
+
+examples/power_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_trace-effbf2ef55ccb916.d: examples/power_trace.rs
+
+/root/repo/target/release/examples/power_trace-effbf2ef55ccb916: examples/power_trace.rs
+
+examples/power_trace.rs:

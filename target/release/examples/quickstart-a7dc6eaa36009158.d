@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a7dc6eaa36009158.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a7dc6eaa36009158: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b93ebe05687bd68f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b93ebe05687bd68f: examples/quickstart.rs
+
+examples/quickstart.rs:

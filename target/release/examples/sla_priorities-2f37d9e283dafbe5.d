@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sla_priorities-2f37d9e283dafbe5.d: examples/sla_priorities.rs
+
+/root/repo/target/release/examples/sla_priorities-2f37d9e283dafbe5: examples/sla_priorities.rs
+
+examples/sla_priorities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sla_priorities-800e712f66c6e3b4.d: examples/sla_priorities.rs
+
+/root/repo/target/release/examples/sla_priorities-800e712f66c6e3b4: examples/sla_priorities.rs
+
+examples/sla_priorities.rs:

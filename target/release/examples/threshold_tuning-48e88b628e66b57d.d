@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threshold_tuning-48e88b628e66b57d.d: examples/threshold_tuning.rs
+
+/root/repo/target/release/examples/threshold_tuning-48e88b628e66b57d: examples/threshold_tuning.rs
+
+examples/threshold_tuning.rs:

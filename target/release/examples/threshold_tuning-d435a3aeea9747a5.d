@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threshold_tuning-d435a3aeea9747a5.d: examples/threshold_tuning.rs
+
+/root/repo/target/release/examples/threshold_tuning-d435a3aeea9747a5: examples/threshold_tuning.rs
+
+examples/threshold_tuning.rs:

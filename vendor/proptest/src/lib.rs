@@ -1,0 +1,516 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's tests rely on: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), range / tuple / `any` /
+//! `collection::vec` strategies, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros. Generation is fully deterministic (seeded
+//! SplitMix64/xoshiro per test case); there is no shrinking — the failing
+//! case's inputs are printed instead.
+
+use std::ops::Range;
+
+// ---- deterministic generator ----------------------------------------------
+
+/// Per-case RNG: xoshiro256++ seeded via SplitMix64, same construction the
+/// workspace's `simkit` uses, so test behavior is reproducible everywhere.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix(&mut sm),
+                splitmix(&mut sm),
+                splitmix(&mut sm),
+                splitmix(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)` via Lemire's multiply-shift.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---- errors / config -------------------------------------------------------
+
+/// Why a test case did not pass: assertion failure or `prop_assume!` reject.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Runner configuration. Only `cases` matters to this stand-in; the other
+/// fields exist so `..ProptestConfig::default()` struct updates compile.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+// ---- strategies ------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `Strategy::prop_filter` adapter: rejection-samples, bounded retries.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("proptest stand-in: prop_filter rejected 1024 candidates in a row");
+    }
+}
+
+/// `Strategy::prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Type-erased strategy (clonable via `Rc`).
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Full-domain floats are rarely useful; mirror proptest's default-ish
+        // behavior with a wide but finite distribution.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` ~25% of the time, `Some(inner)` otherwise
+    /// (matching proptest's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vector strategy: length drawn from `len`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic base seed for a named test function.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut s = h ^ ((case as u64) << 32 | 0x9E37);
+    splitmix(&mut s)
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+// ---- macros ----------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// The test-harness macro. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a regular test function that runs `cases` deterministic
+/// iterations, regenerating inputs from the listed strategies each time.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            let mut attempt: u32 = 0;
+            while case < cfg.cases {
+                let seed = $crate::seed_for(stringify!($name), attempt);
+                attempt += 1;
+                let mut rng = $crate::TestRng::seed_from_u64(seed);
+                let __inputs = ($($crate::Strategy::generate(&$strat, &mut rng),)*);
+                let __desc = format!("{:?}", __inputs);
+                let ($($arg,)*) = __inputs;
+                let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > cfg.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejects})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed:#x}):\n{msg}\ninputs: {}",
+                            stringify!($name),
+                            __desc
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,439 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `to_value`/`from_value` impls for the vendored value-tree serde
+//! model. Supports the shapes this workspace actually uses: named-field
+//! structs, single-field (newtype) tuple structs, and enums with unit /
+//! named-field / newtype variants, plus the `#[serde(skip)]` and
+//! `#[serde(from = "Type")]` attributes. Anything else panics at compile
+//! time with a clear message so the gap is obvious rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum ItemShape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: ItemShape,
+    /// `#[serde(from = "Type")]` on the container, if present.
+    from_type: Option<String>,
+}
+
+/// Attributes found while scanning: serde helper knobs we understand.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    from_type: Option<String>,
+}
+
+fn parse_serde_attr_group(stream: TokenStream, out: &mut SerdeAttrs) {
+    // Content of the parens in `#[serde(...)]`: e.g. `skip` or `from = "X"`.
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "skip" || word == "skip_serializing" || word == "skip_deserializing" {
+                    out.skip = true;
+                    i += 1;
+                } else if word == "from" {
+                    // expect `= "Type"`
+                    if let (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(i + 1), toks.get(i + 2))
+                    {
+                        if p.as_char() == '=' {
+                            let raw = lit.to_string();
+                            out.from_type = Some(raw.trim_matches('"').to_string());
+                        }
+                    }
+                    i += 3;
+                } else {
+                    panic!("serde_derive stand-in: unsupported serde attribute `{word}`");
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive stand-in: unexpected token in serde attr: {other}"),
+        }
+    }
+}
+
+/// Consume attributes at `toks[*i]`; returns serde knobs found.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                            (inner.first(), inner.get(1))
+                        {
+                            if id.to_string() == "serde" {
+                                parse_serde_attr_group(args.stream(), &mut attrs);
+                            }
+                        }
+                        *i += 2;
+                        continue;
+                    }
+                }
+                panic!("serde_derive stand-in: `#` not followed by bracket group");
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skip a `pub` / `pub(crate)` visibility marker if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse named fields from the stream of a `{ ... }` group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stand-in: expected field name, got {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stand-in: expected `:` after field name, got {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+/// Count top-level (comma-separated) elements of a tuple field list.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth: i32 = 0;
+    let mut arity = 1;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == toks.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stand-in: expected variant name, got {other}"),
+        };
+        i += 1;
+        let mut shape = VariantShape::Unit;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    shape = VariantShape::Named(parse_named_fields(g.stream()));
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    let arity = tuple_arity(g.stream());
+                    if arity != 1 {
+                        panic!(
+                            "serde_derive stand-in: tuple variant `{name}` has arity {arity}; \
+                             only newtype variants are supported"
+                        );
+                    }
+                    shape = VariantShape::Newtype;
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        // Skip an optional `= discriminant` then the trailing comma.
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive stand-in: tuple struct `{name}` has arity {arity}; \
+                         only newtype structs are supported"
+                    );
+                }
+                ItemShape::NewtypeStruct
+            }
+            _ => panic!("serde_derive stand-in: unit struct `{name}` is not supported"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive stand-in: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        shape,
+        from_type: attrs.from_type,
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                 ::serde::Value::Object(entries)"
+            )
+        }
+        ItemShape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemShape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(x) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(x))]),\n"
+                    )),
+                    VariantShape::Named(fields) => {
+                        let bind: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(inner))])\n}},\n",
+                            binds = bind.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive stand-in: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.from_type {
+        format!(
+            "let wire: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+             Ok(<{name} as ::std::convert::From<{from_ty}>>::from(wire))"
+        )
+    } else {
+        match &item.shape {
+            ItemShape::NamedStruct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: ::serde::Deserialize::from_value(v.get(\"{n}\").unwrap_or(&::serde::Value::Null))?,\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                format!("Ok({name} {{\n{inits}}})")
+            }
+            ItemShape::NewtypeStruct => {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            ItemShape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}),\n"
+                        )),
+                        VariantShape::Newtype => payload_arms.push_str(&format!(
+                            "if let Some(inner) = v.get(\"{vn}\") {{\n\
+                             return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?));\n}}\n"
+                        )),
+                        VariantShape::Named(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                if f.skip {
+                                    inits.push_str(&format!(
+                                        "{}: ::std::default::Default::default(),\n",
+                                        f.name
+                                    ));
+                                } else {
+                                    inits.push_str(&format!(
+                                        "{n}: ::serde::Deserialize::from_value(inner.get(\"{n}\").unwrap_or(&::serde::Value::Null))?,\n",
+                                        n = f.name
+                                    ));
+                                }
+                            }
+                            payload_arms.push_str(&format!(
+                                "if let Some(inner) = v.get(\"{vn}\") {{\n\
+                                 return Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "if let ::serde::Value::String(s) = v {{\n\
+                     match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                     {payload_arms}\
+                     Err(::serde::DeError::new(format!(\"no variant of {name} matches {{v:?}}\")))"
+                )
+            }
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive stand-in: generated Deserialize impl parses")
+}
