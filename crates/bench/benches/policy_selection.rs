@@ -31,7 +31,7 @@ fn ctx(jobs: usize, nodes_per_job: usize) -> SelectionContext {
             JobObservation {
                 id: JobId(j as u64),
                 nodes,
-                prev_power_w: (j % 3 != 0).then(|| 1_500.0 + j as f64 * 10.0),
+                prev_power_w: (j % 3 != 0).then_some(1_500.0 + j as f64 * 10.0),
             }
         })
         .collect();

@@ -1,0 +1,127 @@
+//! CI's dynamic replay-determinism gate.
+//!
+//! The static side (`ppc-lint`) keeps nondeterminism *sources* out of the
+//! tree; this binary checks the property those rules protect: a seeded
+//! end-to-end simulation — manager, scheduler, telemetry, fault injection
+//! — must be bit-identical run to run and at every worker-pool width. It
+//! runs the same managed, faulted experiment under pool widths 1 and 8
+//! (inline threshold zero forces even a small cluster through the
+//! parallel path) plus a same-width repeat, then compares:
+//!
+//! * the journal fingerprint (job lifecycle, state flips, commands,
+//!   faults — an order-sensitive FNV-1a over every recorded event);
+//! * an FNV-1a over the raw bits of the true-power trace;
+//! * finished-job and applied-command counts.
+//!
+//! Any divergence prints the offending run and exits non-zero, failing
+//! CI. Under a minute of wall clock; see `scripts/ci.sh`.
+
+use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc_faults::{FaultInjection, FaultRates, FaultSchedule};
+use ppc_simkit::{RngFactory, SimDuration, WorkerPool};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const NODES: u32 = 8;
+const RUN_SECS: u64 = 400;
+
+/// Everything one run produces that must be invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunDigest {
+    journal: u64,
+    trace: u64,
+    finished: usize,
+    commands: u64,
+}
+
+fn fnv1a_u64s(values: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn run_once(workers: usize) -> Result<RunDigest, String> {
+    let mut spec = ClusterSpec::mini(NODES);
+    spec.provision_fraction = 0.60; // tight provision: capping engages
+    let rates = FaultRates {
+        crash_per_node_hour: 6.0,
+        reboot_mean_secs: 45.0,
+        hang_per_node_hour: 6.0,
+        silence_per_node_hour: 8.0,
+        partition_per_hour: 10.0,
+        partition_width: 4,
+        ..FaultRates::default()
+    };
+    let schedule = FaultSchedule::generate(
+        &rates,
+        NODES,
+        SimDuration::from_secs(RUN_SECS),
+        &RngFactory::new(spec.seed),
+    );
+    let sets = NodeSets::new(spec.node_ids(), []);
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+    };
+    let manager =
+        PowerManager::new(config, sets).map_err(|e| format!("manager construction: {e}"))?;
+    let pool = Arc::new(WorkerPool::new(workers).with_inline_threshold(0));
+    let mut sim = ClusterSim::new(spec)
+        .with_manager(manager)
+        .with_faults(FaultInjection::new(schedule))
+        .with_worker_pool(pool);
+    sim.run_for(SimDuration::from_secs(RUN_SECS));
+    Ok(RunDigest {
+        journal: sim.journal().fingerprint(),
+        trace: fnv1a_u64s(sim.true_power().values().iter().map(|v| v.to_bits())),
+        finished: sim.finished().len(),
+        commands: sim.commands_applied(),
+    })
+}
+
+fn main() -> ExitCode {
+    // (label, width): width 1 twice proves same-seed repeatability, width
+    // 8 proves pool-width invariance on the same machine state.
+    let runs = [("width 1", 1usize), ("width 1 repeat", 1), ("width 8", 8)];
+    let mut baseline: Option<RunDigest> = None;
+    let mut failed = false;
+    for (label, workers) in runs {
+        let digest = match run_once(workers) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("determinism gate: {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "determinism gate: {label:14} journal={:016x} trace={:016x} finished={} commands={}",
+            digest.journal, digest.trace, digest.finished, digest.commands
+        );
+        match &baseline {
+            None => {
+                if digest.commands == 0 {
+                    eprintln!("determinism gate: no commands applied — gate would be vacuous");
+                    failed = true;
+                }
+                baseline = Some(digest);
+            }
+            Some(b) if *b != digest => {
+                eprintln!("determinism gate: {label} diverged from the first run");
+                failed = true;
+            }
+            Some(_) => {}
+        }
+    }
+    if failed {
+        eprintln!("determinism gate: FAILED — seeded replay is not bit-identical");
+        ExitCode::FAILURE
+    } else {
+        println!("determinism gate: ok — journal hashes identical across runs and pool widths");
+        ExitCode::SUCCESS
+    }
+}

@@ -156,6 +156,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
                 frozen_thresholds: config.frozen_thresholds,
                 ..defaults
             };
+            // ppc-lint: allow(panic-path): spec.validate() ran above and margins come from paper_defaults, so construction cannot fail
             let manager = PowerManager::new(mconfig, sets).expect("validated config");
             let label = match config.candidate_cap {
                 Some(cap) => format!("{policy}/{cap}"),

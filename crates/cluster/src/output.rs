@@ -60,6 +60,7 @@ pub fn outcome_to_json(outcome: &ExperimentOutcome) -> String {
         records: Vec::new(),
         ..outcome.clone()
     };
+    // ppc-lint: allow(panic-path): serializing a plain data struct with the vendored encoder cannot fail
     serde_json::to_string_pretty(&slim).expect("outcome serializes")
 }
 

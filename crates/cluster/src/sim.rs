@@ -484,6 +484,7 @@ impl ClusterSim {
                     self.scheduler.set_node_up(n);
                     let node = &mut self.nodes[n.0 as usize];
                     if !node.is_privileged() {
+                        // ppc-lint: allow(panic-path): guarded by the is_privileged() check one line up
                         node.force_lowest().expect("node checked not privileged");
                     }
                     if let Some(mgr) = self.manager.as_mut() {
@@ -588,6 +589,7 @@ impl ClusterSim {
                         // to its top level (it may carry a degradation from
                         // earlier capping), then freeze it.
                         let top = node.highest_level();
+                        // ppc-lint: allow(panic-path): the node is unfrozen here; set_level only errors on privileged nodes
                         node.set_level(top).expect("node checked not privileged");
                         node.set_privileged(true);
                         if let Some(m) = self.manager.as_mut() {
@@ -673,9 +675,14 @@ impl ClusterSim {
         let mut thermal_nodes = 0u32;
         for n in &self.nodes {
             let Some(t) = n.temperature_c() else { continue };
-            let ambient = n.spec().thermal.expect("thermal node has spec").ambient_c;
+            let Some(thermal) = n.spec().thermal else {
+                continue;
+            };
             self.peak_temp_c = self.peak_temp_c.max(t);
-            rate_sum += n.relative_failure_rate(ambient).expect("thermal");
+            let Some(rate) = n.relative_failure_rate(thermal.ambient_c) else {
+                continue;
+            };
+            rate_sum += rate;
             thermal_nodes += 1;
         }
         if thermal_nodes > 0 {
@@ -719,6 +726,7 @@ impl ClusterSim {
     /// controllable nodes (this architecture has no candidate subset),
     /// split the budget, and apply the resulting absolute levels.
     fn budget_cycle(&mut self, now: SimTime, metered_w: f64) {
+        // ppc-lint: allow(panic-path): step() dispatches here only when a budget controller is attached
         let controller = self.budget_controller.as_mut().expect("checked by caller");
         self.scratch_views.clear();
         for node in &self.nodes {
@@ -779,6 +787,7 @@ impl ClusterSim {
     /// Runs the sampling agents and the manager's control cycle, applying
     /// the resulting commands.
     fn control_cycle(&mut self, now: SimTime, metered_w: f64) {
+        // ppc-lint: allow(panic-path): step() dispatches here only when a manager is attached
         let manager = self.manager.as_mut().expect("checked by caller");
 
         // Agents run on candidate nodes only; monitoring everything would
@@ -873,6 +882,7 @@ impl ClusterSim {
         let in_training = self
             .manager
             .as_ref()
+            // ppc-lint: allow(panic-path): control_cycle() runs only with a manager attached (see step())
             .expect("checked by caller")
             .learner()
             .in_training();
@@ -900,6 +910,7 @@ impl ClusterSim {
             // commands derive from the node's own ladder.
             self.nodes[node.0 as usize]
                 .set_level(level)
+                // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
                 .expect("commands are validated against the ladder");
             self.commands_applied += 1;
             return;
@@ -931,6 +942,7 @@ impl ClusterSim {
         }
         self.nodes[node.0 as usize]
             .set_level(level)
+            // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
             .expect("commands are validated against the ladder");
         self.commands_applied += 1;
     }
@@ -973,6 +985,7 @@ impl ClusterSim {
             }
             self.nodes[r.node.0 as usize]
                 .set_level(r.level)
+                // ppc-lint: allow(panic-path): retries re-validate liveness above; levels come from the node's own ladder
                 .expect("commands are validated against the ladder");
             self.commands_applied += 1;
             self.journal.record_with(now, Severity::Info, "fault", || {

@@ -245,11 +245,11 @@ mod tests {
     use crate::observe::testutil::{ctx, jobs_obs, nobs};
     use crate::policy::PolicyKind;
     use std::cell::RefCell;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// Mutable level store standing in for the cluster.
     struct Levels {
-        map: RefCell<HashMap<NodeId, Level>>,
+        map: RefCell<BTreeMap<NodeId, Level>>,
         highest: Level,
     }
 

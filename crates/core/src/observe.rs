@@ -255,7 +255,7 @@ mod tests {
         collector.ingest(mk(1, 1, OperatingState::IDLE));
         collector.ingest(mk(2, 1, busy));
         let candidates: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
-        let jobs = vec![
+        let jobs = [
             (JobId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
             (JobId(2), vec![NodeId(2)]), // no observable nodes → dropped
         ];

@@ -29,15 +29,12 @@ impl TargetSelectionPolicy for HriC {
                 None => unrated.push(j),
             }
         }
-        rated.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("rates are finite")
-                .then_with(|| a.0.id.cmp(&b.0.id))
-        });
+        // total_cmp: a total order even on pathological inputs, so the
+        // selection can never panic mid-control-cycle.
+        rated.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.id.cmp(&b.0.id)));
         unrated.sort_by(|a, b| {
             b.power_w()
-                .partial_cmp(&a.power_w())
-                .expect("powers are finite")
+                .total_cmp(&a.power_w())
                 .then_with(|| a.id.cmp(&b.id))
         });
 

@@ -33,10 +33,8 @@ pub(crate) fn collect_until_deficit(ctx: &SelectionContext, descending_power: bo
         ctx.jobs.iter().filter(|j| j.has_degradable()).collect();
     // Sort by power with deterministic id tie-break.
     order.sort_by(|a, b| {
-        let cmp = a
-            .power_w()
-            .partial_cmp(&b.power_w())
-            .expect("powers are finite");
+        // total_cmp: panic-free total order even on pathological inputs.
+        let cmp = a.power_w().total_cmp(&b.power_w());
         let cmp = if descending_power { cmp.reverse() } else { cmp };
         cmp.then_with(|| a.id.cmp(&b.id))
     });

@@ -152,6 +152,7 @@ impl ThresholdLearner {
             self.p_peak_w = self.observed_peak_w;
             self.thresholds =
                 Thresholds::from_peak(self.p_peak_w, self.low_margin, self.high_margin)
+                    // ppc-lint: allow(panic-path): peak > 0 checked above; margins were validated at construction
                     .expect("peak > 0 and validated margins always yield thresholds");
         }
     }

@@ -88,6 +88,7 @@ impl FaultEngine {
     /// condition.
     pub fn new(schedule: &FaultSchedule, node_count: u32) -> Self {
         if let Err(msg) = schedule.validate(node_count) {
+            // ppc-lint: allow(panic-path): documented constructor contract — an out-of-range schedule is a configuration error
             panic!("invalid fault schedule: {msg}");
         }
         FaultEngine {
@@ -111,6 +112,7 @@ impl FaultEngine {
             if let Some(t) = h.down_until {
                 if t <= now {
                     h.down_until = None;
+                    // ppc-lint: allow(panic-path): down_until and down_since are always set together in strike_crash
                     let since = h.down_since.take().expect("down node has a start instant");
                     let lost = (now - since).as_secs_f64();
                     self.stats.node_seconds_lost += lost;
@@ -166,9 +168,9 @@ impl FaultEngine {
 
     fn strike_crash(&mut self, node: NodeId, until: SimTime, now: SimTime) {
         let h = &mut self.health[node.0 as usize];
-        if h.down_until.is_some() {
+        if let Some(down_until) = h.down_until {
             // Already down: the new crash only extends the outage.
-            h.down_until = Some(h.down_until.unwrap().max(until));
+            h.down_until = Some(down_until.max(until));
             return;
         }
         // Down dominates any hang/silence overlay.
@@ -234,6 +236,7 @@ impl FaultEngine {
         let mut s = self.stats;
         for h in &self.health {
             if h.down_until.is_some() {
+                // ppc-lint: allow(panic-path): down_until and down_since are always set together in strike_crash
                 let since = h.down_since.expect("down node has a start instant");
                 s.node_seconds_lost += (now - since).as_secs_f64();
             }

@@ -1,0 +1,100 @@
+//! `ppc-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ppc-lint -- --workspace            # scan, exit 1 on violations
+//! cargo run -p ppc-lint -- --workspace --json     # also write LINT_report.json
+//! cargo run -p ppc-lint -- --list-rules           # rule catalogue
+//! cargo run -p ppc-lint -- crates/core/src/budget.rs   # scan specific files
+//! ```
+
+use ppc_lint::{report, scan, Report};
+use std::path::PathBuf;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+    workspace: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+        workspace: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: ppc-lint [--root DIR] [--json] [--list-rules] \
+                     [--workspace | FILES...]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (try --help)"))
+            }
+            file => args.files.push(file.to_string()),
+        }
+    }
+    if !args.workspace && !args.list_rules && args.files.is_empty() {
+        args.workspace = true; // the only sensible default
+    }
+    Ok(args)
+}
+
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        print!("{}", report::render_rules());
+        return Ok(0);
+    }
+
+    let ws = if args.workspace {
+        scan::scan_workspace(&args.root)
+            .map_err(|e| format!("scanning workspace at {}: {e}", args.root.display()))?
+    } else {
+        let mut ws = scan::WorkspaceScan::default();
+        for rel in &args.files {
+            let fs = scan::scan_file(&args.root, rel).map_err(|e| format!("{rel}: {e}"))?;
+            ws.diagnostics.extend(fs.diagnostics);
+            ws.suppressed += fs.suppressed;
+            ws.files_scanned += 1;
+        }
+        ws
+    };
+
+    if args.json {
+        let json = Report::from_scan(&ws).to_json();
+        let path = args.root.join("LINT_report.json");
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("{json}");
+        eprint!("{}", report::render_text(&ws));
+    } else {
+        print!("{}", report::render_text(&ws));
+    }
+    Ok(if ws.diagnostics.is_empty() { 0 } else { 1 })
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("ppc-lint: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: `ad-hoc-rng` — all randomness must flow from the experiment
+// seed; entropy-seeded constructors and thread-local RNGs fire.
+fn lib() {
+    let mut rng = rand::thread_rng(); // line 4: violation
+    let x: f64 = rand::random(); // line 5: violation
+    let seeded = SmallRng::from_entropy(); // line 6: violation
+    // ppc-lint: allow(ad-hoc-rng): fixture — non-replayed jitter for backoff only
+    let jitter = rand::random::<u8>(); // suppressed
+    let _ = (rng, x, seeded, jitter);
+}

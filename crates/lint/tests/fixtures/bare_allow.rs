@@ -1,0 +1,9 @@
+// Fixture: `bare-allow` — an allow with no justification or an unknown
+// rule name is itself a violation.
+fn lib(v: Option<u32>) -> u32 {
+    // ppc-lint: allow(panic-path)
+    let a = v.unwrap(); // the bare allow above fires bare-allow at line 4
+    // ppc-lint: allow(no-such-rule): reason present but the rule is unknown
+    let b = v.unwrap_or(0);
+    a + b
+}

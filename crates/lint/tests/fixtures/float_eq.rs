@@ -1,0 +1,12 @@
+// Fixture: `float-eq` — exact equality against float literals in the
+// power/budget crates fires; ordered comparisons and integers are clean.
+fn lib(power_w: f64, budget_w: f64, n: u32) -> bool {
+    let exhausted = budget_w == 0.0; // line 4: violation
+    let odd = power_w != 1.5; // line 5: violation
+    let fine = power_w <= 0.93; // clean: ordered comparison
+    let ints = n == 10; // clean: integer equality
+    let range = (0..10).len() == n as usize; // clean: range, int
+    // ppc-lint: allow(float-eq): fixture — sentinel value set by us, bit-exact by construction
+    let sentinel = power_w == -1.0; // suppressed
+    exhausted && odd && fine && ints && range && sentinel
+}

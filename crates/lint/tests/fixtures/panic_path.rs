@@ -1,0 +1,23 @@
+// Fixture: `panic-path` — unwrap/expect/panic! in library code fire;
+// test code, unwrap_or, and justified allows do not.
+fn lib(v: Option<u32>) -> u32 {
+    let a = v.unwrap(); // line 4: violation
+    let b = v.expect("present"); // line 5: violation
+    if a + b > 100 {
+        panic!("too big"); // line 7: violation
+    }
+    let safe = v.unwrap_or(0); // clean: total method
+    // ppc-lint: allow(panic-path): fixture — invariant documented here
+    let c = v.unwrap(); // suppressed
+    a + b + c + safe
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = Some(1);
+        x.unwrap(); // clean: tests may panic
+        assert!(x.is_some());
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: `stdout` — library code must not print; binaries and tests
+// are exempt (the test harness passes a binary context separately).
+fn lib(x: u32) {
+    println!("x = {x}"); // line 4: violation
+    eprintln!("oops"); // line 5: violation
+    dbg!(x); // line 6: violation
+    // ppc-lint: allow(stdout): fixture — operator-facing one-shot diagnostic
+    println!("allowed once"); // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        println!("tests may print"); // clean
+    }
+}

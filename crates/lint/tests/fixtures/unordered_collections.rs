@@ -1,0 +1,16 @@
+// Fixture: `unordered-collections` — fires on HashMap/HashSet, also in
+// tests; suppressed by a justified allow; BTreeMap is clean.
+use std::collections::HashMap; // line 3: violation
+use std::collections::BTreeMap; // clean
+
+// ppc-lint: allow(unordered-collections): fixture — never iterated, key lookup only
+use std::collections::HashSet; // suppressed
+
+fn lib(m: &HashMap<u32, u32>) -> u32 { // line 9: violation
+    m.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet; // line 15: violation (rule applies in tests)
+}

@@ -1,0 +1,12 @@
+// Fixture: `wall-clock` — fires on Instant::now/SystemTime in
+// deterministic crates; comments and strings never fire.
+use std::time::SystemTime; // line 3: violation
+
+fn lib() {
+    let t = std::time::Instant::now(); // line 6: violation
+    // Instant::now() in a comment is fine.
+    let s = "SystemTime in a string is fine";
+    // ppc-lint: allow(wall-clock): fixture — coarse wall-clock deadline, not simulation state
+    let d = SystemTime::now(); // suppressed
+    let _ = (t, s, d);
+}

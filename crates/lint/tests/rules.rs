@@ -1,0 +1,140 @@
+//! One fixture per rule: each asserts the rule fires at the expected
+//! lines, that a justified `// ppc-lint: allow(<rule>): reason` suppresses
+//! it, and (where relevant) that class/context gating exempts the file.
+//!
+//! Fixtures live under `tests/fixtures/` — outside any `src/` tree — so
+//! the workspace scan never picks them up.
+
+use ppc_lint::{scan_source, FileContext, FileScan, Rule};
+
+/// Context for a library file inside the named crate.
+fn lib_ctx(crate_name: &str) -> FileContext {
+    FileContext {
+        path: format!("crates/{crate_name}/src/fixture.rs"),
+        crate_name: crate_name.to_string(),
+        is_binary: false,
+    }
+}
+
+/// Context for a binary target inside the named crate.
+fn bin_ctx(crate_name: &str) -> FileContext {
+    FileContext {
+        path: format!("crates/{crate_name}/src/main.rs"),
+        crate_name: crate_name.to_string(),
+        is_binary: true,
+    }
+}
+
+/// Lines at which `rule` fired, in order.
+fn lines_for(scan: &FileScan, rule: Rule) -> Vec<usize> {
+    scan.diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn unordered_collections_fires_and_allow_suppresses() {
+    let src = include_str!("fixtures/unordered_collections.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    // Fires on the import, the signature, and inside the test module
+    // (determinism rules apply to test code too); BTreeMap stays clean.
+    assert_eq!(lines_for(&scan, Rule::UnorderedCollections), vec![3, 9, 15]);
+    assert_eq!(scan.diagnostics.len(), 3);
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn wall_clock_fires_and_allow_suppresses() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    // Mentions in comments and string literals never fire.
+    assert_eq!(lines_for(&scan, Rule::WallClock), vec![3, 6]);
+    assert_eq!(scan.diagnostics.len(), 2);
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn wall_clock_exempts_timing_crates() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let scan = scan_source(&lib_ctx("telemetry"), src);
+    // The telemetry crate is the timing boundary — wall-clock reads are
+    // its job, so neither the violations nor the suppression register.
+    assert!(scan.diagnostics.is_empty());
+    assert_eq!(scan.suppressed, 0);
+}
+
+#[test]
+fn ad_hoc_rng_fires_and_allow_suppresses() {
+    let src = include_str!("fixtures/ad_hoc_rng.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    assert_eq!(lines_for(&scan, Rule::AdHocRng), vec![4, 5, 6]);
+    assert_eq!(scan.diagnostics.len(), 3);
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn panic_path_fires_and_allow_suppresses() {
+    let src = include_str!("fixtures/panic_path.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    // `.unwrap_or(0)` is total and stays clean; the `#[cfg(test)]` module
+    // is exempt — tests may panic.
+    assert_eq!(lines_for(&scan, Rule::PanicPath), vec![4, 5, 7]);
+    assert_eq!(scan.diagnostics.len(), 3);
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn stdout_fires_in_libraries_and_allow_suppresses() {
+    let src = include_str!("fixtures/stdout.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    // The `#[cfg(test)]` println stays clean — tests may print.
+    assert_eq!(lines_for(&scan, Rule::Stdout), vec![4, 5, 6]);
+    assert_eq!(scan.diagnostics.len(), 3);
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn stdout_exempts_binaries() {
+    let src = include_str!("fixtures/stdout.rs");
+    let scan = scan_source(&bin_ctx("core"), src);
+    // Binary targets own the terminal: no hits, so the allow directive
+    // has nothing to suppress either.
+    assert!(scan.diagnostics.is_empty());
+    assert_eq!(scan.suppressed, 0);
+}
+
+#[test]
+fn float_eq_fires_in_power_math_and_allow_suppresses() {
+    let src = include_str!("fixtures/float_eq.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    // Ordered comparisons (`<=`), integer equality, and `0..10` ranges
+    // all stay clean.
+    assert_eq!(lines_for(&scan, Rule::FloatEq), vec![4, 5]);
+    assert_eq!(scan.diagnostics.len(), 2);
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn float_eq_scoped_to_power_model_crates() {
+    let src = include_str!("fixtures/float_eq.rs");
+    let scan = scan_source(&lib_ctx("simkit"), src);
+    // simkit is deterministic but holds no power/budget arithmetic, so
+    // the rule does not apply there.
+    assert!(scan.diagnostics.is_empty());
+    assert_eq!(scan.suppressed, 0);
+}
+
+#[test]
+fn bare_allow_fires_on_missing_reason_and_unknown_rule() {
+    let src = include_str!("fixtures/bare_allow.rs");
+    let scan = scan_source(&lib_ctx("core"), src);
+    // Line 4: allow(panic-path) with no reason; line 6: unknown rule id.
+    assert_eq!(lines_for(&scan, Rule::BareAllow), vec![4, 6]);
+    assert_eq!(scan.diagnostics.len(), 2);
+    // The bare allow is still honored so CI reports only the bare-allow
+    // finding, not the underlying unwrap as well.
+    assert_eq!(scan.suppressed, 1);
+    assert!(scan.diagnostics[1].message.contains("no-such-rule"));
+}

@@ -62,7 +62,7 @@ pub fn bootstrap_mean_ci(
         }
         means.push(acc / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     let idx = |q: f64| {
         (((resamples - 1) as f64) * q)
@@ -111,8 +111,8 @@ pub fn summarize_replications(values: &[f64]) -> ReplicationSummary {
     ReplicationSummary {
         mean: stats.mean(),
         std_dev: sample_var.sqrt(),
-        min: stats.min().expect("non-empty"),
-        max: stats.max().expect("non-empty"),
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         n,
     }
 }

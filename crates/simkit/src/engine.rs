@@ -152,7 +152,11 @@ impl<E> Engine<E> {
                     budget: self.event_budget,
                 });
             }
-            let (at, event) = self.queue.pop().expect("peeked event must pop");
+            // The peek above guarantees a queued event; an empty pop would
+            // be a queue bug — stop cleanly rather than panic mid-run.
+            let Some((at, event)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(at >= self.now, "event queue returned an out-of-order event");
             self.now = at;
             processed += 1;

@@ -162,6 +162,58 @@ impl Journal {
         let skip = self.events.len().saturating_sub(n);
         self.events.iter().skip(skip).collect()
     }
+
+    /// Order-sensitive FNV-1a hash over every retained event (time,
+    /// severity, category, message) plus the drop count.
+    ///
+    /// Two runs of the same seeded experiment must produce the same
+    /// fingerprint whatever the worker-pool width — CI's dynamic
+    /// determinism gate and the tier-1 double-run test compare exactly
+    /// this value, so any nondeterminism that reaches a journaled event
+    /// (job lifecycle, state flips, commands, faults) is caught.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.dropped);
+        for e in &self.events {
+            h.write_u64(e.at.as_millis());
+            h.write_u8(e.severity as u8);
+            h.write_bytes(e.category.as_bytes());
+            h.write_bytes(e.message.as_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a (64-bit) — no external hashing deps, stable across
+/// platforms and processes (unlike `DefaultHasher`, which is randomly
+/// keyed per process).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+        // Length terminator so ("ab","c") and ("a","bc") differ.
+        self.write_u64(bytes.len() as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -255,5 +307,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         Journal::new(0);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_order_sensitive() {
+        let fill = |order: &[(&'static str, &str)]| {
+            let mut j = journal(8);
+            for (i, (cat, msg)) in order.iter().enumerate() {
+                j.record(SimTime::from_secs(i as u64), Severity::Info, cat, *msg);
+            }
+            j.fingerprint()
+        };
+        let a = fill(&[("job", "j0"), ("state", "red")]);
+        let b = fill(&[("job", "j0"), ("state", "red")]);
+        assert_eq!(a, b, "same events, same fingerprint");
+        let swapped = fill(&[("state", "red"), ("job", "j0")]);
+        assert_ne!(a, swapped, "order must matter");
+        let edited = fill(&[("job", "j0"), ("state", "rex")]);
+        assert_ne!(a, edited, "content must matter");
+    }
+
+    #[test]
+    fn fingerprint_counts_dropped_events() {
+        let mut a = journal(2);
+        let mut b = journal(2);
+        for i in 0..4u64 {
+            a.record(SimTime::from_secs(i), Severity::Info, "x", format!("e{i}"));
+        }
+        // b holds the same two retained events but dropped nothing.
+        for i in 2..4u64 {
+            b.record(SimTime::from_secs(i), Severity::Info, "x", format!("e{i}"));
+        }
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_field_boundaries_are_unambiguous() {
+        let mut a = journal(4);
+        a.record(SimTime::ZERO, Severity::Info, "jo", "bx");
+        let mut b = journal(4);
+        b.record(SimTime::ZERO, Severity::Info, "job", "x");
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

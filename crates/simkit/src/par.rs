@@ -201,6 +201,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         // SAFETY: the Acquire load above observed this generation's
         // Release publication, so the mailbox write is visible and no
         // writer touches it until we decrement `remaining`.
+        // ppc-lint: allow(panic-path): the generation handshake publishes the task before the bump (see SAFETY)
         let task = unsafe { (*shared.task.0.get()).expect("generation implies task").0 };
         // SAFETY: `task` is valid for this whole generation (see TaskRef).
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*task)(index) }));
@@ -249,6 +250,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("ppc-par-{index}"))
                     .spawn(move || worker_loop(shared, index))
+                    // ppc-lint: allow(panic-path): OS thread-spawn failure at pool construction is unrecoverable
                     .expect("spawn pool worker")
             })
             .collect();

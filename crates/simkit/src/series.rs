@@ -153,7 +153,8 @@ impl TimeSeries {
         if self.times.len() < 2 {
             return 0.0;
         }
-        let total = self.span().expect("len >= 2").as_secs_f64();
+        let Some(span) = self.span() else { return 0.0 };
+        let total = span.as_secs_f64();
         if total == 0.0 {
             return 0.0;
         }

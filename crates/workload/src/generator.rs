@@ -112,7 +112,7 @@ impl JobGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn generator() -> JobGenerator {
         JobGenerator::new(RngFactory::new(7), Class::D, 256)
@@ -129,8 +129,8 @@ mod tests {
     #[test]
     fn draws_cover_apps_and_nprocs() {
         let mut g = generator();
-        let mut apps = HashSet::new();
-        let mut procs = HashSet::new();
+        let mut apps = BTreeSet::new();
+        let mut procs = BTreeSet::new();
         for _ in 0..300 {
             let j = g.next_job(SimTime::ZERO);
             apps.insert(j.app());

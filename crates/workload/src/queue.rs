@@ -63,6 +63,7 @@ impl JobQueue {
     /// # Panics
     /// Panics if `idx` is out of range.
     pub fn remove(&mut self, idx: usize) -> Job {
+        // ppc-lint: allow(panic-path): documented "# Panics" contract of this indexing-style API
         self.jobs.remove(idx).expect("index in range")
     }
 }

@@ -58,7 +58,7 @@ impl Scheduler {
         let free: BTreeSet<NodeId> = nodes.into_iter().collect();
         assert!(!free.is_empty(), "scheduler needs at least one node");
         let total_nodes = free.len();
-        let max_id = free.iter().next_back().expect("non-empty").0 as usize;
+        let max_id = free.iter().next_back().map_or(0, |n| n.0 as usize);
         Scheduler {
             node_owner: vec![None; max_id + 1],
             free,
@@ -130,7 +130,9 @@ impl Scheduler {
                 if needed > self.free.len() {
                     break;
                 }
-                let job = queue.pop().expect("peeked job pops");
+                // The peek above guarantees a queued job; an empty pop
+                // would be a queue bug — stop placing rather than panic.
+                let Some(job) = queue.pop() else { break };
                 started.push(self.place(job, now));
                 progressed = true;
             }

@@ -48,7 +48,9 @@ impl JobRecord {
     /// Panics if the job is not finished.
     pub fn from_job(job: &Job) -> Self {
         assert_eq!(job.status(), JobStatus::Finished, "job must be finished");
+        // ppc-lint: allow(panic-path): asserted Finished above; finished jobs carry a start stamp
         let started_at = job.started_at().expect("finished job has started");
+        // ppc-lint: allow(panic-path): asserted Finished above; finished jobs carry a finish stamp
         let finished_at = job.finished_at().expect("finished job has finish time");
         JobRecord {
             id: job.id(),

@@ -6,5 +6,14 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release
 cargo test -q
-cargo clippy -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Static pass: determinism/safety lint over every crate (see DESIGN §11).
+# Writes LINT_report.json; exits non-zero on any unsuppressed violation.
+cargo run --release -p ppc-lint -- --workspace --json
+
+# Dynamic pass: same seed must yield bit-identical journals and traces
+# across worker-pool widths — the replay-determinism contract.
+cargo run --release -p ppc-bench --bin determinism_gate
+
 cargo run --release -p ppc-bench --bin ext_faults -- --smoke
