@@ -11,6 +11,10 @@
 //! * the journal fingerprint (job lifecycle, state flips, commands,
 //!   faults — an order-sensitive FNV-1a over every recorded event);
 //! * an FNV-1a over the raw bits of the true-power trace;
+//! * the control-cycle span-tree fingerprint and the metrics-registry
+//!   fingerprint (the observability layer must replay bit-identically
+//!   too — a nondeterministic attribute or counter is a trace you
+//!   cannot diff);
 //! * finished-job and applied-command counts.
 //!
 //! Any divergence prints the offending run and exits non-zero, failing
@@ -31,6 +35,8 @@ const RUN_SECS: u64 = 400;
 struct RunDigest {
     journal: u64,
     trace: u64,
+    spans: u64,
+    metrics: u64,
     finished: usize,
     commands: u64,
 }
@@ -79,6 +85,8 @@ fn run_once(workers: usize) -> Result<RunDigest, String> {
     Ok(RunDigest {
         journal: sim.journal().fingerprint(),
         trace: fnv1a_u64s(sim.true_power().values().iter().map(|v| v.to_bits())),
+        spans: sim.span_fingerprint(),
+        metrics: sim.metrics_fingerprint(),
         finished: sim.finished().len(),
         commands: sim.commands_applied(),
     })
@@ -99,9 +107,19 @@ fn main() -> ExitCode {
             }
         };
         println!(
-            "determinism gate: {label:14} journal={:016x} trace={:016x} finished={} commands={}",
-            digest.journal, digest.trace, digest.finished, digest.commands
+            "determinism gate: {label:14} journal={:016x} trace={:016x} spans={:016x} \
+             metrics={:016x} finished={} commands={}",
+            digest.journal,
+            digest.trace,
+            digest.spans,
+            digest.metrics,
+            digest.finished,
+            digest.commands
         );
+        if digest.spans == ppc_obs::SpanRecorder::new(1).fingerprint() {
+            eprintln!("determinism gate: span fingerprint is the empty-recorder hash — no spans recorded, gate would be vacuous");
+            failed = true;
+        }
         match &baseline {
             None => {
                 if digest.commands == 0 {
@@ -121,7 +139,10 @@ fn main() -> ExitCode {
         eprintln!("determinism gate: FAILED — seeded replay is not bit-identical");
         ExitCode::FAILURE
     } else {
-        println!("determinism gate: ok — journal hashes identical across runs and pool widths");
+        println!(
+            "determinism gate: ok — journal, trace, span and metrics hashes identical across \
+             runs and pool widths"
+        );
         ExitCode::SUCCESS
     }
 }

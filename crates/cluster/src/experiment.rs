@@ -19,6 +19,7 @@ use ppc_core::manager::ManagerStats;
 use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager, PowerState};
 use ppc_faults::FaultInjection;
 use ppc_metrics::{AvailabilityReport, RunMetrics};
+use ppc_obs::ObsReport;
 use ppc_simkit::{SimDuration, TimeSeries};
 use ppc_telemetry::cost::ManagementCostModel;
 use ppc_workload::JobRecord;
@@ -133,10 +134,24 @@ pub struct ExperimentOutcome {
     /// covers the whole run; the Red/conservative cycle fractions are
     /// rebased on the measurement window when manager stats exist.
     pub availability: Option<AvailabilityReport>,
+    /// Journal events evicted by the bounded ring over the run (0 means
+    /// the audit trail is complete).
+    pub journal_dropped: u64,
+    /// Observability summary: span/metrics fingerprints, instrument
+    /// values, flight-recorder snapshots.
+    pub obs: ObsReport,
 }
 
 /// Runs one experiment (training + measurement) and computes its metrics.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
+    run_experiment_full(config).0
+}
+
+/// [`run_experiment`], additionally handing back the finished simulation
+/// for callers that need post-run access to its state — the trace
+/// exporters read the raw span recorder and metrics registry, and the
+/// self-profiler report lives only on the sim.
+pub fn run_experiment_full(config: &ExperimentConfig) -> (ExperimentOutcome, ClusterSim) {
     let spec = &config.spec;
     spec.validate();
     let provision_w = spec.provision_w();
@@ -231,7 +246,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
         }
     }
 
-    ExperimentOutcome {
+    let outcome = ExperimentOutcome {
         label,
         metrics,
         trace,
@@ -245,7 +260,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
         modeled_mgmt_util: ManagementCostModel::tianhe_1a().utilization(candidate_count),
         candidate_count,
         availability,
-    }
+        journal_dropped: sim.journal().dropped(),
+        obs: sim.obs().report(),
+    };
+    (outcome, sim)
 }
 
 /// Runs the same experiment under several seeds and summarizes the

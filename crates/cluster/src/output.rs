@@ -39,14 +39,42 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Renders rows as CSV (no quoting needed for our numeric tables).
+/// Quotes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes, with
+/// embedded quotes doubled. Clean fields pass through unchanged.
+fn csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut quoted = String::with_capacity(field.len() + 2);
+        quoted.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                quoted.push('"');
+            }
+            quoted.push(ch);
+        }
+        quoted.push('"');
+        quoted
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows as RFC-4180 CSV (fields with commas, quotes or line
+/// breaks are quoted; numeric tables pass through unchanged).
 pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&headers.join(","));
-    out.push('\n');
-    for row in rows {
-        out.push_str(&row.join(","));
+    let render_row = |out: &mut String, cells: &mut dyn Iterator<Item = &str>| {
+        for (i, cell) in cells.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&csv_field(cell));
+        }
         out.push('\n');
+    };
+    render_row(&mut out, &mut headers.iter().copied());
+    for row in rows {
+        render_row(&mut out, &mut row.iter().map(String::as_str));
     }
     out
 }
@@ -105,6 +133,29 @@ mod tests {
     fn csv_shape() {
         let csv = render_csv(&["x", "y"], &[vec!["1".to_string(), "2".to_string()]]);
         assert_eq!(csv, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_commas_quotes_and_newlines() {
+        let csv = render_csv(
+            &["label", "note"],
+            &[
+                vec!["mpc/64".to_string(), "red, then green".to_string()],
+                vec!["say \"hi\"".to_string(), "two\nlines".to_string()],
+                vec!["clean".to_string(), "also clean".to_string()],
+            ],
+        );
+        let expected = "label,note\n\
+                        mpc/64,\"red, then green\"\n\
+                        \"say \"\"hi\"\"\",\"two\nlines\"\n\
+                        clean,also clean\n";
+        assert_eq!(csv, expected);
+    }
+
+    #[test]
+    fn csv_quotes_headers_too() {
+        let csv = render_csv(&["a,b", "c"], &[]);
+        assert_eq!(csv, "\"a,b\",c\n");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use ppc_faults::{FaultEngine, FaultInjection, FaultTransition};
 use ppc_metrics::{AvailabilityInputs, AvailabilityReport};
 use ppc_node::node::Node;
 use ppc_node::{Level, NodeId, OperatingState, PowerModel};
+use ppc_obs::{AttrValue, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, ObsHub};
 use ppc_simkit::journal::{Journal, Severity};
 use ppc_simkit::par::WorkerPool;
 use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries};
@@ -68,6 +69,49 @@ struct FaultState {
     retries: Vec<PendingRetry>,
     /// Scratch: candidates with fresh telemetry this cycle.
     fresh: BTreeSet<NodeId>,
+}
+
+/// Handles to the deterministic instruments the cluster layer updates
+/// (registered once in [`ClusterSim::new`], bumped on the hot path via
+/// index access — no name lookups per tick).
+struct ObsInstruments {
+    /// Control cycles executed (manager or budget controller).
+    cycles: CounterHandle,
+    /// Throttling commands applied to nodes (includes retried sends).
+    commands_applied: CounterHandle,
+    /// Commands whose send failed (dead node or frozen actuator).
+    commands_failed: CounterHandle,
+    /// Retry sends attempted against previously frozen actuators.
+    actuation_retries: CounterHandle,
+    /// Green/Yellow → Red transitions.
+    red_entries: CounterHandle,
+    /// Control cycles spent in the Red state (dwell time in cycles).
+    red_dwell_cycles: CounterHandle,
+    /// Per-cycle selection size |A_target| (commands issued).
+    selection_size: HistogramHandle,
+    /// Last metered facility power, W.
+    metered_power_w: GaugeHandle,
+    /// Journal events evicted by the bounded ring so far.
+    journal_dropped: GaugeHandle,
+}
+
+impl ObsInstruments {
+    /// Bucket bounds for the selection-size histogram (commands/cycle).
+    const SELECTION_BOUNDS: [f64; 8] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+    fn register(m: &mut MetricsRegistry) -> Self {
+        ObsInstruments {
+            cycles: m.counter("control_cycles_total"),
+            commands_applied: m.counter("commands_applied_total"),
+            commands_failed: m.counter("commands_failed_total"),
+            actuation_retries: m.counter("actuation_retries_total"),
+            red_entries: m.counter("red_entries_total"),
+            red_dwell_cycles: m.counter("red_dwell_cycles_total"),
+            selection_size: m.histogram("selection_size", &Self::SELECTION_BOUNDS),
+            metered_power_w: m.gauge("metered_power_w"),
+            journal_dropped: m.gauge("journal_events_dropped"),
+        }
+    }
 }
 
 /// Level lookup over the node array.
@@ -124,6 +168,10 @@ pub struct ClusterSim {
     pool: Option<Arc<WorkerPool>>,
     /// Fault injection (`None` = a perfectly healthy machine).
     faults: Option<FaultState>,
+    /// Observability: span tree, instruments, flight recorder, profiler.
+    obs: ObsHub,
+    /// Pre-registered instrument handles into `obs.metrics`.
+    obs_i: ObsInstruments,
     /// Per-tick scratch buffers, reused across ticks so the steady-state
     /// step path performs no per-tick allocation.
     scratch_loads: Vec<OperatingState>,
@@ -184,6 +232,8 @@ impl ClusterSim {
             .map(|id| ProfilingAgent::new(spec.agent_noise, factory.stream("agent", id.0 as u64)))
             .collect();
         let meter = SystemPowerMeter::new(spec.meter_noise, factory.stream("meter", 0));
+        let mut obs = ObsHub::new();
+        let obs_i = ObsInstruments::register(&mut obs.metrics);
         ClusterSim {
             clock: TickClock::new(spec.tick),
             models,
@@ -210,6 +260,8 @@ impl ClusterSim {
             failure_integral: 0.0,
             pool: None,
             faults: None,
+            obs,
+            obs_i,
             scratch_loads: Vec::new(),
             scratch_speeds: Vec::new(),
             scratch_samples: Vec::new(),
@@ -397,6 +449,30 @@ impl ClusterSim {
         &self.journal
     }
 
+    /// The observability hub: span tree, metrics registry, flight
+    /// recorder, and self-profiler.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Mutable hub access (exporters drain the profiler; tests poke
+    /// instruments).
+    pub fn obs_mut(&mut self) -> &mut ObsHub {
+        &mut self.obs
+    }
+
+    /// FNV-1a fingerprint of every closed control-cycle span, for the
+    /// determinism gate (bit-identical across worker-pool widths).
+    pub fn span_fingerprint(&self) -> u64 {
+        self.obs.spans.fingerprint()
+    }
+
+    /// FNV-1a fingerprint of the metrics registry, for the determinism
+    /// gate.
+    pub fn metrics_fingerprint(&self) -> u64 {
+        self.obs.metrics.fingerprint()
+    }
+
     /// Control-cycle state classifications (time, state).
     pub fn state_log(&self) -> &[(SimTime, PowerState)] {
         &self.state_log
@@ -428,7 +504,7 @@ impl ClusterSim {
         };
         self.scratch_transitions.clear();
         self.scratch_transitions
-            .extend_from_slice(fs.engine.advance(now));
+            .extend_from_slice(fs.engine.advance_traced(now, &mut self.obs.spans));
         for i in 0..self.scratch_transitions.len() {
             match self.scratch_transitions[i] {
                 FaultTransition::NodeDown(n) => {
@@ -479,6 +555,12 @@ impl ClusterSim {
                     self.journal.record_with(now, Severity::Warn, "fault", || {
                         format!("node {} down", n.0)
                     });
+                    self.obs.flight.trigger(
+                        now,
+                        format!("fault: node {} down", n.0),
+                        &self.obs.spans,
+                        &self.obs.metrics,
+                    );
                 }
                 FaultTransition::NodeUp(n) => {
                     self.scheduler.set_node_up(n);
@@ -498,6 +580,12 @@ impl ClusterSim {
                     self.journal.record_with(now, Severity::Warn, "fault", || {
                         format!("node {} DVFS actuator frozen", n.0)
                     });
+                    self.obs.flight.trigger(
+                        now,
+                        format!("fault: node {} actuator frozen", n.0),
+                        &self.obs.spans,
+                        &self.obs.metrics,
+                    );
                 }
                 FaultTransition::HangEnd(n) => {
                     self.journal.record_with(now, Severity::Info, "fault", || {
@@ -508,6 +596,12 @@ impl ClusterSim {
                     self.journal.record_with(now, Severity::Warn, "fault", || {
                         format!("node {} telemetry dark", n.0)
                     });
+                    self.obs.flight.trigger(
+                        now,
+                        format!("fault: node {} telemetry dark", n.0),
+                        &self.obs.spans,
+                        &self.obs.metrics,
+                    );
                 }
                 FaultTransition::SilenceEnd(n) => {
                     self.journal.record_with(now, Severity::Info, "fault", || {
@@ -728,6 +822,9 @@ impl ClusterSim {
     fn budget_cycle(&mut self, now: SimTime, metered_w: f64) {
         // ppc-lint: allow(panic-path): step() dispatches here only when a budget controller is attached
         let controller = self.budget_controller.as_mut().expect("checked by caller");
+        self.obs.spans.open("cycle", now);
+        let sample_t = self.obs.profile.start();
+        self.obs.spans.open("sample", now);
         self.scratch_views.clear();
         for node in &self.nodes {
             if node.is_privileged() {
@@ -752,6 +849,13 @@ impl ClusterSim {
                 power_w: sample.power_w,
             });
         }
+        self.obs
+            .spans
+            .attr("samples", AttrValue::U64(self.scratch_views.len() as u64));
+        self.obs.spans.close(now);
+        self.obs.profile.stop("sample", sample_t);
+        let control_t = self.obs.profile.start();
+        self.obs.spans.open("control", now);
         let models = &self.models;
         let views = &self.scratch_views;
         let (state, commands) = self.cost_meter.measure(|| {
@@ -759,7 +863,14 @@ impl ClusterSim {
                 Arc::clone(&models[n.0 as usize])
             })
         });
+        self.obs.spans.attr("state", AttrValue::Str(state.name()));
+        self.obs
+            .spans
+            .attr("commands", AttrValue::U64(commands.len() as u64));
+        self.obs.spans.close(now);
+        self.obs.profile.stop("control", control_t);
         self.state_log.push((now, state));
+        let red_entered = state == PowerState::Red && self.last_state != Some(PowerState::Red);
         if self.last_state != Some(state) {
             self.journal.record_with(
                 now,
@@ -778,9 +889,37 @@ impl ClusterSim {
             );
             self.last_state = Some(state);
         }
+        let actuate_t = self.obs.profile.start();
+        self.obs.spans.open("actuate", now);
+        self.obs
+            .spans
+            .attr("commands", AttrValue::U64(commands.len() as u64));
         self.process_retries(now);
         for cmd in &commands {
             self.apply_command(cmd.node, cmd.level, now);
+        }
+        self.obs.spans.close(now);
+        self.obs.profile.stop("actuate", actuate_t);
+        self.obs.metrics.inc(self.obs_i.cycles, 1);
+        self.obs.metrics.set(self.obs_i.metered_power_w, metered_w);
+        self.obs
+            .metrics
+            .observe(self.obs_i.selection_size, commands.len() as f64);
+        if state == PowerState::Red {
+            self.obs.metrics.inc(self.obs_i.red_dwell_cycles, 1);
+        }
+        if red_entered {
+            self.obs.metrics.inc(self.obs_i.red_entries, 1);
+        }
+        self.obs
+            .metrics
+            .set(self.obs_i.journal_dropped, self.journal.dropped() as f64);
+        self.obs.spans.attr("state", AttrValue::Str(state.name()));
+        self.obs.spans.close(now);
+        if red_entered {
+            self.obs
+                .flight
+                .trigger(now, "red-entry", &self.obs.spans, &self.obs.metrics);
         }
     }
 
@@ -789,11 +928,14 @@ impl ClusterSim {
     fn control_cycle(&mut self, now: SimTime, metered_w: f64) {
         // ppc-lint: allow(panic-path): step() dispatches here only when a manager is attached
         let manager = self.manager.as_mut().expect("checked by caller");
+        self.obs.spans.open("cycle", now);
 
         // Agents run on candidate nodes only; monitoring everything would
         // be the unscalable design Figure 5 warns about. The sample buffer
         // is scratch, reused across cycles. Dead and silenced nodes
         // deliver nothing — their collector entries go stale.
+        let sample_t = self.obs.profile.start();
+        self.obs.spans.open("sample", now);
         self.scratch_samples.clear();
         for &id in manager.sets().candidates() {
             if let Some(fs) = self.faults.as_ref() {
@@ -806,6 +948,11 @@ impl ClusterSim {
                 self.scratch_samples.push(sample);
             }
         }
+        self.obs
+            .spans
+            .attr("samples", AttrValue::U64(self.scratch_samples.len() as u64));
+        self.obs.spans.close(now);
+        self.obs.profile.stop("sample", sample_t);
 
         // Everything the management node computes per cycle is measured:
         // ingestion, observation building, classification, selection. Job
@@ -813,14 +960,16 @@ impl ClusterSim {
         // Under fault injection the staleness filter runs first: only
         // candidates with fresh samples are selectable, and the fresh
         // fraction feeds the manager's coverage-floor fallback.
+        let control_t = self.obs.profile.start();
         let models = &self.models;
         let collector = &mut self.collector;
         let nodes = &self.nodes;
         let scheduler = &self.scheduler;
         let samples = &self.scratch_samples;
         let faults = self.faults.as_mut();
+        let spans = &mut self.obs.spans;
         let outcome = self.cost_meter.measure(|| {
-            collector.ingest_batch(samples);
+            collector.ingest_batch_traced(samples, now, spans);
             let model_of = |n: NodeId| Arc::clone(&models[n.0 as usize]);
             let jobs = || scheduler.running_jobs().iter().map(|j| (j.id(), j.nodes()));
             match faults {
@@ -837,22 +986,41 @@ impl ClusterSim {
                     } else {
                         fs.fresh.len() as f64 / candidates.len() as f64
                     };
+                    spans.open("observe", now);
                     let observations = observe_jobs(collector, jobs(), &fs.fresh, &model_of);
-                    manager.control_cycle_with_coverage(
+                    spans.attr("jobs", AttrValue::U64(observations.len() as u64));
+                    spans.attr("coverage", AttrValue::F64(coverage));
+                    spans.close(now);
+                    manager.control_cycle_traced(
                         metered_w,
                         observations,
                         &NodesView(nodes),
                         coverage,
+                        now,
+                        spans,
                     )
                 }
                 None => {
+                    spans.open("observe", now);
                     let observations =
                         observe_jobs(collector, jobs(), manager.sets().candidates(), &model_of);
-                    manager.control_cycle(metered_w, observations, &NodesView(nodes))
+                    spans.attr("jobs", AttrValue::U64(observations.len() as u64));
+                    spans.close(now);
+                    manager.control_cycle_traced(
+                        metered_w,
+                        observations,
+                        &NodesView(nodes),
+                        1.0,
+                        now,
+                        spans,
+                    )
                 }
             }
         });
+        self.obs.profile.stop("control", control_t);
         self.state_log.push((now, outcome.state));
+        let red_entered =
+            outcome.state == PowerState::Red && self.last_state != Some(PowerState::Red);
         if self.last_state != Some(outcome.state) {
             let severity = match outcome.state {
                 PowerState::Red => Severity::Warn,
@@ -886,12 +1054,50 @@ impl ClusterSim {
             .expect("checked by caller")
             .learner()
             .in_training();
-        if in_training {
-            return;
+        if !in_training {
+            let actuate_t = self.obs.profile.start();
+            self.obs.spans.open("actuate", now);
+            self.obs
+                .spans
+                .attr("commands", AttrValue::U64(outcome.commands.len() as u64));
+            self.process_retries(now);
+            for cmd in &outcome.commands {
+                self.apply_command(cmd.node, cmd.level, now);
+            }
+            if let Some(fs) = self.faults.as_ref() {
+                self.obs
+                    .spans
+                    .attr("retries_pending", AttrValue::U64(fs.retries.len() as u64));
+            }
+            self.obs.spans.close(now);
+            self.obs.profile.stop("actuate", actuate_t);
         }
-        self.process_retries(now);
-        for cmd in &outcome.commands {
-            self.apply_command(cmd.node, cmd.level, now);
+
+        // Per-cycle instruments, then the root span, then (possibly) the
+        // flight recorder — in that order so a red-entry snapshot captures
+        // this very cycle's spans and up-to-date registry.
+        self.obs.metrics.inc(self.obs_i.cycles, 1);
+        self.obs.metrics.set(self.obs_i.metered_power_w, metered_w);
+        self.obs
+            .metrics
+            .observe(self.obs_i.selection_size, outcome.commands.len() as f64);
+        if outcome.state == PowerState::Red {
+            self.obs.metrics.inc(self.obs_i.red_dwell_cycles, 1);
+        }
+        if red_entered {
+            self.obs.metrics.inc(self.obs_i.red_entries, 1);
+        }
+        self.obs
+            .metrics
+            .set(self.obs_i.journal_dropped, self.journal.dropped() as f64);
+        self.obs
+            .spans
+            .attr("state", AttrValue::Str(outcome.state.name()));
+        self.obs.spans.close(now);
+        if red_entered {
+            self.obs
+                .flight
+                .trigger(now, "red-entry", &self.obs.spans, &self.obs.metrics);
         }
     }
 
@@ -913,12 +1119,14 @@ impl ClusterSim {
                 // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
                 .expect("commands are validated against the ladder");
             self.commands_applied += 1;
+            self.obs.metrics.inc(self.obs_i.commands_applied, 1);
             return;
         };
         // A newer command supersedes any queued retry for the node.
         fs.retries.retain(|r| r.node != node);
         if fs.engine.is_down(node) {
             fs.commands_failed += 1;
+            self.obs.metrics.inc(self.obs_i.commands_failed, 1);
             self.journal.record_with(now, Severity::Warn, "fault", || {
                 format!("command to dead node {} dropped", node.0)
             });
@@ -926,6 +1134,7 @@ impl ClusterSim {
         }
         if fs.engine.is_hung(node) {
             fs.commands_failed += 1;
+            self.obs.metrics.inc(self.obs_i.commands_failed, 1);
             fs.retries.push(PendingRetry {
                 node,
                 level,
@@ -945,6 +1154,7 @@ impl ClusterSim {
             // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
             .expect("commands are validated against the ladder");
         self.commands_applied += 1;
+        self.obs.metrics.inc(self.obs_i.commands_applied, 1);
     }
 
     /// Walks the retry queue: applies commands whose actuator thawed,
@@ -979,6 +1189,7 @@ impl ClusterSim {
                     fs.retries[i].attempts += 1;
                     // 1 << attempts: cooldowns of 2 then 4 cycles.
                     fs.retries[i].cooldown = 1 << r.attempts;
+                    self.obs.metrics.inc(self.obs_i.actuation_retries, 1);
                     i += 1;
                 }
                 continue;
@@ -988,6 +1199,8 @@ impl ClusterSim {
                 // ppc-lint: allow(panic-path): retries re-validate liveness above; levels come from the node's own ladder
                 .expect("commands are validated against the ladder");
             self.commands_applied += 1;
+            self.obs.metrics.inc(self.obs_i.actuation_retries, 1);
+            self.obs.metrics.inc(self.obs_i.commands_applied, 1);
             self.journal.record_with(now, Severity::Info, "fault", || {
                 format!(
                     "retried command applied: node {} -> {:?}",

@@ -23,6 +23,8 @@ use crate::observe::SelectionContext;
 use crate::policy::TargetSelectionPolicy;
 use crate::state::PowerState;
 use ppc_node::{Level, NodeId};
+use ppc_obs::{AttrValue, SpanRecorder};
+use ppc_simkit::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -105,10 +107,35 @@ impl CappingAlgorithm {
         candidates: &BTreeSet<NodeId>,
         view: &dyn LevelView,
     ) -> Vec<NodeCommand> {
+        self.cycle_traced(
+            state,
+            ctx,
+            policy,
+            candidates,
+            view,
+            SimTime::ZERO,
+            &mut SpanRecorder::disabled(),
+        )
+    }
+
+    /// [`CappingAlgorithm::cycle`] with span recording: Yellow wraps the
+    /// policy selection in a `select` span carrying the policy name,
+    /// `|A_target|` and the deficit driving it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle_traced(
+        &mut self,
+        state: PowerState,
+        ctx: &SelectionContext,
+        policy: &mut dyn TargetSelectionPolicy,
+        candidates: &BTreeSet<NodeId>,
+        view: &dyn LevelView,
+        at: SimTime,
+        spans: &mut SpanRecorder,
+    ) -> Vec<NodeCommand> {
         self.degraded.retain(|n| candidates.contains(n));
         match state {
             PowerState::Green => self.green_cycle(view),
-            PowerState::Yellow => self.yellow_cycle(ctx, policy, candidates, view),
+            PowerState::Yellow => self.yellow_cycle(ctx, policy, candidates, view, at, spans),
             PowerState::Red => self.red_cycle(candidates, view),
         }
     }
@@ -189,9 +216,16 @@ impl CappingAlgorithm {
         policy: &mut dyn TargetSelectionPolicy,
         candidates: &BTreeSet<NodeId>,
         view: &dyn LevelView,
+        at: SimTime,
+        spans: &mut SpanRecorder,
     ) -> Vec<NodeCommand> {
         self.time_g = 0;
+        spans.open("select", at);
+        spans.attr("policy", AttrValue::Str(policy.name()));
+        spans.attr("deficit_w", AttrValue::F64(ctx.deficit_w()));
         let targets = policy.select(ctx);
+        spans.attr("a_target", AttrValue::U64(targets.len() as u64));
+        spans.close(at);
         let mut commands = Vec::with_capacity(targets.len());
         let mut seen = BTreeSet::new();
         for node in targets {

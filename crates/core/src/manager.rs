@@ -19,6 +19,8 @@ use crate::policy::TargetSelectionPolicy;
 use crate::sets::NodeSets;
 use crate::state::{PowerState, Thresholds};
 use crate::thresholds::ThresholdLearner;
+use ppc_obs::{AttrValue, SpanRecorder};
+use ppc_simkit::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// What one control cycle decided.
@@ -185,9 +187,43 @@ impl PowerManager {
         view: &dyn LevelView,
         coverage: f64,
     ) -> CycleOutcome {
+        self.control_cycle_traced(
+            power_w,
+            jobs,
+            view,
+            coverage,
+            SimTime::ZERO,
+            &mut SpanRecorder::disabled(),
+        )
+    }
+
+    /// [`PowerManager::control_cycle_with_coverage`] with span recording:
+    /// a `classify` span carries the metered power, classified state and
+    /// deficit; a `capping` span wraps Algorithm 1 (the Yellow selection
+    /// opens a nested `select` span) and carries the command count.
+    pub fn control_cycle_traced(
+        &mut self,
+        power_w: f64,
+        jobs: Vec<JobObservation>,
+        view: &dyn LevelView,
+        coverage: f64,
+        at: SimTime,
+        spans: &mut SpanRecorder,
+    ) -> CycleOutcome {
+        spans.open("classify", at);
         let thresholds_adjusted = self.learner.observe_cycle(power_w);
         let thresholds = self.learner.thresholds();
         let state = thresholds.classify(power_w);
+        spans.attr("state", AttrValue::Str(state.name()));
+        spans.attr("power_w", AttrValue::F64(power_w));
+        spans.attr(
+            "deficit_w",
+            AttrValue::F64((power_w - thresholds.p_low_w()).max(0.0)),
+        );
+        if thresholds_adjusted {
+            spans.attr("thresholds_adjusted", AttrValue::U64(1));
+        }
+        spans.close(at);
 
         let candidates = self.sets.candidates();
         let ctx = SelectionContext {
@@ -196,26 +232,43 @@ impl PowerManager {
             p_low_w: thresholds.p_low_w(),
         };
         let conservative = coverage < self.config.coverage_floor;
+        spans.open("capping", at);
+        spans.attr("state", AttrValue::Str(state.name()));
         let commands = if candidates.is_empty() {
             // Size-0 candidate set: monitoring-only deployment, no capping.
             Vec::new()
         } else if conservative {
             self.stats.conservative_cycles += 1;
+            spans.attr("conservative", AttrValue::U64(1));
             match state {
                 // Promoting on stale estimates risks overshooting the
                 // provision; recovery can wait for telemetry.
                 PowerState::Green => Vec::new(),
                 PowerState::Yellow => self.capping.conservative_yellow(&ctx, candidates, view),
                 // Red is telemetry-free: flatten everything.
-                PowerState::Red => {
-                    self.capping
-                        .cycle(state, &ctx, self.policy.as_mut(), candidates, view)
-                }
+                PowerState::Red => self.capping.cycle_traced(
+                    state,
+                    &ctx,
+                    self.policy.as_mut(),
+                    candidates,
+                    view,
+                    at,
+                    spans,
+                ),
             }
         } else {
-            self.capping
-                .cycle(state, &ctx, self.policy.as_mut(), candidates, view)
+            self.capping.cycle_traced(
+                state,
+                &ctx,
+                self.policy.as_mut(),
+                candidates,
+                view,
+                at,
+                spans,
+            )
         };
+        spans.attr("commands", AttrValue::U64(commands.len() as u64));
+        spans.close(at);
 
         self.stats.cycles += 1;
         match state {

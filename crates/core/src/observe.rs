@@ -225,11 +225,72 @@ mod tests {
     }
 
     #[test]
+    fn rate_rejects_nonpositive_history() {
+        // A non-positive previous power would make the relative rate
+        // meaningless (division by ≤ 0): both zero and negative history
+        // read as "no data", exactly like a missing sample.
+        let j = jobs_obs(1, vec![nobs(0, 5, 100.0)], Some(-50.0));
+        assert_eq!(j.power_rate(), None);
+        // Falling power with valid history is a negative rate, not None.
+        let j2 = jobs_obs(1, vec![nobs(0, 5, 100.0)], Some(200.0));
+        assert_eq!(j2.power_rate(), Some(-0.5));
+    }
+
+    #[test]
     fn deficit_is_clamped_at_zero() {
         let c = ctx(vec![], 900.0, 1_000.0);
         assert_eq!(c.deficit_w(), 0.0);
         let c2 = ctx(vec![], 1_200.0, 1_000.0);
         assert_eq!(c2.deficit_w(), 200.0);
+    }
+
+    #[test]
+    fn deficit_at_exact_threshold_is_zero() {
+        // P == P_L sits on the Green/Yellow boundary: the required cut is
+        // exactly zero, not an epsilon — selection must see no deficit.
+        let c = ctx(vec![], 1_000.0, 1_000.0);
+        assert_eq!(c.deficit_w(), 0.0);
+        // One watt over the line is a one-watt deficit, bit-exactly.
+        let c2 = ctx(vec![], 1_001.0, 1_000.0);
+        assert_eq!(c2.deficit_w(), 1.0);
+    }
+
+    #[test]
+    fn observe_jobs_partial_history_yields_no_prev_power() {
+        // Two member nodes, only one with a previous sample: P^{t-1}(J)
+        // must be None (a partial sum would understate the job's history
+        // and fabricate a huge apparent rate of increase).
+        let spec = NodeSpec::tianhe_1a();
+        let model = spec.power_model(1.0);
+        let mut collector = Collector::new();
+        let busy = OperatingState {
+            cpu_util: 0.9,
+            mem_used_bytes: 1 << 30,
+            nic_bytes: 1000,
+        };
+        let mk = |node: u32, at: u64| NodeSample {
+            node: NodeId(node),
+            at: SimTime::from_secs(at),
+            state: busy,
+            level: Level::new(9),
+            power_w: model.power_w(Level::new(9), &busy),
+        };
+        collector.ingest(mk(0, 0));
+        collector.ingest(mk(0, 1)); // node 0: two samples → prev known
+        collector.ingest(mk(1, 1)); // node 1: first sample only
+        let candidates: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
+        let members = [NodeId(0), NodeId(1)];
+        let m = model.clone();
+        let obs = observe_jobs(
+            &collector,
+            [(JobId(3), &members[..])],
+            &candidates,
+            &move |_| m.clone(),
+        );
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].nodes.len(), 2);
+        assert_eq!(obs[0].prev_power_w, None);
+        assert_eq!(obs[0].power_rate(), None);
     }
 
     #[test]

@@ -21,13 +21,21 @@ pub enum PowerState {
     Red,
 }
 
-impl fmt::Display for PowerState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl PowerState {
+    /// The state's color name as a static string (used for journal
+    /// messages and span attributes without allocating).
+    pub fn name(self) -> &'static str {
+        match self {
             PowerState::Green => "green",
             PowerState::Yellow => "yellow",
             PowerState::Red => "red",
-        })
+        }
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -100,6 +100,27 @@ impl FaultEngine {
         }
     }
 
+    /// [`FaultEngine::advance`] with span recording: wraps the sweep in a
+    /// `faults` span carrying the number of transitions that fired (the
+    /// span is only opened when something fired, so quiet ticks stay out
+    /// of the trace).
+    pub fn advance_traced(
+        &mut self,
+        now: SimTime,
+        spans: &mut ppc_obs::SpanRecorder,
+    ) -> &[FaultTransition] {
+        let fired = !self.advance(now).is_empty();
+        if fired {
+            spans.open("faults", now);
+            spans.attr(
+                "transitions",
+                ppc_obs::AttrValue::U64(self.transitions.len() as u64),
+            );
+            spans.close(now);
+        }
+        &self.transitions
+    }
+
     /// Advances to `now`, returning the transitions that fired since the
     /// previous call. Recoveries first (node-id order), then new faults
     /// (schedule order). The returned slice is valid until the next call.

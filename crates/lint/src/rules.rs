@@ -20,6 +20,12 @@ pub enum CrateClass {
     /// Experiment drivers and benchmarks: prints results, times runs, and
     /// may panic on malformed CLI input; only determinism rules apply.
     Bench,
+    /// Observability: the span recorder, metrics registry and exporters
+    /// feed determinism fingerprints, so every rule applies — except that
+    /// the dedicated self-profiling module (`crates/obs/src/profile.rs`)
+    /// may read wall clocks; that one-file carve-out lives in the
+    /// scanner.
+    Obs,
     /// Host-side tooling (this linter): panic/print hygiene only.
     Tool,
 }
@@ -31,6 +37,7 @@ impl CrateClass {
         match crate_name {
             "telemetry" => CrateClass::Timing,
             "bench" => CrateClass::Bench,
+            "obs" => CrateClass::Obs,
             "lint" => CrateClass::Tool,
             // core, cluster, simkit, faults, node, workload, metrics, ppc —
             // and any crate added later — get the strict treatment.
@@ -138,7 +145,10 @@ impl Rule {
     pub fn applies_to(self, class: CrateClass) -> bool {
         match self {
             Rule::UnorderedCollections | Rule::AdHocRng => class != CrateClass::Tool,
-            Rule::WallClock => class == CrateClass::Deterministic,
+            // `Obs` output joins the fingerprints, so it is held to the
+            // deterministic standard; its profile.rs carve-out is
+            // file-scoped in scan.rs, not class-wide.
+            Rule::WallClock => matches!(class, CrateClass::Deterministic | CrateClass::Obs),
             Rule::PanicPath => !matches!(class, CrateClass::Bench),
             Rule::Stdout => !matches!(class, CrateClass::Bench),
             // Scoped further to the power-model/budget crates in scan.rs.

@@ -39,6 +39,14 @@ impl FileContext {
     fn class(&self) -> CrateClass {
         CrateClass::of(&self.crate_name)
     }
+
+    /// The one file in the `obs` crate allowed to read wall clocks: the
+    /// self-profiler measures real recording cost the same way
+    /// `telemetry`'s cost meter does, and its output never joins the
+    /// determinism fingerprints.
+    fn is_obs_profile(&self) -> bool {
+        self.path == "crates/obs/src/profile.rs"
+    }
 }
 
 /// One finding.
@@ -295,6 +303,7 @@ pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
                 Rule::FloatEq => (in_float_eq_scope(&ctx.crate_name) && float_eq_hit(&line.code))
                     .then(|| "float-literal equality comparison".to_string()),
                 Rule::Stdout if ctx.is_binary => None,
+                Rule::WallClock if ctx.is_obs_profile() => None,
                 _ => match_rule(rule, &line.code).map(|tok| format!("`{tok}`")),
             };
             let Some(what) = hit else { continue };
@@ -460,6 +469,23 @@ let c = z.unwrap();
         let print = "println!();\n";
         assert!(scan_source(&bin, print).diagnostics.is_empty());
         assert_eq!(scan_source(&det_ctx(), print).diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn obs_class_wall_clock_scoping() {
+        // The obs crate is held to the deterministic wall-clock standard…
+        let span = FileContext::for_path("crates/obs/src/span.rs");
+        let src = "let t = Instant::now();\n";
+        let scan = scan_source(&span, src);
+        assert_eq!(scan.diagnostics.len(), 1);
+        assert_eq!(scan.diagnostics[0].rule, Rule::WallClock);
+        // …except the dedicated self-profiling module.
+        let profile = FileContext::for_path("crates/obs/src/profile.rs");
+        assert!(scan_source(&profile, src).diagnostics.is_empty());
+        // The carve-out is wall-clock only: other rules still fire there.
+        let scan = scan_source(&profile, "let a = x.unwrap();\n");
+        assert_eq!(scan.diagnostics.len(), 1);
+        assert_eq!(scan.diagnostics[0].rule, Rule::PanicPath);
     }
 
     #[test]

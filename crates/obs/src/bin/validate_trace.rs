@@ -1,0 +1,33 @@
+//! CI helper: schema-check a JSONL trace stream produced by `--trace-out`.
+//!
+//! Usage: `validate_trace <file.jsonl>`. Exits 0 and prints a one-line
+//! summary on success; exits 1 with the first schema violation otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ppc_obs::validate_jsonl(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: ok ({} meta, {} spans, {} metrics)",
+                summary.meta_lines, summary.span_lines, summary.metric_lines
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Trace and metrics exporters.
+//!
+//! Three formats, all rendered from the deterministic recorder state:
+//!
+//! * **JSONL** — one self-describing JSON object per line (`meta`,
+//!   `span`, `metric`, `flight` records) for streaming ingestion and the
+//!   CI schema check ([`validate_jsonl`]).
+//! * **Chrome `trace_event` JSON** — loadable in Perfetto /
+//!   `chrome://tracing` for a visual per-cycle timeline. Sim time has
+//!   millisecond resolution while many stage spans open and close within
+//!   one tick, so timestamps are synthesized as
+//!   `µs = sim_ms × 1000 + intra-tick sequence`: stages nest visibly and
+//!   order exactly as recorded.
+//! * **Prometheus text** — the classic `# TYPE` + sample lines dump of
+//!   the metrics registry.
+//!
+//! Exporters never mutate recorder state and fingerprints are rendered
+//! as fixed-width hex strings (JSON numbers cannot hold all `u64`s).
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::span::{AttrValue, SpanRecord, SpanRecorder};
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Renders `value` as compact JSON text.
+fn json_text(value: &Value) -> String {
+    // ppc-lint: allow(panic-path): serializing the vendored Value type cannot fail
+    serde_json::to_string(value).expect("value serialization cannot fail")
+}
+
+/// Appends `value` as one JSON line.
+fn push_json_line(out: &mut String, value: &Value) {
+    out.push_str(&json_text(value));
+    out.push('\n');
+}
+
+fn attr_value(v: &AttrValue) -> Value {
+    match *v {
+        AttrValue::U64(x) => serde_json::value_of(&x),
+        AttrValue::I64(x) => serde_json::value_of(&x),
+        AttrValue::F64(x) => serde_json::value_of(&x),
+        AttrValue::Str(s) => Value::String(s.to_string()),
+    }
+}
+
+fn attrs_object(span: &SpanRecord) -> Value {
+    Value::Object(
+        span.attrs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), attr_value(v)))
+            .collect(),
+    )
+}
+
+/// Synthesized microsecond timestamp of a span's open edge.
+fn ts_us(span: &SpanRecord) -> u64 {
+    span.start.as_millis() * 1000 + u64::from(span.start_seq)
+}
+
+/// Synthesized duration in microseconds (≥ 1 so zero-width stage spans
+/// stay visible in trace viewers).
+fn dur_us(span: &SpanRecord) -> u64 {
+    let end = span.end.as_millis() * 1000 + u64::from(span.end_seq);
+    end.saturating_sub(ts_us(span)).max(1)
+}
+
+/// Renders the retained spans as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form). Open the file in Perfetto
+/// (ui.perfetto.dev) or `chrome://tracing`.
+pub fn chrome_trace(spans: &SpanRecorder) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + 1);
+    events.push(Value::Object(vec![
+        ("ph".into(), Value::String("M".into())),
+        ("name".into(), Value::String("process_name".into())),
+        ("pid".into(), serde_json::value_of(&1u64)),
+        (
+            "args".into(),
+            Value::Object(vec![(
+                "name".into(),
+                Value::String("ppc cluster simulation".into()),
+            )]),
+        ),
+    ]));
+    for span in spans.iter() {
+        events.push(Value::Object(vec![
+            ("name".into(), Value::String(span.name.to_string())),
+            ("ph".into(), Value::String("X".into())),
+            ("ts".into(), serde_json::value_of(&ts_us(span))),
+            ("dur".into(), serde_json::value_of(&dur_us(span))),
+            ("pid".into(), serde_json::value_of(&1u64)),
+            ("tid".into(), serde_json::value_of(&1u64)),
+            ("args".into(), attrs_object(span)),
+        ]));
+    }
+    let root = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::String("ms".into())),
+    ]);
+    json_text(&root)
+}
+
+/// Renders recorder + registry state as a JSONL event stream: a `meta`
+/// header line (fingerprints, counts), one `span` line per retained
+/// span, and one `metric` line per instrument. [`validate_jsonl`] checks
+/// exactly this shape.
+pub fn jsonl(spans: &SpanRecorder, metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let meta = Value::Object(vec![
+        ("type".into(), Value::String("meta".into())),
+        (
+            "span_fingerprint".into(),
+            Value::String(format!("{:016x}", spans.fingerprint())),
+        ),
+        (
+            "metrics_fingerprint".into(),
+            Value::String(format!("{:016x}", metrics.fingerprint())),
+        ),
+        ("spans_closed".into(), serde_json::value_of(&spans.closed())),
+        (
+            "spans_dropped".into(),
+            serde_json::value_of(&spans.dropped()),
+        ),
+        (
+            "spans_retained".into(),
+            serde_json::value_of(&(spans.len() as u64)),
+        ),
+    ]);
+    push_json_line(&mut out, &meta);
+    for span in spans.iter() {
+        let line = Value::Object(vec![
+            ("type".into(), Value::String("span".into())),
+            ("id".into(), serde_json::value_of(&span.id.0)),
+            (
+                "parent".into(),
+                span.parent
+                    .map_or(Value::Null, |p| serde_json::value_of(&p.0)),
+            ),
+            ("name".into(), Value::String(span.name.to_string())),
+            (
+                "start_ms".into(),
+                serde_json::value_of(&span.start.as_millis()),
+            ),
+            ("end_ms".into(), serde_json::value_of(&span.end.as_millis())),
+            ("start_seq".into(), serde_json::value_of(&span.start_seq)),
+            ("end_seq".into(), serde_json::value_of(&span.end_seq)),
+            ("attrs".into(), attrs_object(span)),
+        ]);
+        push_json_line(&mut out, &line);
+    }
+    for dump in metrics.dump() {
+        let (kind, value) = match &dump.value {
+            MetricValue::Counter(v) => ("counter", serde_json::value_of(v)),
+            MetricValue::Gauge(v) => ("gauge", serde_json::value_of(v)),
+            MetricValue::Histogram(h) => ("histogram", serde_json::value_of(h)),
+        };
+        let line = Value::Object(vec![
+            ("type".into(), Value::String("metric".into())),
+            ("name".into(), Value::String(dump.name)),
+            ("kind".into(), Value::String(kind.into())),
+            ("value".into(), value),
+        ]);
+        push_json_line(&mut out, &line);
+    }
+    out
+}
+
+/// Renders the metrics registry in the Prometheus text exposition
+/// format (`# TYPE` headers, `_bucket`/`_sum`/`_count` histogram
+/// series with cumulative `le` labels).
+pub fn prometheus(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for dump in metrics.dump() {
+        let name = &dump.name;
+        match &dump.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                cumulative += h.counts.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Summary returned by a successful [`validate_jsonl`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// `meta` header lines seen (must be ≥ 1).
+    pub meta_lines: usize,
+    /// `span` lines seen.
+    pub span_lines: usize,
+    /// `metric` lines seen.
+    pub metric_lines: usize,
+}
+
+fn require<'a>(obj: &'a Value, key: &str, line_no: usize) -> Result<&'a Value, String> {
+    match obj.get(key) {
+        Some(v) if !v.is_null() => Ok(v),
+        _ => Err(format!("line {line_no}: missing required key `{key}`")),
+    }
+}
+
+fn require_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    require(obj, key, line_no)?
+        .as_u64()
+        .ok_or_else(|| format!("line {line_no}: `{key}` must be a non-negative integer"))
+}
+
+fn require_str<'a>(obj: &'a Value, key: &str, line_no: usize) -> Result<&'a str, String> {
+    require(obj, key, line_no)?
+        .as_str()
+        .ok_or_else(|| format!("line {line_no}: `{key}` must be a string"))
+}
+
+/// Schema-checks a JSONL trace stream produced by [`jsonl`]. Returns
+/// line-numbered errors on malformed JSON, unknown record types, missing
+/// keys or inconsistent span intervals. CI runs this over the smoke
+/// experiment's `--trace-out` output.
+pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
+    let mut summary = JsonlSummary {
+        meta_lines: 0,
+        span_lines: 0,
+        metric_lines: 0,
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {line_no}: invalid JSON: {}", e.0))?;
+        match require_str(&value, "type", line_no)? {
+            "meta" => {
+                for key in ["span_fingerprint", "metrics_fingerprint"] {
+                    let fp = require_str(&value, key, line_no)?;
+                    if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(format!("line {line_no}: `{key}` must be 16 hex digits"));
+                    }
+                }
+                require_u64(&value, "spans_closed", line_no)?;
+                require_u64(&value, "spans_dropped", line_no)?;
+                summary.meta_lines += 1;
+            }
+            "span" => {
+                require_u64(&value, "id", line_no)?;
+                let name = require_str(&value, "name", line_no)?;
+                if name.is_empty() {
+                    return Err(format!("line {line_no}: span name must be non-empty"));
+                }
+                let start = require_u64(&value, "start_ms", line_no)?;
+                let end = require_u64(&value, "end_ms", line_no)?;
+                if end < start {
+                    return Err(format!("line {line_no}: span ends before it starts"));
+                }
+                if !matches!(value.get("attrs"), Some(Value::Object(_))) {
+                    return Err(format!("line {line_no}: `attrs` must be an object"));
+                }
+                summary.span_lines += 1;
+            }
+            "metric" => {
+                require_str(&value, "name", line_no)?;
+                let kind = require_str(&value, "kind", line_no)?;
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(format!("line {line_no}: unknown metric kind `{kind}`"));
+                }
+                require(&value, "value", line_no)?;
+                summary.metric_lines += 1;
+            }
+            other => {
+                return Err(format!("line {line_no}: unknown record type `{other}`"));
+            }
+        }
+    }
+    if summary.meta_lines == 0 {
+        return Err("stream has no `meta` header line".to_string());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+    use ppc_simkit::SimTime;
+
+    fn sample() -> (SpanRecorder, MetricsRegistry) {
+        let mut spans = SpanRecorder::new(64);
+        let mut metrics = MetricsRegistry::new();
+        spans.open("cycle", SimTime::from_secs(1));
+        spans.attr("state", AttrValue::Str("yellow"));
+        spans.open("select", SimTime::from_secs(1));
+        spans.attr("targets", AttrValue::U64(2));
+        spans.close(SimTime::from_secs(1));
+        spans.close(SimTime::from_secs(1));
+        let c = metrics.counter("commands_applied");
+        metrics.inc(c, 2);
+        let h = metrics.histogram("selection_size", &[1.0, 4.0]);
+        metrics.observe(h, 2.0);
+        (spans, metrics)
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_json_with_nested_spans() {
+        let (spans, _) = sample();
+        let text = chrome_trace(&spans);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // Metadata event + two spans.
+        assert_eq!(events.len(), 3);
+        let select = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("select"))
+            .unwrap();
+        let cycle = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("cycle"))
+            .unwrap();
+        // Child interval strictly inside parent interval → Perfetto nests.
+        let (cts, cdur) = (
+            cycle["ts"].as_u64().unwrap(),
+            cycle["dur"].as_u64().unwrap(),
+        );
+        let (sts, sdur) = (
+            select["ts"].as_u64().unwrap(),
+            select["dur"].as_u64().unwrap(),
+        );
+        assert!(cts < sts && sts + sdur <= cts + cdur);
+        assert_eq!(select["args"]["targets"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_validator() {
+        let (spans, metrics) = sample();
+        let text = jsonl(&spans, &metrics);
+        let summary = validate_jsonl(&text).unwrap();
+        assert_eq!(summary.meta_lines, 1);
+        assert_eq!(summary.span_lines, 2);
+        assert_eq!(summary.metric_lines, 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_streams() {
+        assert!(validate_jsonl("not json").is_err());
+        assert!(validate_jsonl("{\"type\":\"mystery\"}").is_err());
+        // Span missing name.
+        let bad = "{\"type\":\"span\",\"id\":1,\"start_ms\":0,\"end_ms\":0,\"attrs\":{}}";
+        let err = validate_jsonl(bad).unwrap_err();
+        assert!(err.contains("name"), "unexpected error: {err}");
+        // Inverted interval.
+        let inverted = "{\"type\":\"span\",\"id\":1,\"name\":\"x\",\"start_ms\":5,\
+                        \"end_ms\":1,\"start_seq\":0,\"end_seq\":0,\"attrs\":{}}";
+        assert!(validate_jsonl(inverted).is_err());
+        // No meta header at all.
+        let headless = "{\"type\":\"metric\",\"name\":\"a\",\"kind\":\"counter\",\"value\":1}";
+        assert!(validate_jsonl(headless).unwrap_err().contains("meta"));
+    }
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets() {
+        let (_, metrics) = sample();
+        let text = prometheus(&metrics);
+        assert!(text.contains("# TYPE commands_applied counter"));
+        assert!(text.contains("commands_applied 2"));
+        assert!(text.contains("selection_size_bucket{le=\"1\"} 0"));
+        assert!(text.contains("selection_size_bucket{le=\"4\"} 1"));
+        assert!(text.contains("selection_size_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("selection_size_count 1"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The per-simulation bundle of observability state.
+//!
+//! [`ObsHub`] packages the span recorder, metrics registry, flight
+//! recorder and self-profiler that one simulation owns, so the cluster
+//! layer threads a single `&mut` through its stages instead of four.
+//! The hub also carries the end-of-run summary ([`ObsReport`]) embedded
+//! into `ExperimentOutcome`.
+
+use crate::flight::{FlightRecorder, FlightSnapshot};
+use crate::metrics::{MetricDump, MetricsRegistry};
+use crate::profile::StageProfiler;
+use crate::span::SpanRecorder;
+use serde::{Deserialize, Serialize};
+
+/// Default retained completed spans (≈ several thousand control cycles
+/// of an 8-stage tree).
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+/// Default flight-recorder snapshot bound.
+pub const DEFAULT_FLIGHT_SNAPSHOTS: usize = 8;
+/// Default spans captured per flight snapshot.
+pub const DEFAULT_FLIGHT_WINDOW: usize = 64;
+
+/// One simulation's observability state. See the module docs.
+#[derive(Debug)]
+pub struct ObsHub {
+    /// Control-cycle span tree.
+    pub spans: SpanRecorder,
+    /// Deterministic instruments.
+    pub metrics: MetricsRegistry,
+    /// Incident snapshots.
+    pub flight: FlightRecorder,
+    /// Wall-clock self-cost (never fingerprinted).
+    pub profile: StageProfiler,
+}
+
+impl ObsHub {
+    /// A hub with the default capacities.
+    pub fn new() -> Self {
+        ObsHub {
+            spans: SpanRecorder::new(DEFAULT_SPAN_CAPACITY),
+            metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::new(DEFAULT_FLIGHT_SNAPSHOTS, DEFAULT_FLIGHT_WINDOW),
+            profile: StageProfiler::new(),
+        }
+    }
+
+    /// Combined end-of-run summary for serialized reports.
+    pub fn report(&self) -> ObsReport {
+        ObsReport {
+            span_fingerprint: self.spans.fingerprint(),
+            metrics_fingerprint: self.metrics.fingerprint(),
+            spans_closed: self.spans.closed(),
+            spans_dropped: self.spans.dropped(),
+            metrics: self.metrics.dump(),
+            flight: self.flight.snapshots().to_vec(),
+            flight_suppressed: self.flight.suppressed(),
+        }
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serializable end-of-run observability summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// FNV-1a over every closed span (see `SpanRecorder::fingerprint`).
+    pub span_fingerprint: u64,
+    /// FNV-1a over the metrics registry.
+    pub metrics_fingerprint: u64,
+    /// Spans closed over the run.
+    pub spans_closed: u64,
+    /// Spans evicted by the bounded ring.
+    pub spans_dropped: u64,
+    /// Final instrument values, in name order.
+    pub metrics: Vec<MetricDump>,
+    /// Flight-recorder snapshots, in trigger order.
+    pub flight: Vec<FlightSnapshot>,
+    /// Flight triggers dropped because the recorder was full.
+    pub flight_suppressed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+    use ppc_simkit::SimTime;
+
+    #[test]
+    fn report_reflects_hub_state() {
+        let mut hub = ObsHub::new();
+        hub.spans.open("cycle", SimTime::from_secs(1));
+        hub.spans.attr("state", AttrValue::Str("red"));
+        hub.spans.close(SimTime::from_secs(1));
+        let c = hub.metrics.counter("red_entries");
+        hub.metrics.inc(c, 1);
+        hub.flight
+            .trigger(SimTime::from_secs(1), "red-entry", &hub.spans, &hub.metrics);
+        let report = hub.report();
+        assert_eq!(report.spans_closed, 1);
+        assert_eq!(report.span_fingerprint, hub.spans.fingerprint());
+        assert_eq!(report.metrics.len(), 1);
+        assert_eq!(report.flight.len(), 1);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ObsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

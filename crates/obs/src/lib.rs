@@ -1,0 +1,43 @@
+//! # ppc-obs — deterministic observability for the control stack
+//!
+//! The paper's control loop (sample → estimate → classify Green/Yellow/
+//! Red → select `A_target` → actuate) is exactly the kind of closed loop
+//! operators must introspect live at scale. This crate gives the
+//! simulator that window while preserving its central invariant:
+//! everything recorded is a pure function of the experiment seed, so
+//! observability itself is regression-tested for bit-determinism across
+//! worker-pool widths.
+//!
+//! * [`span`] — a zero-alloc-on-hot-path span recorder keyed by sim
+//!   time; the cluster layer opens a root span per control cycle and a
+//!   child per stage, with typed attributes.
+//! * [`metrics`] — a `BTreeMap`-ordered registry of counters, gauges and
+//!   fixed-bucket histograms with O(1) handle-based updates.
+//! * [`export`] — JSONL, Chrome `trace_event` (Perfetto) and Prometheus
+//!   text exporters, plus the JSONL schema validator CI runs.
+//! * [`flight`] — a bounded black-box recorder snapshotting the last N
+//!   spans + registry on Red-state entry or fault activation.
+//! * [`hub`] — the per-simulation bundle ([`ObsHub`]) and the
+//!   serializable end-of-run [`ObsReport`].
+//! * [`profile`] — wall-clock self-cost measurement; the one module
+//!   exempt from the no-wall-clock rule, and never fingerprinted.
+//!
+//! Span-tree and registry FNV-1a fingerprints join `Journal::fingerprint`
+//! in CI's determinism gate.
+
+pub mod export;
+pub mod flight;
+pub mod hub;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use export::{chrome_trace, jsonl, prometheus, validate_jsonl, JsonlSummary};
+pub use flight::{FlightRecorder, FlightSnapshot};
+pub use hub::{ObsHub, ObsReport};
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramDump, HistogramHandle, MetricDump, MetricValue,
+    MetricsRegistry,
+};
+pub use profile::{StageCost, StageProfiler};
+pub use span::{AttrValue, SpanDump, SpanId, SpanRecord, SpanRecorder};

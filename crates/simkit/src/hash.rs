@@ -1,0 +1,97 @@
+//! Stable, dependency-free hashing for determinism fingerprints.
+//!
+//! [`Fnv1a`] is a minimal 64-bit FNV-1a hasher — unlike
+//! `std::collections::hash_map::DefaultHasher` it is not randomly keyed
+//! per process, so fingerprints are comparable across runs, platforms and
+//! processes. The journal, the observability span recorder and the
+//! metrics registry all fold their state through this hasher, and CI's
+//! determinism gate compares the resulting values across worker-pool
+//! widths.
+
+/// Minimal FNV-1a (64-bit) streaming hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorbs a byte slice, terminated by its length so adjacent
+    /// variable-width fields cannot alias (`("ab","c")` ≠ `("a","bc")`).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+        self.write_u64(bytes.len() as u64);
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs an `f64` by bit pattern. Fingerprint equality therefore
+    /// means *bit* equality — exactly the contract the determinism gate
+    /// checks.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of the empty input is the offset basis; of "a" it is the
+        // published 64-bit test vector (before the length terminator).
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = Fnv1a::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = Fnv1a::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_is_hashed_by_bits() {
+        let mut pos = Fnv1a::new();
+        pos.write_f64(0.0);
+        let mut neg = Fnv1a::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish(), "-0.0 and 0.0 differ in bits");
+    }
+}

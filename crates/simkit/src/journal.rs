@@ -6,6 +6,7 @@
 //! a fixed-capacity ring of categorized events; when full, the oldest
 //! events are dropped and counted, never silently.
 
+use crate::hash::Fnv1a;
 use crate::time::SimTime;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -181,38 +182,6 @@ impl Journal {
             h.write_bytes(e.message.as_bytes());
         }
         h.finish()
-    }
-}
-
-/// Minimal FNV-1a (64-bit) — no external hashing deps, stable across
-/// platforms and processes (unlike `DefaultHasher`, which is randomly
-/// keyed per process).
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-    fn write_u8(&mut self, b: u8) {
-        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-    }
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u8(b);
-        }
-        // Length terminator so ("ab","c") and ("a","bc") differ.
-        self.write_u64(bytes.len() as u64);
-    }
-    fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.write_u8(b);
-        }
-    }
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

@@ -17,6 +17,8 @@
 //!   ([`par::WorkerPool`]): static index-ordered chunking and ordered
 //!   reductions keep results bit-identical across pool sizes, and inputs
 //!   below an inline threshold skip the handoff entirely.
+//! * [`hash`] — stable 64-bit FNV-1a hashing for determinism
+//!   fingerprints (journal, span tree, metrics registry).
 //! * [`series`] — append-only time series with trapezoid/step integration,
 //!   used for power traces and the ΔP×T overspend metric.
 //! * [`stats`] — running statistics (Welford) and fixed-bin histograms.
@@ -28,6 +30,7 @@
 pub mod clock;
 pub mod engine;
 pub mod error;
+pub mod hash;
 pub mod journal;
 pub mod par;
 pub mod queue;
@@ -39,6 +42,7 @@ pub mod time;
 pub use clock::TickClock;
 pub use engine::{Engine, EventHandler, ScheduleHandle};
 pub use error::SimError;
+pub use hash::Fnv1a;
 pub use journal::{Event, Journal, Severity};
 pub use par::WorkerPool;
 pub use queue::EventQueue;

@@ -110,6 +110,20 @@ impl Collector {
         }
     }
 
+    /// [`Collector::ingest_batch`] with span recording: wraps the batch
+    /// in an `ingest` span carrying the sample count.
+    pub fn ingest_batch_traced(
+        &mut self,
+        samples: &[NodeSample],
+        at: SimTime,
+        spans: &mut ppc_obs::SpanRecorder,
+    ) {
+        spans.open("ingest", at);
+        spans.attr("samples", ppc_obs::AttrValue::U64(samples.len() as u64));
+        self.ingest_batch(samples);
+        spans.close(at);
+    }
+
     /// Windowed rate of increase over the last `k` intervals for `node`
     /// (requires a history-enabled collector; see [`Collector::with_history`]).
     pub fn windowed_rate_of(&self, node: NodeId, k: usize) -> Option<f64> {

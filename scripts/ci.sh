@@ -12,8 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Writes LINT_report.json; exits non-zero on any unsuppressed violation.
 cargo run --release -p ppc-lint -- --workspace --json
 
-# Dynamic pass: same seed must yield bit-identical journals and traces
-# across worker-pool widths — the replay-determinism contract.
+# Dynamic pass: same seed must yield bit-identical journals, power
+# traces, span trees and metrics registries across worker-pool widths —
+# the replay-determinism contract.
 cargo run --release -p ppc-bench --bin determinism_gate
 
 cargo run --release -p ppc-bench --bin ext_faults -- --smoke
+
+# Observability smoke: a faulted managed run must emit a schema-valid
+# JSONL trace stream through --trace-out (see DESIGN §12).
+trace_tmp="$(mktemp -t ppc-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_tmp"' EXIT
+./target/release/ppc run --nodes 8 --provision 0.6 --faults 6 \
+    --training-mins 1 --measure-mins 5 --trace-out "$trace_tmp" >/dev/null
+cargo run --release -p ppc-obs --bin validate_trace -- "$trace_tmp"

@@ -33,6 +33,7 @@ pub use ppc_core as core;
 pub use ppc_faults as faults;
 pub use ppc_metrics as metrics;
 pub use ppc_node as node;
+pub use ppc_obs as obs;
 pub use ppc_simkit as simkit;
 pub use ppc_telemetry as telemetry;
 pub use ppc_workload as workload;

@@ -4,7 +4,8 @@
 //! ```text
 //! ppc run [--policy MPC] [--nodes 16] [--paper] [--cap N] [--provision F]
 //!         [--training-mins M] [--measure-mins M] [--seed S] [--backfill]
-//!         [--critical-frac F] [--json]
+//!         [--critical-frac F] [--trace-out FILE] [--metrics-out FILE]
+//!         [--json]
 //! ppc sweep [--policy MPC] [--sizes 0,8,16,...] [--paper]
 //! ppc policies
 //! ```
@@ -13,7 +14,7 @@
 //! metric suite; `sweep` reproduces the Figure-6 candidate-set sweep;
 //! `policies` lists the implemented target-set selection policies.
 
-use ppc::cluster::experiment::{run_experiment, ExperimentConfig};
+use ppc::cluster::experiment::{run_experiment, run_experiment_full, ExperimentConfig};
 use ppc::cluster::output::{outcome_to_json, render_table};
 use ppc::cluster::ClusterSpec;
 use ppc::core::PolicyKind;
@@ -22,7 +23,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ppc run [--policy MPC|MPC-C|LPC|LPC-C|BFP|HRI|HRI-C|none] [--nodes N]\n          [--paper] [--cap N] [--provision FRAC] [--training-mins M]\n          [--measure-mins M] [--seed S] [--backfill] [--critical-frac F]\n          [--trace FILE] [--json]\n  ppc sweep [--policy MPC] [--sizes 0,8,16,32,48,64,96,128] [--paper]\n  ppc policies"
+        "usage:\n  ppc run [--policy MPC|MPC-C|LPC|LPC-C|BFP|HRI|HRI-C|none] [--nodes N]\n          [--paper] [--cap N] [--provision FRAC] [--training-mins M]\n          [--measure-mins M] [--seed S] [--backfill] [--critical-frac F]\n          [--trace FILE] [--faults RATE] [--trace-out FILE]\n          [--metrics-out FILE] [--json]\n  ppc sweep [--policy MPC] [--sizes 0,8,16,32,48,64,96,128] [--paper]\n  ppc policies\n\n  --trace-out writes the control-cycle span tree: Chrome trace_event\n  JSON (load in Perfetto / chrome://tracing), or a JSONL event stream\n  if FILE ends in .jsonl. --metrics-out writes a Prometheus-style text\n  dump of the deterministic instruments plus self-profile comments."
     );
     exit(2)
 }
@@ -122,12 +123,64 @@ fn build_config(args: &Args) -> ExperimentConfig {
         });
         cfg.spec.job_trace = Some(entries);
     }
+    if let Some(rate) = args.parsed::<f64>("--faults") {
+        // One knob drives a mixed schedule: crashes and hangs at `rate`
+        // per node-hour, silences slightly more often (they are the
+        // cheapest fault), over the whole training+measurement window.
+        let rates = ppc::faults::FaultRates {
+            crash_per_node_hour: rate,
+            reboot_mean_secs: 45.0,
+            hang_per_node_hour: rate,
+            silence_per_node_hour: rate * 1.5,
+            ..ppc::faults::FaultRates::default()
+        };
+        let horizon = cfg.training + cfg.measurement;
+        let schedule = ppc::faults::FaultSchedule::generate(
+            &rates,
+            cfg.spec.total_nodes(),
+            horizon,
+            &ppc::simkit::RngFactory::new(cfg.spec.seed),
+        );
+        cfg.faults = Some(ppc::faults::FaultInjection::new(schedule));
+    }
     cfg
+}
+
+/// Writes `text` to `path`, exiting with a message on failure.
+fn write_or_die(path: &str, text: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("cannot write {what} {path:?}: {e}");
+        exit(1);
+    }
+    eprintln!("{what} written to {path}");
 }
 
 fn cmd_run(args: &Args) {
     let cfg = build_config(args);
-    let out = run_experiment(&cfg);
+    let (out, sim) = run_experiment_full(&cfg);
+    if let Some(path) = args.get("--trace-out") {
+        let obs = sim.obs();
+        let text = if path.ends_with(".jsonl") {
+            ppc::obs::jsonl(&obs.spans, &obs.metrics)
+        } else {
+            ppc::obs::chrome_trace(&obs.spans)
+        };
+        write_or_die(path, &text, "trace");
+    }
+    if let Some(path) = args.get("--metrics-out") {
+        let obs = sim.obs();
+        let mut text = ppc::obs::prometheus(&obs.metrics);
+        // Wall-clock self-profile rides along as comments: scrapers skip
+        // them, and the deterministic instrument block above stays a pure
+        // function of the seed.
+        for cost in obs.profile.report() {
+            text.push_str(&format!(
+                "# self-profile {} mean_secs {:.9} count {}\n",
+                cost.stage, cost.mean_secs, cost.count
+            ));
+        }
+        write_or_die(path, &text, "metrics");
+    }
     if args.flag("--json") {
         println!("{}", outcome_to_json(&out));
         return;
@@ -161,6 +214,15 @@ fn cmd_run(args: &Args) {
         vec![
             "mgmt cost/cycle".into(),
             format!("{:.1} µs", out.mgmt_cost_secs * 1e6),
+        ],
+        vec!["journal dropped".into(), out.journal_dropped.to_string()],
+        vec![
+            "span fingerprint".into(),
+            format!("{:016x}", out.obs.span_fingerprint),
+        ],
+        vec![
+            "metrics fingerprint".into(),
+            format!("{:016x}", out.obs.metrics_fingerprint),
         ],
     ];
     println!("{}", render_table(&["metric", "value"], &rows));

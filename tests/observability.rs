@@ -1,12 +1,16 @@
 //! Observability extensions end-to-end: the event journal, the thermal
-//! model, and history-backed windowed rates.
+//! model, history-backed windowed rates, and the `ppc-obs` tracing layer
+//! (span/metrics fingerprints, flight recorder, exporters).
 
 use ppc::cluster::spec::NodeGroup;
 use ppc::cluster::{ClusterSim, ClusterSpec};
 use ppc::core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc::faults::{FaultInjection, FaultRates, FaultSchedule};
 use ppc::node::spec::NodeSpec;
-use ppc::simkit::{Severity, SimDuration};
+use ppc::simkit::{RngFactory, Severity, SimDuration, WorkerPool};
 use ppc::telemetry::{Collector, NodeSample, PowerHistory};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn managed(mut spec: ClusterSpec, provision: f64) -> ClusterSim {
     spec.provision_fraction = provision;
@@ -129,4 +133,136 @@ fn history_backed_windowed_rates_smooth_single_interval_noise() {
         h.push(SimTime::from_secs(t as u64), p);
     }
     assert_eq!(h.windowed_rate(5), Some(windowed));
+}
+
+/// The determinism gate's scenario in miniature: managed, faulted, tight
+/// provision, zero inline threshold so the worker pool actually fans out.
+fn faulted_managed(workers: usize) -> ClusterSim {
+    const NODES: u32 = 8;
+    const RUN_SECS: u64 = 400;
+    let mut spec = ClusterSpec::mini(NODES);
+    spec.provision_fraction = 0.60;
+    let rates = FaultRates {
+        crash_per_node_hour: 6.0,
+        reboot_mean_secs: 45.0,
+        hang_per_node_hour: 6.0,
+        silence_per_node_hour: 8.0,
+        partition_per_hour: 10.0,
+        partition_width: 4,
+        ..FaultRates::default()
+    };
+    let schedule = FaultSchedule::generate(
+        &rates,
+        NODES,
+        SimDuration::from_secs(RUN_SECS),
+        &RngFactory::new(spec.seed),
+    );
+    let sets = NodeSets::new(spec.node_ids(), []);
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+    };
+    let manager = PowerManager::new(config, sets).expect("valid manager");
+    let mut sim = ClusterSim::new(spec)
+        .with_manager(manager)
+        .with_faults(FaultInjection::new(schedule))
+        .with_worker_pool(Arc::new(WorkerPool::new(workers).with_inline_threshold(0)));
+    sim.run_for(SimDuration::from_secs(RUN_SECS));
+    sim
+}
+
+#[test]
+fn span_and_metrics_fingerprints_pin_across_worker_widths() {
+    let narrow = faulted_managed(1);
+    let wide = faulted_managed(8);
+    let (rn, rw) = (narrow.obs().report(), wide.obs().report());
+    assert!(rn.spans_closed > 0, "tracing must have recorded spans");
+    assert!(!rn.metrics.is_empty(), "registry must hold instruments");
+    assert_eq!(
+        rn.span_fingerprint, rw.span_fingerprint,
+        "span tree must be bit-identical at pool widths 1 and 8"
+    );
+    assert_eq!(
+        rn.metrics_fingerprint, rw.metrics_fingerprint,
+        "metrics registry must be bit-identical at pool widths 1 and 8"
+    );
+    // The full reports — every attribute, bucket count and flight
+    // snapshot — must agree too, not just the hashes.
+    assert_eq!(rn.metrics, rw.metrics);
+    assert_eq!(rn.flight, rw.flight);
+}
+
+#[test]
+fn flight_recorder_dumps_on_first_red_entry() {
+    let mut sim = managed(ClusterSpec::mini(6), 0.55);
+    sim.run_for(SimDuration::from_mins(15));
+    let report = sim.obs().report();
+    let red: Vec<_> = report
+        .flight
+        .iter()
+        .filter(|s| s.reason == "red-entry")
+        .collect();
+    assert!(
+        !red.is_empty(),
+        "a 55%-provisioned cluster must enter Red and trip the recorder"
+    );
+    let snap = red[0];
+    assert!(!snap.spans.is_empty(), "snapshot must carry recent spans");
+    assert!(!snap.metrics.is_empty(), "snapshot must carry the registry");
+    // The snapshot includes the cycle that flipped Red: its root span
+    // closed before the trigger, so the tail must contain it.
+    assert!(
+        snap.spans.iter().any(|s| s.name == "cycle"),
+        "snapshot tail must include the triggering control cycle"
+    );
+}
+
+#[test]
+fn exports_validate_and_cover_every_cycle_stage() {
+    let sim = faulted_managed(1);
+    let obs = sim.obs();
+
+    // Every control cycle produced one root span and one span per stage.
+    let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in obs.spans.iter() {
+        *by_name.entry(s.name).or_insert(0) += 1;
+    }
+    let cycles = by_name.get("cycle").copied().unwrap_or(0);
+    assert!(cycles > 100, "expected hundreds of control cycles");
+    for stage in [
+        "sample", "ingest", "observe", "classify", "capping", "actuate",
+    ] {
+        let n = by_name.get(stage).copied().unwrap_or(0);
+        assert_eq!(n, cycles, "stage `{stage}`: {n} spans for {cycles} cycles");
+    }
+
+    // JSONL round-trips through the CI schema validator.
+    let stream = ppc::obs::jsonl(&obs.spans, &obs.metrics);
+    let summary = ppc::obs::validate_jsonl(&stream).expect("generated JSONL must validate");
+    assert_eq!(summary.meta_lines, 1);
+    assert_eq!(summary.span_lines, obs.spans.len());
+    assert_eq!(summary.metric_lines, obs.metrics.len());
+
+    // The Chrome trace is one JSON document with a complete ("ph":"X")
+    // event per closed span, microsecond-ordered for Perfetto.
+    let chrome = ppc::obs::chrome_trace(&obs.spans);
+    let parsed: serde_json::Value =
+        serde_json::from_str(&chrome).expect("chrome trace must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // One process_name metadata event plus one complete event per span.
+    assert_eq!(events.len(), obs.spans.len() + 1);
+
+    // Prometheus text: every instrument surfaced with HELP/TYPE headers.
+    let prom = ppc::obs::prometheus(&obs.metrics);
+    for m in &obs.metrics.dump() {
+        assert!(prom.contains(m.name.as_str()), "missing {}", m.name);
+    }
+    assert_eq!(
+        prom.matches("# TYPE").count(),
+        obs.metrics.len(),
+        "one TYPE header per instrument"
+    );
 }
