@@ -12,9 +12,11 @@ use ppc_node::{Level, NodeId};
 use ppc_workload::JobId;
 
 /// Builds a context with `jobs` jobs of `nodes_per_job` nodes each.
-fn ctx(jobs: usize, nodes_per_job: usize) -> SelectionContext {
+/// Leaks the job list: the context borrows, and a bench fixture lives for
+/// the whole process anyway.
+fn ctx(jobs: usize, nodes_per_job: usize) -> SelectionContext<'static> {
     let mut next_node = 0u32;
-    let jobs = (0..jobs)
+    let jobs: Vec<JobObservation> = (0..jobs)
         .map(|j| {
             let nodes = (0..nodes_per_job)
                 .map(|k| {
@@ -36,7 +38,7 @@ fn ctx(jobs: usize, nodes_per_job: usize) -> SelectionContext {
         })
         .collect();
     SelectionContext {
-        jobs,
+        jobs: Vec::leak(jobs),
         power_w: 33_000.0,
         p_low_w: 31_000.0,
     }

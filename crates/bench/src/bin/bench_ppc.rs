@@ -2,13 +2,23 @@
 //!
 //! Runs one fixed macro workload (the paper-scale 128-node cluster,
 //! 1 simulated hour, MPC-managed) plus the hot-path micro measurements
-//! that the criterion suite tracks, and writes the results to
-//! `BENCH_ppc.json` in the current directory:
+//! that the criterion suite tracks, plus a node-count × pool-width
+//! scaling sweep, and writes the results to `BENCH_ppc.json` in the
+//! current directory:
 //!
 //! ```text
 //! cargo run --release -p ppc-bench --bin bench_ppc
 //! git diff BENCH_ppc.json   # compare against the committed baseline
 //! ```
+//!
+//! Flags:
+//!
+//! * `--nodes 128,1024,10240` — node counts for the scaling sweep;
+//! * `--workers 1,4,8` — explicit pool widths for the scaling sweep;
+//! * `--smoke` — CI mode: skip the hour macro and the sweep, run the
+//!   headline micros with fewer batches, print JSON to stdout and do
+//!   **not** overwrite `BENCH_ppc.json` (the CI perf guard compares the
+//!   stdout medians against the committed baseline).
 //!
 //! Micro numbers are medians over repeated sample batches (robust to the
 //! occasional scheduler hiccup); the macro number is a single wall-clock
@@ -19,6 +29,7 @@ use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
 use ppc_node::{Level, NodeId, OperatingState};
 use ppc_simkit::{SimDuration, SimTime, WorkerPool};
 use ppc_telemetry::{Collector, NodeSample};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median of a sample set, in place.
@@ -57,6 +68,28 @@ fn sim(managed: bool) -> ClusterSim {
     }
 }
 
+/// A saturated cluster at `nodes` nodes: zero think time and a queue
+/// depth that scales with the fleet, so the sweep measures busy ticks,
+/// not an idle calendar.
+fn scaling_sim(nodes: u32, managed: bool, pool: &Arc<WorkerPool>) -> ClusterSim {
+    let mut spec = ClusterSpec::tianhe_1a_variant();
+    spec.node_count = nodes;
+    spec.think_time_mean = SimDuration::ZERO;
+    spec.queue_depth = (nodes / 64).max(1) as usize;
+    let sim = if managed {
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let config = ManagerConfig {
+            training_cycles: 0,
+            ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+        };
+        let manager = PowerManager::new(config, sets).expect("valid config");
+        ClusterSim::new(spec).with_manager(manager)
+    } else {
+        ClusterSim::new(spec)
+    };
+    sim.with_worker_pool(Arc::clone(pool))
+}
+
 fn samples(n: u32, at: u64) -> Vec<NodeSample> {
     (0..n)
         .map(|i| NodeSample {
@@ -73,33 +106,62 @@ fn samples(n: u32, at: u64) -> Vec<NodeSample> {
         .collect()
 }
 
+fn parse_list(s: &str) -> Vec<u32> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse().expect("numeric list entry"))
+        .collect()
+}
+
 fn main() {
+    let mut smoke = false;
+    let mut guard: Option<String> = None;
+    let mut sweep_nodes: Vec<u32> = vec![128, 1024, 10_240];
+    let mut sweep_workers: Vec<u32> = vec![1, 4, 8];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--guard" => guard = Some(args.next().expect("--guard <baseline.json>")),
+            "--nodes" => sweep_nodes = parse_list(&args.next().expect("--nodes <csv>")),
+            "--workers" => sweep_workers = parse_list(&args.next().expect("--workers <csv>")),
+            other => {
+                panic!("unknown flag {other} (expected --smoke | --guard | --nodes | --workers)")
+            }
+        }
+    }
+    let (batches, iters) = if smoke { (7, 10) } else { (25, 40) };
+
     // Macro: the paper's unit of work — one simulated hour, managed.
-    let mut hour = sim(true);
-    let t = Instant::now();
-    hour.run_for(SimDuration::from_mins(60));
-    let managed_hour_secs = t.elapsed().as_secs_f64();
-    let finished_jobs = hour.finished().len();
+    // Skipped in smoke mode (CI measures only the guarded micros).
+    let (managed_hour_secs, finished_jobs) = if smoke {
+        (0.0, 0)
+    } else {
+        let mut hour = sim(true);
+        let t = Instant::now();
+        hour.run_for(SimDuration::from_mins(60));
+        (t.elapsed().as_secs_f64(), hour.finished().len())
+    };
 
     // Micro: per-tick cost on warmed (job-saturated) clusters.
     let mut managed = sim(true);
     managed.run_for(SimDuration::from_mins(10));
-    let sim_step_managed_us = median_us(25, 40, || managed.step());
+    let sim_step_managed_us = median_us(batches, iters, || managed.step());
 
     let mut unmanaged = sim(false);
     unmanaged.run_for(SimDuration::from_mins(10));
-    let sim_step_unmanaged_us = median_us(25, 40, || unmanaged.step());
+    let sim_step_unmanaged_us = median_us(batches, iters, || unmanaged.step());
 
     // Micro: collector hot paths at the 1024-node scale the roadmap targets.
     let mut collector = Collector::new();
     let mut at = 0u64;
-    let collector_ingest_batch_1024_us = median_us(25, 40, || {
+    let collector_ingest_batch_1024_us = median_us(batches, iters, || {
         at += 1;
         collector.ingest_batch(&samples(1024, at));
     });
     let nodes: Vec<NodeId> = (0..1024).map(NodeId).collect();
     let mut total = 0.0;
-    let aggregate_power_1024_us = median_us(25, 400, || {
+    let aggregate_power_1024_us = median_us(batches, 10 * iters, || {
         total += collector.aggregate_power(&nodes);
     });
 
@@ -109,10 +171,40 @@ fn main() {
     // path, which is the pool's sequential fallback).
     let pool = WorkerPool::global();
     let mut cells = vec![0.0f64; 4096];
-    let pool_dispatch_4096_us = median_us(25, 40, || {
+    let pool_dispatch_4096_us = median_us(batches, iters, || {
         pool.for_each_mut(&mut cells, |i, c| *c += i as f64);
     });
     assert!(total != 0.0 && cells[1] != 0.0, "work must not be elided");
+
+    // Scaling sweep: managed and unmanaged per-tick cost across node
+    // counts and explicit pool widths. Warmup is shorter at the largest
+    // scales; the incremental evaluator's cost tracks the dirty set, not
+    // the fleet, so busy steady-state ticks are what matter.
+    let mut scaling = Vec::new();
+    if !smoke {
+        for &n in &sweep_nodes {
+            for &w in &sweep_workers {
+                let pool = Arc::new(WorkerPool::new(w as usize));
+                let (warm_secs, sb, si) = if n > 4096 { (60, 5, 10) } else { (120, 9, 20) };
+                let mut m = scaling_sim(n, true, &pool);
+                m.run_for(SimDuration::from_secs(warm_secs));
+                let managed_us = median_us(sb, si, || m.step());
+                let mut u = scaling_sim(n, false, &pool);
+                u.run_for(SimDuration::from_secs(warm_secs));
+                let unmanaged_us = median_us(sb, si, || u.step());
+                eprintln!(
+                    "scaling: nodes={n} workers={w} managed={managed_us:.2}us unmanaged={unmanaged_us:.2}us"
+                );
+                scaling.push(serde_json::json!({
+                    "nodes": n,
+                    "workers": w,
+                    "sim_step_managed_us": managed_us,
+                    "sim_step_unmanaged_us": unmanaged_us,
+                    "managed_over_unmanaged": managed_us / unmanaged_us,
+                }));
+            }
+        }
+    }
 
     let report = serde_json::json!({
         "workload": {
@@ -131,9 +223,40 @@ fn main() {
             "aggregate_power_1024": aggregate_power_1024_us,
             "pool_dispatch_4096": pool_dispatch_4096_us,
         },
+        "scaling": scaling,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write("BENCH_ppc.json", format!("{rendered}\n")).expect("write BENCH_ppc.json");
     println!("{rendered}");
-    println!("\nwrote BENCH_ppc.json");
+    if !smoke {
+        std::fs::write("BENCH_ppc.json", format!("{rendered}\n")).expect("write BENCH_ppc.json");
+        eprintln!("wrote BENCH_ppc.json");
+    }
+
+    // Perf-regression guard (CI): the managed 128-node step must stay
+    // within 25% of the committed baseline. Guards on the best of three
+    // medians — a shared CI box is noisy, and the *minimum* median is the
+    // least-interference estimate of the code's actual cost; a real
+    // regression moves the floor, background load does not.
+    if let Some(path) = guard {
+        let committed: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+        )
+        .expect("parse guard baseline");
+        let baseline = committed["median_us"]["sim_step_128_managed"]
+            .as_f64()
+            .expect("baseline median_us.sim_step_128_managed");
+        let best = sim_step_managed_us
+            .min(median_us(batches, iters, || managed.step()))
+            .min(median_us(batches, iters, || managed.step()));
+        let limit = baseline * 1.25;
+        eprintln!(
+            "perf guard: sim_step_128_managed best-median {best:.2}us vs committed {baseline:.2}us \
+             (limit {limit:.2}us)"
+        );
+        if best > limit {
+            eprintln!("perf guard: FAILED — managed step regressed >25% vs {path}");
+            std::process::exit(1);
+        }
+        eprintln!("perf guard: ok");
+    }
 }

@@ -17,10 +17,16 @@
 //!   cannot diff);
 //! * finished-job and applied-command counts.
 //!
+//! The same experiment also runs under both evaluation modes — the dense
+//! full-evaluation path and the default dirty-set/event-driven path — at
+//! widths 1 and 8. The incremental evaluator is an *optimization*, not a
+//! semantic variant: every digest must match the dense reference bit for
+//! bit.
+//!
 //! Any divergence prints the offending run and exits non-zero, failing
 //! CI. Under a minute of wall clock; see `scripts/ci.sh`.
 
-use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_cluster::{ClusterSim, ClusterSpec, EvalMode};
 use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
 use ppc_faults::{FaultInjection, FaultRates, FaultSchedule};
 use ppc_simkit::{RngFactory, SimDuration, WorkerPool};
@@ -51,7 +57,7 @@ fn fnv1a_u64s(values: impl Iterator<Item = u64>) -> u64 {
     h
 }
 
-fn run_once(workers: usize) -> Result<RunDigest, String> {
+fn run_once(workers: usize, mode: EvalMode) -> Result<RunDigest, String> {
     let mut spec = ClusterSpec::mini(NODES);
     spec.provision_fraction = 0.60; // tight provision: capping engages
     let rates = FaultRates {
@@ -80,7 +86,8 @@ fn run_once(workers: usize) -> Result<RunDigest, String> {
     let mut sim = ClusterSim::new(spec)
         .with_manager(manager)
         .with_faults(FaultInjection::new(schedule))
-        .with_worker_pool(pool);
+        .with_worker_pool(pool)
+        .with_eval_mode(mode);
     sim.run_for(SimDuration::from_secs(RUN_SECS));
     Ok(RunDigest {
         journal: sim.journal().fingerprint(),
@@ -93,13 +100,21 @@ fn run_once(workers: usize) -> Result<RunDigest, String> {
 }
 
 fn main() -> ExitCode {
-    // (label, width): width 1 twice proves same-seed repeatability, width
-    // 8 proves pool-width invariance on the same machine state.
-    let runs = [("width 1", 1usize), ("width 1 repeat", 1), ("width 8", 8)];
+    // (label, width, mode): width 1 twice proves same-seed repeatability,
+    // width 8 proves pool-width invariance, and the dense (Full) runs
+    // prove the dirty-set/event-driven evaluator changes nothing any
+    // fingerprint can see — at both widths.
+    let runs = [
+        ("incr width 1", 1usize, EvalMode::Incremental),
+        ("incr width 1 rep", 1, EvalMode::Incremental),
+        ("incr width 8", 8, EvalMode::Incremental),
+        ("dense width 1", 1, EvalMode::Full),
+        ("dense width 8", 8, EvalMode::Full),
+    ];
     let mut baseline: Option<RunDigest> = None;
     let mut failed = false;
-    for (label, workers) in runs {
-        let digest = match run_once(workers) {
+    for (label, workers, mode) in runs {
+        let digest = match run_once(workers, mode) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("determinism gate: {label}: {e}");
@@ -107,7 +122,7 @@ fn main() -> ExitCode {
             }
         };
         println!(
-            "determinism gate: {label:14} journal={:016x} trace={:016x} spans={:016x} \
+            "determinism gate: {label:16} journal={:016x} trace={:016x} spans={:016x} \
              metrics={:016x} finished={} commands={}",
             digest.journal,
             digest.trace,
@@ -141,7 +156,7 @@ fn main() -> ExitCode {
     } else {
         println!(
             "determinism gate: ok — journal, trace, span and metrics hashes identical across \
-             runs and pool widths"
+             runs, pool widths and evaluation modes"
         );
         ExitCode::SUCCESS
     }

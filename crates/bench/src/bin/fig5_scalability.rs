@@ -95,7 +95,7 @@ fn measure_cycle_cost(n: usize, cycles: u64) -> f64 {
                 &candidates,
                 &|_| Arc::clone(&m),
             );
-            manager.control_cycle(power_w, obs, &FlatView)
+            manager.control_cycle(power_w, &obs, &FlatView)
         });
     }
     meter.mean_cycle_secs()

@@ -15,11 +15,13 @@
 //!   unmanaged baseline run that Figures 6/7 normalize against;
 //! * [`output`] — text tables / CSV / JSON for the figure regenerators.
 
+pub mod columns;
 pub mod experiment;
 pub mod output;
 pub mod sim;
 pub mod spec;
 
+pub use columns::{DirtySet, NodeColumns};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutcome};
-pub use sim::ClusterSim;
+pub use sim::{ClusterSim, EvalMode};
 pub use spec::ClusterSpec;

@@ -5,7 +5,7 @@
 //! 1. refill the job queue if empty (paper protocol) and start queued
 //!    jobs on free nodes (first-fit, lowest indices);
 //! 2. derive each node's operating state from the job phase it hosts and
-//!    advance all node states **in parallel** (device counters, `/proc`);
+//!    advance node states (device counters, `/proc`);
 //! 3. advance every running job at the minimum rate over its member nodes
 //!    (SPMD bottleneck semantics), collecting finished-job records;
 //! 4. sum true node power, push it to the trace, and take a (noisy)
@@ -15,10 +15,33 @@
 //! 6. apply the resulting throttling commands to the nodes — unless the
 //!    manager is still in its training period, during which "all nodes are
 //!    running at highest power state without any power management".
+//!
+//! ## Evaluation modes
+//!
+//! Step 2/4 run in one of two bit-identical regimes ([`EvalMode`]):
+//!
+//! * **Full** — the dense reference: every node's state advances every
+//!   tick (in parallel via the worker pool) and every node's power is
+//!   re-evaluated into the [`NodeColumns`] power column;
+//! * **Incremental** (default) — only *dirty* nodes (a load, level, or
+//!   up/down input changed) are re-evaluated; clean nodes' counters are
+//!   caught up in closed form when next needed
+//!   ([`ppc_node::procfs::ProcCounters::advance_many`]) and their cached
+//!   column entries stand. The fleet power sum is a serial index-order
+//!   fold over the dense column either way, so the two modes (and any
+//!   worker-pool width) produce bit-identical traces, journals, span
+//!   trees, and metrics.
+//!
+//! Discrete one-shot events — the think-time arrival gate and the
+//! fixed-period control cycle — ride a hierarchical [`TimeWheel`] rather
+//! than per-tick polling. Phase boundaries are *not* wheel-predicted:
+//! they depend on member speeds, which throttling changes mid-flight, so
+//! the advance pass detects them and stages the affected members dirty.
 
+use crate::columns::NodeColumns;
 use crate::spec::ClusterSpec;
 use ppc_core::capping::LevelView;
-use ppc_core::observe::observe_jobs;
+use ppc_core::observe::{observe_job_into, observe_jobs_cached, JobObservation};
 use ppc_core::{BudgetNodeView, PowerManager, PowerState, ProportionalBudgetController};
 use ppc_faults::{FaultEngine, FaultInjection, FaultTransition};
 use ppc_metrics::{AvailabilityInputs, AvailabilityReport};
@@ -27,14 +50,40 @@ use ppc_node::{Level, NodeId, OperatingState, PowerModel};
 use ppc_obs::{AttrValue, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, ObsHub};
 use ppc_simkit::journal::{Journal, Severity};
 use ppc_simkit::par::WorkerPool;
-use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries};
+use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries, TimeWheel};
 use ppc_telemetry::cost::CycleCostMeter;
-use ppc_telemetry::{Collector, MeterReading, NodeSample, ProfilingAgent, SystemPowerMeter};
-use ppc_workload::{
-    AdmissionPolicy, JobGenerator, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
+use ppc_telemetry::{
+    Collector, MeterReading, NodeSample, NoiseModel, ProfilingAgent, SystemPowerMeter,
 };
-use std::collections::BTreeSet;
+use ppc_workload::{
+    AdmissionPolicy, JobGenerator, JobId, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// How the tick loop evaluates node state and power (see the module docs;
+/// both modes are bit-identical by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Dense reference path: every node, every tick.
+    Full,
+    /// Dirty-set incremental path (default). Falls back to [`Full`]
+    /// behaviour automatically when a feature it cannot represent is
+    /// active (budget controller, thermal models, agent sampling noise).
+    ///
+    /// [`Full`]: EvalMode::Full
+    #[default]
+    Incremental,
+}
+
+/// One-shot discrete events scheduled on the simulation's timer wheel.
+#[derive(Debug, Clone, Copy)]
+enum WheelEvent {
+    /// The think-time gate opens: job submission may resume.
+    ArrivalGate,
+    /// The fixed-period control cycle is due (re-armed every tick).
+    ControlDue,
+}
 
 /// Give up on a frozen-actuator command after this many attempts (the
 /// initial send plus backed-off retries at 1-, 2- and 4-cycle gaps).
@@ -172,14 +221,78 @@ pub struct ClusterSim {
     obs: ObsHub,
     /// Pre-registered instrument handles into `obs.metrics`.
     obs_i: ObsInstruments,
+    /// Requested evaluation mode (`Incremental` may be forced to the
+    /// dense path at runtime; see [`ClusterSim::incremental_active`]).
+    eval_mode: EvalMode,
+    /// Dense per-node columns (power, speed, down, stamps) + dirty set.
+    columns: NodeColumns,
+    /// Timer wheel carrying the arrival gate and the control-cycle period.
+    wheel: TimeWheel<WheelEvent>,
+    /// Completed ticks; the tick being computed inside `step()` is
+    /// `tick_index + 1` and stamps `now1 = tick · τ`.
+    tick_index: u64,
+    /// Whether the think-time gate is open (wheel-driven mirror of
+    /// `next_submit_at`).
+    arrival_gate_open: bool,
+    /// Last seen phase index per running job (phase-boundary detection).
+    phase_sigs: BTreeMap<JobId, usize>,
+    /// Last tick each node's agent produced (or had its baseline advanced
+    /// to) a sample; 0 = never.
+    last_sampled_tick: Vec<u64>,
+    /// Last tick each node's operating state was (re)materialized — the
+    /// moment its state may have changed. A candidate whose
+    /// `last_sampled_tick` predates this was outside the candidate set
+    /// when the change landed (SLA protection): its next sample must
+    /// accumulate the whole gap for real instead of replaying identical
+    /// intervals.
+    state_epoch: Vec<u64>,
+    /// Nodes real-sampled last cycle (lazy regime): their collector
+    /// prev-power view settles this cycle (dense re-ingestion of the
+    /// identical sample shifts `prev := latest`; `refresh` reproduces it).
+    settle_pending: Vec<u32>,
+    /// Nodes that must be real-sampled *this* cycle even if clean: SLA
+    /// rejoiners (their baseline spans the protection window) and staged
+    /// follow-ups from `resample_next`.
+    resample_now: Vec<u32>,
+    /// Forced re-samples staged for the next cycle: a sample whose delta
+    /// did not span exactly one tick (first-ever sample, post-protection
+    /// gap) produces a value the next dense sample would not repeat.
+    resample_next: Vec<u32>,
+    /// Memoized per-node saving predictions for observation building.
+    obs_cache: ppc_core::NodeObsCache,
+    /// Cached job observations for the lazy (fault-free) control path.
+    cached_obs: Vec<JobObservation>,
+    /// Forces an observation rebuild regardless of the dirty set (job
+    /// finished, candidate set changed).
+    obs_stale: bool,
+    /// Whether the previous tick's dirty set was non-empty (the
+    /// collector's prev-power needs one extra cycle to stabilize).
+    dirty_prev: bool,
     /// Per-tick scratch buffers, reused across ticks so the steady-state
     /// step path performs no per-tick allocation.
     scratch_loads: Vec<OperatingState>,
-    scratch_speeds: Vec<f64>,
     scratch_samples: Vec<NodeSample>,
     scratch_views: Vec<BudgetNodeView>,
     scratch_transitions: Vec<FaultTransition>,
     scratch_down: Vec<bool>,
+    scratch_dirty: Vec<u32>,
+    scratch_events: Vec<WheelEvent>,
+    scratch_sampled: Vec<u32>,
+    scratch_settle: Vec<u32>,
+    /// Node → index into `cached_obs` of the observation containing it
+    /// (`u32::MAX` = none); valid between full observation rebuilds.
+    obs_slot: Vec<u32>,
+    /// Node → run-queue index of its job at the last full observation
+    /// rebuild (`u32::MAX` = idle). A touched node mapped here but absent
+    /// from `obs_slot` means its job was dropped from the observation list
+    /// and may now re-enter: only a full rebuild can re-insert it in order.
+    node_runq: Vec<u32>,
+    /// `cached_obs` index → run-queue index at the last full rebuild (the
+    /// run queue only changes shape on job start/finish, which forces a
+    /// full rebuild, so the mapping stays valid in between).
+    obs_runq: Vec<u32>,
+    /// Per-tick scratch: observation slots to refresh this cycle.
+    scratch_slots: Vec<u32>,
 }
 
 impl ClusterSim {
@@ -234,6 +347,11 @@ impl ClusterSim {
         let meter = SystemPowerMeter::new(spec.meter_noise, factory.stream("meter", 0));
         let mut obs = ObsHub::new();
         let obs_i = ObsInstruments::register(&mut obs.metrics);
+        let n_total = nodes.len();
+        let mut wheel = TimeWheel::new();
+        // The control cycle is a fixed-period wheel event, re-armed each
+        // tick; arm the first firing.
+        wheel.schedule(1, WheelEvent::ControlDue);
         ClusterSim {
             clock: TickClock::new(spec.tick),
             models,
@@ -262,14 +380,92 @@ impl ClusterSim {
             faults: None,
             obs,
             obs_i,
+            eval_mode: EvalMode::default(),
+            columns: NodeColumns::new(n_total),
+            wheel,
+            tick_index: 0,
+            arrival_gate_open: true,
+            phase_sigs: BTreeMap::new(),
+            last_sampled_tick: vec![0; n_total],
+            state_epoch: vec![0; n_total],
+            settle_pending: Vec::new(),
+            resample_now: Vec::new(),
+            resample_next: Vec::new(),
+            obs_cache: ppc_core::NodeObsCache::new(),
+            cached_obs: Vec::new(),
+            obs_stale: true,
+            dirty_prev: false,
             scratch_loads: Vec::new(),
-            scratch_speeds: Vec::new(),
             scratch_samples: Vec::new(),
             scratch_views: Vec::new(),
             scratch_transitions: Vec::new(),
             scratch_down: Vec::new(),
+            scratch_dirty: Vec::new(),
+            scratch_events: Vec::new(),
+            scratch_sampled: Vec::new(),
+            scratch_settle: Vec::new(),
+            obs_slot: vec![u32::MAX; n_total],
+            node_runq: vec![u32::MAX; n_total],
+            obs_runq: Vec::new(),
+            scratch_slots: Vec::new(),
             spec,
         }
+    }
+
+    /// Selects the evaluation strategy. `Incremental` (the default) and
+    /// `Full` are bit-identical; `Full` exists as the dense reference the
+    /// determinism gate and the differential tests compare against.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// True when the dirty-set incremental path drives this run. The
+    /// dense path is forced for features incremental evaluation cannot
+    /// represent: the budget controller samples every node every cycle,
+    /// thermal models integrate every node every tick, and agent sampling
+    /// noise draws per-sample RNG that a skipped sample would desync.
+    fn incremental_active(&self) -> bool {
+        self.eval_mode == EvalMode::Incremental
+            && self.budget_controller.is_none()
+            && !self.thermal_enabled()
+            && self.spec.agent_noise == NoiseModel::NONE
+    }
+
+    /// True when the fault-free lazy control regime may cache job
+    /// observations across clean ticks: fault injection rebuilds the
+    /// staleness/coverage view every cycle, and a meter that can drop
+    /// readings skips cycles, widening the next sample's interval in a
+    /// way a cached observation could not represent.
+    fn lazy_control_ok(&self) -> bool {
+        self.faults.is_none() && self.spec.meter_noise.dropout_prob == 0.0
+    }
+
+    /// First tick whose start instant `(T−1)·τ` reaches `at` — when the
+    /// think-time gate scheduled for `at` opens.
+    fn gate_open_tick(at: SimTime, tau: SimDuration) -> u64 {
+        let tau_ms = tau.as_millis().max(1);
+        at.as_millis().div_ceil(tau_ms) + 1
+    }
+
+    /// The dense node columns (power/speed/down/stamps + dirty set).
+    pub fn columns(&self) -> &NodeColumns {
+        &self.columns
+    }
+
+    /// Applies a DVFS level to a node and keeps the derived columns
+    /// coherent: the speed column updates immediately (job progress reads
+    /// it next tick, exactly when a dense rebuild would see the new
+    /// level), while the power change is staged dirty for the next tick
+    /// (this tick's power was already summed before actuation).
+    fn actuate_level(&mut self, node: NodeId, level: Level) {
+        self.nodes[node.0 as usize]
+            .set_level(level)
+            // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
+            .expect("commands are validated against the ladder");
+        let speed = self.nodes[node.0 as usize].relative_speed();
+        self.columns.set_speed(node, speed);
+        self.columns.dirty.mark_next(node);
     }
 
     /// Attaches a fault-injection schedule. Node crashes evict and requeue
@@ -498,7 +694,7 @@ impl ClusterSim {
     /// dropped from `A_candidate`; rebooted nodes rejoin at the lowest
     /// DVFS level and re-enter the candidate set as degraded (steady-green
     /// recovery promotes them back one level at a time).
-    fn fault_tick(&mut self, now: SimTime) {
+    fn fault_tick(&mut self, now: SimTime, dt: f64, tick: u64, incremental: bool) {
         let Some(mut fs) = self.faults.take() else {
             return;
         };
@@ -524,6 +720,14 @@ impl ClusterSim {
                                 }
                             }
                         }
+                        // The dead node's co-members lose their load this
+                        // very tick; the job's phase tracking ends here
+                        // (a later restart re-registers it at phase 0).
+                        for &m in job.nodes() {
+                            self.columns.dirty.mark(m);
+                        }
+                        self.phase_sigs.remove(&job.id());
+                        self.obs_stale = true;
                         let id = job.id();
                         if job.requeues() >= fs.requeue_cap {
                             fs.jobs_failed += 1;
@@ -548,6 +752,19 @@ impl ClusterSim {
                         }
                     }
                     self.scheduler.set_node_down(n);
+                    if incremental {
+                        // Freeze the node's counters at the last pre-crash
+                        // tick: catch up the quiescent interval it sat
+                        // clean (same state throughout, so the closed form
+                        // is exact), then zero its power column entry.
+                        let behind = tick - 1 - self.columns.stamp_of(n);
+                        if behind > 0 {
+                            self.nodes[n.0 as usize].catch_up(dt, behind);
+                            self.columns.set_stamp(n, tick - 1);
+                        }
+                    }
+                    self.columns.set_down(n);
+                    self.columns.dirty.mark(n);
                     self.collector.forget(n);
                     if let Some(mgr) = self.manager.as_mut() {
                         mgr.note_node_down(n);
@@ -564,11 +781,18 @@ impl ClusterSim {
                 }
                 FaultTransition::NodeUp(n) => {
                     self.scheduler.set_node_up(n);
+                    // The reboot resumes evaluation from here: the next
+                    // materialization has nothing to catch up (the outage
+                    // accrued no counters).
+                    self.columns.set_up(n, tick.saturating_sub(1));
+                    self.columns.dirty.mark(n);
                     let node = &mut self.nodes[n.0 as usize];
                     if !node.is_privileged() {
                         // ppc-lint: allow(panic-path): guarded by the is_privileged() check one line up
                         node.force_lowest().expect("node checked not privileged");
                     }
+                    let speed = node.relative_speed();
+                    self.columns.set_speed(n, speed);
                     if let Some(mgr) = self.manager.as_mut() {
                         mgr.note_node_rejoined(n);
                     }
@@ -617,14 +841,49 @@ impl ClusterSim {
     pub fn step(&mut self) {
         let dt = self.clock.dt_secs();
         let now0 = self.clock.now();
+        let tick = self.tick_index + 1;
+        let incremental = self.incremental_active();
+        let lazy_step = incremental && self.manager.is_some() && self.lazy_control_ok();
+
+        // Tick boundary: promote dirty marks staged during tick−1 (phase
+        // boundaries, level commands), remembering whether tick−1 itself
+        // had dirty work (the collector's prev-power view takes one more
+        // cycle to stabilize after a change).
+        self.dirty_prev = !self.columns.dirty.is_empty();
+        self.columns.dirty.begin_tick();
+        if incremental && tick == 1 {
+            // Nothing has ever been evaluated: everything is dirty.
+            for id in 0..self.nodes.len() as u32 {
+                self.columns.dirty.mark(NodeId(id));
+            }
+        }
+
+        // Drain the timer wheel up to this tick.
+        let mut events = std::mem::take(&mut self.scratch_events);
+        self.wheel.pop_due_into(tick, &mut events);
+        let mut control_due = false;
+        for ev in &events {
+            match ev {
+                WheelEvent::ArrivalGate => self.arrival_gate_open = true,
+                WheelEvent::ControlDue => control_due = true,
+            }
+        }
+        self.scratch_events = events;
+        debug_assert!(control_due, "the control period is re-armed every tick");
+        debug_assert_eq!(
+            self.arrival_gate_open,
+            now0 >= self.next_submit_at,
+            "wheel arrival gate must mirror the think-time deadline"
+        );
 
         // 0. Fault edges strike before anything else this tick, so a node
         //    that dies now neither hosts a new job nor contributes power.
-        self.fault_tick(now0);
+        self.fault_tick(now0, dt, tick, incremental);
 
         // 1. Job arrival and placement. With a replay trace, jobs arrive
         //    at their recorded times; otherwise an empty queue is refilled
-        //    (paper protocol), gated by the think-time gap.
+        //    (paper protocol), gated by the think-time gap — a one-shot
+        //    wheel event rather than a per-tick deadline compare.
         match self.trace_source.as_mut() {
             Some(src) => {
                 for job in src.due_jobs(now0) {
@@ -632,7 +891,7 @@ impl ClusterSim {
                 }
             }
             None => {
-                if now0 >= self.next_submit_at
+                if self.arrival_gate_open
                     && self
                         .generator
                         .refill_to(&mut self.queue, self.spec.queue_depth, now0)
@@ -641,7 +900,11 @@ impl ClusterSim {
                     let gap = self
                         .arrival_rng
                         .exponential(self.spec.think_time_mean.as_secs_f64());
-                    self.next_submit_at = now0 + ppc_simkit::SimDuration::from_secs_f64(gap);
+                    self.next_submit_at = now0 + SimDuration::from_secs_f64(gap);
+                    self.arrival_gate_open = false;
+                    let open_at =
+                        Self::gate_open_tick(self.next_submit_at, self.spec.tick).max(tick + 1);
+                    self.wheel.schedule(open_at, WheelEvent::ArrivalGate);
                 }
             }
         }
@@ -668,17 +931,41 @@ impl ClusterSim {
                         job.priority()
                     )
                 });
+                // Member loads change this very tick; phase tracking
+                // starts at the job's current phase index.
+                self.phase_sigs.insert(job.id(), job.phase_index());
+                for &n in job.nodes() {
+                    self.columns.dirty.mark(n);
+                }
+                self.obs_stale = true;
                 // SLA protection: a critical job's nodes join
                 // A_uncontrollable for its lifetime (the paper's dynamic
                 // candidate set).
                 if protect_critical && job.priority() == JobPriority::Critical {
                     for &n in job.nodes() {
-                        let node = &mut self.nodes[n.0 as usize];
-                        if node.is_privileged() {
+                        let i = n.0 as usize;
+                        if self.nodes[i].is_privileged() {
                             // Already protected (statically privileged, or
                             // shared start tick with another critical job).
                             continue;
                         }
+                        // The node leaves the candidate set this tick; the
+                        // dense path sampled it through tick−1. Advance its
+                        // agent baseline over the clean window against the
+                        // *old* state now, so its post-protection sample
+                        // spans exactly the protection gap, as dense would.
+                        if lazy_step {
+                            let last = self.last_sampled_tick[i];
+                            if self.agents[i].is_primed()
+                                && last >= self.state_epoch[i]
+                                && last + 1 < tick
+                            {
+                                let state = *self.nodes[i].state();
+                                self.agents[i].advance_baseline(&state, dt, tick - 1 - last);
+                                self.last_sampled_tick[i] = tick - 1;
+                            }
+                        }
+                        let node = &mut self.nodes[i];
                         // SLA work gets full performance: restore the node
                         // to its top level (it may carry a degradation from
                         // earlier capping), then freeze it.
@@ -686,6 +973,8 @@ impl ClusterSim {
                         // ppc-lint: allow(panic-path): the node is unfrozen here; set_level only errors on privileged nodes
                         node.set_level(top).expect("node checked not privileged");
                         node.set_privileged(true);
+                        let speed = self.nodes[n.0 as usize].relative_speed();
+                        self.columns.set_speed(n, speed);
                         if let Some(m) = self.manager.as_mut() {
                             m.sets_mut().set_privileged(n, true);
                         }
@@ -695,49 +984,54 @@ impl ClusterSim {
         }
 
         // 2. Node operating states for this tick, derived from the phase
-        //    each node's job is in. Computed serially (borrows the
-        //    scheduler), applied to nodes in parallel via the pool. The
-        //    load/speed buffers are scratch fields reused across ticks.
-        self.scratch_loads.clear();
-        self.scratch_loads.extend(self.nodes.iter().map(
-            |n| match self.scheduler.load_on(n.id()) {
-                Some(load) => OperatingState {
-                    cpu_util: load.cpu_util,
-                    mem_used_bytes: load.mem_bytes,
-                    nic_bytes: (load.nic_fraction * n.spec().nic.bandwidth_bytes_per_sec * dt)
-                        as u64,
+        //    each node's job is in.
+        if incremental {
+            self.materialize_dirty(dt, tick);
+        } else {
+            // Dense reference: compute every node's load serially (borrows
+            // the scheduler), apply to nodes in parallel via the pool. The
+            // load buffer is a scratch field reused across ticks.
+            self.scratch_loads.clear();
+            self.scratch_loads.extend(self.nodes.iter().map(
+                |n| match self.scheduler.load_on(n.id()) {
+                    Some(load) => OperatingState {
+                        cpu_util: load.cpu_util,
+                        mem_used_bytes: load.mem_bytes,
+                        nic_bytes: (load.nic_fraction * n.spec().nic.bandwidth_bytes_per_sec * dt)
+                            as u64,
+                    },
+                    None => OperatingState::IDLE,
                 },
-                None => OperatingState::IDLE,
-            },
-        ));
-        // Down nodes are dark: they neither advance counters nor draw
-        // power until their reboot. The mask is all-false without faults.
-        self.scratch_down.clear();
-        match self.faults.as_ref() {
-            Some(fs) => self
-                .scratch_down
-                .extend(self.nodes.iter().map(|n| fs.engine.is_down(n.id()))),
-            None => self.scratch_down.resize(self.nodes.len(), false),
-        }
-        let pool: &WorkerPool = match self.pool.as_deref() {
-            Some(p) => p,
-            None => WorkerPool::global(),
-        };
-        let loads = &self.scratch_loads;
-        let down = &self.scratch_down;
-        pool.for_each_mut(&mut self.nodes, |i, node| {
-            if !down[i] {
-                node.run_interval(loads[i], dt);
+            ));
+            // Down nodes are dark: they neither advance counters nor draw
+            // power until their reboot. The mask is all-false without
+            // faults.
+            self.scratch_down.clear();
+            match self.faults.as_ref() {
+                Some(fs) => self
+                    .scratch_down
+                    .extend(self.nodes.iter().map(|n| fs.engine.is_down(n.id()))),
+                None => self.scratch_down.resize(self.nodes.len(), false),
             }
-        });
+            let pool: &WorkerPool = match self.pool.as_deref() {
+                Some(p) => p,
+                None => WorkerPool::global(),
+            };
+            let loads = &self.scratch_loads;
+            let down = &self.scratch_down;
+            pool.for_each_mut(&mut self.nodes, |i, node| {
+                if !down[i] {
+                    node.run_interval(loads[i], dt);
+                }
+            });
+        }
 
         // 3. Jobs progress at the min rate over their members' speeds.
-        self.scratch_speeds.clear();
-        self.scratch_speeds
-            .extend(self.nodes.iter().map(Node::relative_speed));
+        //    The speed column is maintained at every level mutation, so no
+        //    per-tick rebuild is needed.
         let now1 = self.clock.advance();
-        let speeds = &self.scratch_speeds;
-        let speed_of = |n: NodeId| speeds[n.0 as usize];
+        let columns = &self.columns;
+        let speed_of = |n: NodeId| columns.speed_of(n);
         let mut records = self.scheduler.advance(dt, now1, &speed_of);
         // Release SLA protection when critical jobs complete — unless the
         // node is statically privileged in the cluster spec.
@@ -751,8 +1045,27 @@ impl ClusterSim {
                     if let Some(m) = self.manager.as_mut() {
                         m.sets_mut().set_privileged(n, false);
                     }
+                    // The node rejoins the candidate set mid-tick: the
+                    // dense path samples it this very cycle, so the lazy
+                    // path must take a real sample too (its delta spans
+                    // the whole protection window).
+                    if lazy_step {
+                        self.resample_now.push(n.0);
+                    }
                 }
             }
+        }
+        // Finished jobs free their members starting next tick (this
+        // tick's load was computed before the advance); phase tracking
+        // ends, and cached observations must drop the job now.
+        for r in &records {
+            self.phase_sigs.remove(&r.id);
+            for &n in &r.nodes {
+                self.columns.dirty.mark_next(n);
+            }
+        }
+        if !records.is_empty() {
+            self.obs_stale = true;
         }
         for r in &records {
             self.journal.record_with(now1, Severity::Info, "job", || {
@@ -763,30 +1076,62 @@ impl ClusterSim {
             });
         }
         self.finished.append(&mut records);
-
-        // 3b. Thermal accounting (extension; no-op without thermal models).
-        let mut rate_sum = 0.0;
-        let mut thermal_nodes = 0u32;
-        for n in &self.nodes {
-            let Some(t) = n.temperature_c() else { continue };
-            let Some(thermal) = n.spec().thermal else {
-                continue;
-            };
-            self.peak_temp_c = self.peak_temp_c.max(t);
-            let Some(rate) = n.relative_failure_rate(thermal.ambient_c) else {
-                continue;
-            };
-            rate_sum += rate;
-            thermal_nodes += 1;
-        }
-        if thermal_nodes > 0 {
-            self.failure_integral += rate_sum / thermal_nodes as f64 * dt;
+        // Phase boundaries crossed during this advance change member
+        // loads starting next tick: stage those members dirty. (Phase
+        // boundaries are not wheel-predicted — their timing depends on
+        // member speeds, which throttling changes mid-flight.)
+        for job in self.scheduler.running_jobs() {
+            if let Some(sig) = self.phase_sigs.get_mut(&job.id()) {
+                let cur = job.phase_index();
+                if *sig != cur {
+                    *sig = cur;
+                    for &n in job.nodes() {
+                        self.columns.dirty.mark_next(n);
+                    }
+                }
+            }
         }
 
-        // 4. Power sensing.
-        let down = &self.scratch_down;
-        let true_power_w =
-            pool.sum_f64(&self.nodes, |i, n| if down[i] { 0.0 } else { n.power_w() });
+        // 3b. Thermal accounting (extension; the incremental path is only
+        //     active without thermal models, where this loop is a no-op).
+        if !incremental {
+            let mut rate_sum = 0.0;
+            let mut thermal_nodes = 0u32;
+            for n in &self.nodes {
+                let Some(t) = n.temperature_c() else { continue };
+                let Some(thermal) = n.spec().thermal else {
+                    continue;
+                };
+                self.peak_temp_c = self.peak_temp_c.max(t);
+                let Some(rate) = n.relative_failure_rate(thermal.ambient_c) else {
+                    continue;
+                };
+                rate_sum += rate;
+                thermal_nodes += 1;
+            }
+            if thermal_nodes > 0 {
+                self.failure_integral += rate_sum / thermal_nodes as f64 * dt;
+            }
+        }
+
+        // 4. Power sensing: a straight index-order fold over the dense
+        //    power column (downed nodes hold 0.0 — no per-node branch).
+        if !incremental {
+            // Dense reference: re-evaluate every node's power into the
+            // column in parallel first. The fold over the column is
+            // bit-identical to the ordered parallel reduction it replaced
+            // (that reduction also folded slot results in index order).
+            let pool: &WorkerPool = match self.pool.as_deref() {
+                Some(p) => p,
+                None => WorkerPool::global(),
+            };
+            let nodes = &self.nodes;
+            let down = &self.scratch_down;
+            pool.for_each_mut(self.columns.power_fill_mut(), |i, p| {
+                *p = if down[i] { 0.0 } else { nodes[i].power_w() };
+            });
+        }
+        let true_power_w = self.columns.fleet_power_w();
         self.true_power.push(now1, true_power_w);
         let reading = self.meter.read(true_power_w, now1);
         match reading {
@@ -809,10 +1154,80 @@ impl ClusterSim {
         // every degraded node, so the cycle is skipped instead.
         if let Some(metered_w) = reading.value() {
             if self.manager.is_some() {
-                self.control_cycle(now1, metered_w);
+                self.control_cycle(now1, metered_w, dt, tick, incremental);
             } else if self.budget_controller.is_some() {
                 self.budget_cycle(now1, metered_w);
             }
+        }
+
+        // Re-arm the fixed-period control event and commit the tick.
+        self.wheel.schedule(tick + 1, WheelEvent::ControlDue);
+        self.tick_index = tick;
+    }
+
+    /// Evaluates exactly the dirty nodes for `tick`: catch the device
+    /// counters up through `tick − 1` in closed form (the state was
+    /// unchanged while the node sat clean — that is what clean means),
+    /// run the new interval, and write the power/speed columns.
+    ///
+    /// In the lazy control regime a dirty candidate's agent baseline is
+    /// advanced over the same quiescent window *before* this tick's state
+    /// change lands, so its next real sample spans exactly one tick —
+    /// precisely what the dense path's per-cycle sampling would produce.
+    fn materialize_dirty(&mut self, dt: f64, tick: u64) {
+        self.scratch_dirty.clear();
+        self.scratch_dirty
+            .extend_from_slice(self.columns.dirty.indices());
+        let lazy_candidates = if self.lazy_control_ok() {
+            self.manager.as_ref().map(|m| m.sets())
+        } else {
+            None
+        };
+        for k in 0..self.scratch_dirty.len() {
+            let id = NodeId(self.scratch_dirty[k]);
+            let i = id.0 as usize;
+            if self.columns.is_down(id) {
+                continue; // frozen until the up edge re-marks it
+            }
+            if let Some(candidates) = lazy_candidates {
+                // Candidate clean since its last sample (its state epoch
+                // has not moved past the sample): replay the skipped
+                // identical samples' baseline motion in closed form
+                // against the *old* state, so this tick's real sample
+                // spans exactly one tick — what dense sampling produces.
+                // Protected (non-candidate) nodes are deliberately left
+                // alone: dense froze their baseline when they left the
+                // candidate set, and their rejoin sample must span the gap.
+                let last = self.last_sampled_tick[i];
+                if last + 1 < tick
+                    && last >= self.state_epoch[i]
+                    && self.agents[i].is_primed()
+                    && candidates.is_candidate(id)
+                {
+                    let state = *self.nodes[i].state();
+                    self.agents[i].advance_baseline(&state, dt, tick - 1 - last);
+                    self.last_sampled_tick[i] = tick - 1;
+                }
+            }
+            let behind = tick - 1 - self.columns.stamp_of(id);
+            if behind > 0 {
+                self.nodes[i].catch_up(dt, behind);
+            }
+            let load = match self.scheduler.load_on(id) {
+                Some(load) => OperatingState {
+                    cpu_util: load.cpu_util,
+                    mem_used_bytes: load.mem_bytes,
+                    nic_bytes: (load.nic_fraction
+                        * self.nodes[i].spec().nic.bandwidth_bytes_per_sec
+                        * dt) as u64,
+                },
+                None => OperatingState::IDLE,
+            };
+            self.nodes[i].run_interval(load, dt);
+            let power = self.nodes[i].power_w();
+            let speed = self.nodes[i].relative_speed();
+            self.columns.materialize(id, power, speed, tick);
+            self.state_epoch[i] = tick;
         }
     }
 
@@ -925,10 +1340,33 @@ impl ClusterSim {
 
     /// Runs the sampling agents and the manager's control cycle, applying
     /// the resulting commands.
-    fn control_cycle(&mut self, now: SimTime, metered_w: f64) {
+    fn control_cycle(
+        &mut self,
+        now: SimTime,
+        metered_w: f64,
+        dt: f64,
+        tick: u64,
+        incremental: bool,
+    ) {
         // ppc-lint: allow(panic-path): step() dispatches here only when a manager is attached
         let manager = self.manager.as_mut().expect("checked by caller");
         self.obs.spans.open("cycle", now);
+
+        // The lazy regime (incremental, fault-free, no meter dropout): when
+        // nothing changed since the last cycle, every candidate's sample
+        // would be bit-identical to its previous one and the resulting job
+        // observations identical too — so the cycle reuses the cached
+        // observations and skips sampling entirely. The manager itself
+        // still runs every cycle: the metered reading moves even when the
+        // nodes do not.
+        let lazy =
+            incremental && self.faults.is_none() && self.spec.meter_noise.dropout_prob == 0.0;
+        let rebuild = !lazy
+            || self.obs_stale
+            || self.dirty_prev
+            || !self.columns.dirty.is_empty()
+            || !self.settle_pending.is_empty()
+            || !self.resample_now.is_empty();
 
         // Agents run on candidate nodes only; monitoring everything would
         // be the unscalable design Figure 5 warns about. The sample buffer
@@ -937,20 +1375,116 @@ impl ClusterSim {
         let sample_t = self.obs.profile.start();
         self.obs.spans.open("sample", now);
         self.scratch_samples.clear();
-        for &id in manager.sets().candidates() {
-            if let Some(fs) = self.faults.as_ref() {
-                if fs.engine.is_down(id) || fs.engine.is_silent(id) {
+        self.scratch_settle.clear();
+        if rebuild && lazy {
+            // Work-list sampling: only nodes whose sample value can differ
+            // from the collector's current view are touched. A clean,
+            // settled candidate's dense sample would be bit-identical to
+            // its collector entry, so skipping it changes nothing the
+            // policies (or the fingerprints) can see.
+            let resample = std::mem::take(&mut self.resample_now);
+            let sets = manager.sets();
+            // Nodes sampled last cycle settle their prev-power view; a
+            // node being re-sampled now settles via the ingest itself, and
+            // one that just left the candidate set (SLA protection) keeps
+            // its frozen prev, exactly like dense.
+            for &raw in &self.settle_pending {
+                let id = NodeId(raw);
+                if self.columns.dirty.contains(id)
+                    || resample.contains(&raw)
+                    || !sets.is_candidate(id)
+                {
                     continue;
                 }
+                self.scratch_settle.push(raw);
             }
-            let idx = id.0 as usize;
-            if let Some(sample) = self.agents[idx].sample(&self.nodes[idx], now) {
-                self.scratch_samples.push(sample);
+            // Real samples: dirty candidates plus the forced re-samples.
+            self.scratch_sampled.clear();
+            for &raw in self.columns.dirty.indices() {
+                if sets.is_candidate(NodeId(raw)) {
+                    self.scratch_sampled.push(raw);
+                }
+            }
+            for &raw in &resample {
+                let id = NodeId(raw);
+                if !self.columns.dirty.contains(id) && sets.is_candidate(id) {
+                    self.scratch_sampled.push(raw);
+                }
+            }
+            for k in 0..self.scratch_sampled.len() {
+                let raw = self.scratch_sampled[k];
+                let id = NodeId(raw);
+                let idx = raw as usize;
+                // Bring the counters current: a forced re-sample may not
+                // have materialized this tick (its state is unchanged), and
+                // a rejoiner's gap accumulates for real.
+                let behind = tick - self.columns.stamp_of(id);
+                if behind > 0 {
+                    self.nodes[idx].catch_up(dt, behind);
+                    self.columns.set_stamp(id, tick);
+                }
+                // A sample whose delta does not span exactly the last tick
+                // (first-ever sample, post-protection gap) produces a value
+                // the next cycle's dense sample would not repeat: force a
+                // real follow-up next cycle instead of a settle.
+                let fresh_baseline =
+                    self.agents[idx].is_primed() && self.last_sampled_tick[idx] + 1 == tick;
+                if !fresh_baseline {
+                    self.resample_next.push(raw);
+                }
+                if let Some(sample) = self.agents[idx].sample(&self.nodes[idx], now) {
+                    self.scratch_samples.push(sample);
+                }
+                self.last_sampled_tick[idx] = tick;
+            }
+            // Recycle buffers: this cycle's sampled set settles next
+            // cycle; the spent force-list becomes the next staging buffer.
+            std::mem::swap(&mut self.settle_pending, &mut self.scratch_sampled);
+            let mut spent = resample;
+            spent.clear();
+            self.resample_now = std::mem::replace(&mut self.resample_next, spent);
+        } else if rebuild {
+            for &id in manager.sets().candidates() {
+                if let Some(fs) = self.faults.as_ref() {
+                    if fs.engine.is_down(id) || fs.engine.is_silent(id) {
+                        continue;
+                    }
+                }
+                let idx = id.0 as usize;
+                let sample = if incremental {
+                    // Real sample every cycle (fault runs rebuild the
+                    // staleness view each time). Bring the counters
+                    // current first: a clean node may not have
+                    // materialized this tick, and a post-silence gap must
+                    // accumulate for real (the dense path's delta spans
+                    // the whole gap).
+                    let behind = tick - self.columns.stamp_of(id);
+                    if behind > 0 && !self.columns.is_down(id) {
+                        self.nodes[idx].catch_up(dt, behind);
+                        self.columns.set_stamp(id, tick);
+                    }
+                    self.agents[idx].sample(&self.nodes[idx], now)
+                } else {
+                    self.agents[idx].sample(&self.nodes[idx], now)
+                };
+                self.last_sampled_tick[idx] = tick;
+                if let Some(sample) = sample {
+                    self.scratch_samples.push(sample);
+                }
             }
         }
+        // The span tree must be identical across evaluation modes, so the
+        // lazy regime reports the *logical* sample count — what the dense
+        // path would have taken (one per candidate; the lazy regime
+        // excludes faults and agent noise, so none are dropped).
+        let logical_samples = if lazy {
+            manager.sets().candidates().len() as u64
+        } else {
+            self.scratch_samples.len() as u64
+        };
         self.obs
             .spans
-            .attr("samples", AttrValue::U64(self.scratch_samples.len() as u64));
+            .attr("samples", AttrValue::U64(logical_samples));
         self.obs.spans.close(now);
         self.obs.profile.stop("sample", sample_t);
 
@@ -966,10 +1500,28 @@ impl ClusterSim {
         let nodes = &self.nodes;
         let scheduler = &self.scheduler;
         let samples = &self.scratch_samples;
+        let settle = &self.scratch_settle;
+        let cached_obs = &mut self.cached_obs;
+        let obs_cache = &mut self.obs_cache;
+        let obs_slot = &mut self.obs_slot;
+        let node_runq = &mut self.node_runq;
+        let obs_runq = &mut self.obs_runq;
+        let scratch_slots = &mut self.scratch_slots;
         let faults = self.faults.as_mut();
         let spans = &mut self.obs.spans;
+        // Full observation rebuild only when the job list itself changed
+        // shape (start/finish/protection edges) or outside the lazy
+        // regime; otherwise only the jobs whose members were sampled or
+        // settled this cycle are refreshed in place.
+        let full_rebuild = rebuild && (!lazy || self.obs_stale);
         let outcome = self.cost_meter.measure(|| {
-            collector.ingest_batch_traced(samples, now, spans);
+            spans.open("ingest", now);
+            spans.attr("samples", AttrValue::U64(logical_samples));
+            for &raw in settle {
+                collector.refresh(NodeId(raw), now);
+            }
+            collector.ingest_batch(samples);
+            spans.close(now);
             let model_of = |n: NodeId| Arc::clone(&models[n.0 as usize]);
             let jobs = || scheduler.running_jobs().iter().map(|j| (j.id(), j.nodes()));
             match faults {
@@ -987,13 +1539,14 @@ impl ClusterSim {
                         fs.fresh.len() as f64 / candidates.len() as f64
                     };
                     spans.open("observe", now);
-                    let observations = observe_jobs(collector, jobs(), &fs.fresh, &model_of);
-                    spans.attr("jobs", AttrValue::U64(observations.len() as u64));
+                    *cached_obs =
+                        observe_jobs_cached(collector, jobs(), &fs.fresh, &model_of, obs_cache);
+                    spans.attr("jobs", AttrValue::U64(cached_obs.len() as u64));
                     spans.attr("coverage", AttrValue::F64(coverage));
                     spans.close(now);
                     manager.control_cycle_traced(
                         metered_w,
-                        observations,
+                        cached_obs.as_slice(),
                         &NodesView(nodes),
                         coverage,
                         now,
@@ -1002,13 +1555,91 @@ impl ClusterSim {
                 }
                 None => {
                     spans.open("observe", now);
-                    let observations =
-                        observe_jobs(collector, jobs(), manager.sets().candidates(), &model_of);
-                    spans.attr("jobs", AttrValue::U64(observations.len() as u64));
+                    let mut full = full_rebuild;
+                    if !full && lazy {
+                        // Per-job refresh: collect the observation slots
+                        // holding a sampled or settled member. A touched
+                        // node whose job was dropped from the list (all
+                        // members idle or excluded) may bring it back —
+                        // only a full rebuild can re-insert it in order.
+                        scratch_slots.clear();
+                        for raw in samples
+                            .iter()
+                            .map(|s| s.node.0)
+                            .chain(settle.iter().copied())
+                        {
+                            let slot = obs_slot[raw as usize];
+                            if slot != u32::MAX {
+                                scratch_slots.push(slot);
+                            } else if node_runq[raw as usize] != u32::MAX {
+                                full = true;
+                            }
+                        }
+                        if !full && !scratch_slots.is_empty() {
+                            scratch_slots.sort_unstable();
+                            scratch_slots.dedup();
+                            let sets = manager.sets();
+                            let running = scheduler.running_jobs();
+                            for &slot in scratch_slots.iter() {
+                                let job = &running[obs_runq[slot as usize] as usize];
+                                if !observe_job_into(
+                                    collector,
+                                    job.id(),
+                                    job.nodes(),
+                                    sets,
+                                    &model_of,
+                                    obs_cache,
+                                    &mut cached_obs[slot as usize],
+                                ) {
+                                    // The refreshed job dropped out of the
+                                    // list: positions shift, rebuild fully.
+                                    full = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if full {
+                        let sets = manager.sets();
+                        let running = scheduler.running_jobs();
+                        obs_slot.fill(u32::MAX);
+                        node_runq.fill(u32::MAX);
+                        obs_runq.clear();
+                        let mut w = 0usize;
+                        for (qi, job) in running.iter().enumerate() {
+                            for &n in job.nodes() {
+                                node_runq[n.0 as usize] = qi as u32;
+                            }
+                            if w == cached_obs.len() {
+                                cached_obs.push(JobObservation {
+                                    id: job.id(),
+                                    nodes: Vec::new(),
+                                    prev_power_w: None,
+                                });
+                            }
+                            if observe_job_into(
+                                collector,
+                                job.id(),
+                                job.nodes(),
+                                sets,
+                                &model_of,
+                                obs_cache,
+                                &mut cached_obs[w],
+                            ) {
+                                for &n in job.nodes() {
+                                    obs_slot[n.0 as usize] = w as u32;
+                                }
+                                obs_runq.push(qi as u32);
+                                w += 1;
+                            }
+                        }
+                        cached_obs.truncate(w);
+                    }
+                    spans.attr("jobs", AttrValue::U64(cached_obs.len() as u64));
                     spans.close(now);
                     manager.control_cycle_traced(
                         metered_w,
-                        observations,
+                        cached_obs.as_slice(),
                         &NodesView(nodes),
                         1.0,
                         now,
@@ -1018,6 +1649,9 @@ impl ClusterSim {
             }
         });
         self.obs.profile.stop("control", control_t);
+        if rebuild {
+            self.obs_stale = false;
+        }
         self.state_log.push((now, outcome.state));
         let red_entered =
             outcome.state == PowerState::Red && self.last_state != Some(PowerState::Red);
@@ -1114,10 +1748,7 @@ impl ClusterSim {
             // Privileged nodes are never candidates, so set_level cannot
             // hit the Privileged error; InvalidLevel cannot happen because
             // commands derive from the node's own ladder.
-            self.nodes[node.0 as usize]
-                .set_level(level)
-                // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
-                .expect("commands are validated against the ladder");
+            self.actuate_level(node, level);
             self.commands_applied += 1;
             self.obs.metrics.inc(self.obs_i.commands_applied, 1);
             return;
@@ -1149,10 +1780,7 @@ impl ClusterSim {
             });
             return;
         }
-        self.nodes[node.0 as usize]
-            .set_level(level)
-            // ppc-lint: allow(panic-path): candidates are never privileged and levels come from the node's own ladder
-            .expect("commands are validated against the ladder");
+        self.actuate_level(node, level);
         self.commands_applied += 1;
         self.obs.metrics.inc(self.obs_i.commands_applied, 1);
     }
@@ -1194,10 +1822,7 @@ impl ClusterSim {
                 }
                 continue;
             }
-            self.nodes[r.node.0 as usize]
-                .set_level(r.level)
-                // ppc-lint: allow(panic-path): retries re-validate liveness above; levels come from the node's own ladder
-                .expect("commands are validated against the ladder");
+            self.actuate_level(r.node, r.level);
             self.commands_applied += 1;
             self.obs.metrics.inc(self.obs_i.actuation_retries, 1);
             self.obs.metrics.inc(self.obs_i.commands_applied, 1);
@@ -1459,6 +2084,173 @@ mod tests {
         let report = sim.availability_report().unwrap();
         assert_eq!(report.silences, 4);
         assert!(report.conservative_fraction > 0.0);
+    }
+
+    /// FNV-1a over the raw bit patterns of a float series.
+    fn fnv1a_bits(values: &[f64]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in values {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// All four determinism fingerprints plus the coarse outcome counters.
+    fn digest(sim: &ClusterSim) -> (u64, u64, u64, u64, usize, u64) {
+        (
+            sim.journal().fingerprint(),
+            fnv1a_bits(sim.true_power().values()),
+            sim.span_fingerprint(),
+            sim.metrics_fingerprint(),
+            sim.finished().len(),
+            sim.commands_applied(),
+        )
+    }
+
+    #[test]
+    fn incremental_matches_full_fingerprints_fault_free() {
+        // The fault-free managed run is the regime where lazy cycle
+        // skipping and quiescent resampling actually engage; every
+        // fingerprint must still be bit-identical to the dense reference.
+        let run = |mode: EvalMode| {
+            let mut sim = managed_mini(8, PolicyKind::Mpc, 0.60).with_eval_mode(mode);
+            sim.run_for(SimDuration::from_secs(400));
+            digest(&sim)
+        };
+        assert_eq!(run(EvalMode::Full), run(EvalMode::Incremental));
+    }
+
+    #[test]
+    fn incremental_matches_full_with_critical_jobs() {
+        // SLA protection moves nodes out of and back into the candidate
+        // set mid-run: the lazy path must freeze a protected node's agent
+        // baseline at the protection edge and take a gap-spanning sample
+        // on rejoin, exactly like the dense reference that sampled it
+        // every cycle until protection and re-sampled it on release.
+        let run = |mode: EvalMode| {
+            let mut spec = ClusterSpec::mini(8);
+            spec.provision_fraction = 0.60;
+            spec.critical_job_fraction = 0.4;
+            let sets = NodeSets::new(spec.node_ids(), spec.privileged.iter().copied());
+            let config = ManagerConfig {
+                training_cycles: 0,
+                ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+            };
+            let manager = PowerManager::new(config, sets).unwrap();
+            let mut sim = ClusterSim::new(spec)
+                .with_manager(manager)
+                .with_eval_mode(mode);
+            sim.run_for(SimDuration::from_secs(500));
+            digest(&sim)
+        };
+        assert_eq!(run(EvalMode::Full), run(EvalMode::Incremental));
+    }
+
+    #[test]
+    fn incremental_matches_full_fingerprints_under_faults() {
+        use ppc_faults::{FaultEvent, FaultInjection, FaultKind, FaultSchedule};
+        // Faults force the eager incremental regime: every cycle samples
+        // for real, but evaluation still only touches dirty nodes.
+        let run = |mode: EvalMode| {
+            let schedule = FaultSchedule::new(vec![
+                FaultEvent {
+                    at: SimTime::from_secs(40),
+                    node: NodeId(1),
+                    kind: FaultKind::Crash {
+                        reboot: SimDuration::from_secs(30),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(60),
+                    node: NodeId(2),
+                    kind: FaultKind::Hang {
+                        duration: SimDuration::from_secs(50),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(90),
+                    node: NodeId(3),
+                    kind: FaultKind::AgentSilence {
+                        duration: SimDuration::from_secs(40),
+                    },
+                },
+            ]);
+            let mut sim = managed_mini(8, PolicyKind::Mpc, 0.60)
+                .with_eval_mode(mode)
+                .with_faults(FaultInjection::new(schedule));
+            sim.run_for(SimDuration::from_secs(400));
+            digest(&sim)
+        };
+        assert_eq!(run(EvalMode::Full), run(EvalMode::Incremental));
+    }
+
+    #[test]
+    fn incremental_matches_full_unmanaged() {
+        let run = |mode: EvalMode| {
+            let mut sim = ClusterSim::new(ClusterSpec::mini(8)).with_eval_mode(mode);
+            sim.run_for(SimDuration::from_secs(400));
+            (
+                fnv1a_bits(sim.true_power().values()),
+                sim.journal().fingerprint(),
+                sim.finished().len(),
+            )
+        };
+        assert_eq!(run(EvalMode::Full), run(EvalMode::Incremental));
+    }
+
+    #[test]
+    fn dirty_set_covers_every_power_change() {
+        use ppc_faults::{FaultEvent, FaultInjection, FaultKind, FaultSchedule};
+        // Step a dense and an incremental sim in lockstep: whenever any
+        // node's true power changes between consecutive ticks in the
+        // dense run, that node must be in the incremental run's dirty set
+        // for the tick — and the whole power column must stay bit-equal.
+        let make = |mode: EvalMode| {
+            let schedule = FaultSchedule::new(vec![
+                FaultEvent {
+                    at: SimTime::from_secs(30),
+                    node: NodeId(1),
+                    kind: FaultKind::Crash {
+                        reboot: SimDuration::from_secs(20),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(55),
+                    node: NodeId(4),
+                    kind: FaultKind::Hang {
+                        duration: SimDuration::from_secs(40),
+                    },
+                },
+            ]);
+            managed_mini(8, PolicyKind::Mpc, 0.60)
+                .with_eval_mode(mode)
+                .with_faults(FaultInjection::new(schedule))
+        };
+        let mut full = make(EvalMode::Full);
+        let mut inc = make(EvalMode::Incremental);
+        let mut prev = full.columns().power_w().to_vec();
+        for tick in 0..300u64 {
+            full.step();
+            inc.step();
+            let cur = full.columns().power_w();
+            assert_eq!(
+                cur,
+                inc.columns().power_w(),
+                "power columns diverged at tick {tick}"
+            );
+            for (i, (&p, &q)) in prev.iter().zip(cur.iter()).enumerate() {
+                if p.to_bits() != q.to_bits() {
+                    assert!(
+                        inc.columns().dirty.contains(NodeId(i as u32)),
+                        "node {i} power changed at tick {tick} but was not dirty"
+                    );
+                }
+            }
+            prev = cur.to_vec();
+        }
     }
 
     #[test]

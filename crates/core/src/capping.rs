@@ -72,6 +72,15 @@ pub struct CappingAlgorithm {
     time_g: u64,
     /// `T_g`: Green cycles required before recovery starts.
     t_g: u64,
+    /// Candidate-set generation `A_degraded` was last pruned against
+    /// (see [`CappingAlgorithm::prune_for`]); not part of the algorithm's
+    /// wire state.
+    #[serde(skip)]
+    pruned_gen: Option<u64>,
+    /// Set by [`CappingAlgorithm::prune_for`]; consumed by the next
+    /// `cycle*` call to skip its unconditional prune.
+    #[serde(skip)]
+    prune_done: bool,
 }
 
 impl CappingAlgorithm {
@@ -81,6 +90,30 @@ impl CappingAlgorithm {
             degraded: BTreeSet::new(),
             time_g: 0,
             t_g,
+            pruned_gen: None,
+            prune_done: false,
+        }
+    }
+
+    /// Prunes `A_degraded` to the candidate set, memoized on the set's
+    /// generation: nodes only ever enter `A_degraded` while they are
+    /// candidates, and candidate membership can't change without bumping
+    /// the generation — so until it moves, the prune is a no-op. The next
+    /// `cycle*` call skips its own unconditional prune.
+    pub fn prune_for(&mut self, candidates: &BTreeSet<NodeId>, generation: u64) {
+        if self.pruned_gen != Some(generation) {
+            self.degraded.retain(|n| candidates.contains(n));
+            self.pruned_gen = Some(generation);
+        }
+        self.prune_done = true;
+    }
+
+    /// The unconditional per-cycle prune, unless [`Self::prune_for`]
+    /// already covered this cycle.
+    fn prune(&mut self, candidates: &BTreeSet<NodeId>) {
+        if !std::mem::take(&mut self.prune_done) {
+            self.degraded.retain(|n| candidates.contains(n));
+            self.pruned_gen = None;
         }
     }
 
@@ -132,7 +165,7 @@ impl CappingAlgorithm {
         at: SimTime,
         spans: &mut SpanRecorder,
     ) -> Vec<NodeCommand> {
-        self.degraded.retain(|n| candidates.contains(n));
+        self.prune(candidates);
         match state {
             PowerState::Green => self.green_cycle(view),
             PowerState::Yellow => self.yellow_cycle(ctx, policy, candidates, view, at, spans),
@@ -161,11 +194,11 @@ impl CappingAlgorithm {
         candidates: &BTreeSet<NodeId>,
         view: &dyn LevelView,
     ) -> Vec<NodeCommand> {
-        self.degraded.retain(|n| candidates.contains(n));
+        self.prune(candidates);
         self.time_g = 0;
         let mut commands = Vec::new();
         let mut seen = BTreeSet::new();
-        for job in &ctx.jobs {
+        for job in ctx.jobs {
             for obs in &job.nodes {
                 let node = obs.node;
                 if !candidates.contains(&node) || !seen.insert(node) {

@@ -34,7 +34,7 @@ pub use capping::{CappingAlgorithm, NodeCommand};
 pub use config::ManagerConfig;
 pub use error::CoreError;
 pub use manager::{CycleOutcome, PowerManager};
-pub use observe::{JobObservation, NodeObservation, SelectionContext};
+pub use observe::{JobObservation, NodeObsCache, NodeObservation, SelectionContext};
 pub use policy::{PolicyKind, TargetSelectionPolicy};
 pub use sets::NodeSets;
 pub use state::{PowerState, Thresholds};

@@ -165,7 +165,7 @@ impl PowerManager {
     pub fn control_cycle(
         &mut self,
         power_w: f64,
-        jobs: Vec<JobObservation>,
+        jobs: &[JobObservation],
         view: &dyn LevelView,
     ) -> CycleOutcome {
         self.control_cycle_with_coverage(power_w, jobs, view, 1.0)
@@ -183,7 +183,7 @@ impl PowerManager {
     pub fn control_cycle_with_coverage(
         &mut self,
         power_w: f64,
-        jobs: Vec<JobObservation>,
+        jobs: &[JobObservation],
         view: &dyn LevelView,
         coverage: f64,
     ) -> CycleOutcome {
@@ -204,7 +204,7 @@ impl PowerManager {
     pub fn control_cycle_traced(
         &mut self,
         power_w: f64,
-        jobs: Vec<JobObservation>,
+        jobs: &[JobObservation],
         view: &dyn LevelView,
         coverage: f64,
         at: SimTime,
@@ -226,6 +226,9 @@ impl PowerManager {
         spans.close(at);
 
         let candidates = self.sets.candidates();
+        // Prune A_degraded once per candidate-set change instead of every
+        // cycle: membership can't move without bumping the generation.
+        self.capping.prune_for(candidates, self.sets.generation());
         let ctx = SelectionContext {
             jobs,
             power_w,
@@ -318,7 +321,7 @@ mod tests {
     fn green_cycle_issues_nothing_and_counts() {
         let mut m = manager(PolicyKind::Mpc, None);
         // P_L = 840: 500 W is Green.
-        let out = m.control_cycle(500.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        let out = m.control_cycle(500.0, &[], &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(out.state, PowerState::Green);
         assert!(out.commands.is_empty());
         assert_eq!(m.stats().green_cycles, 1);
@@ -334,7 +337,7 @@ mod tests {
             None,
         )];
         // P in [840, 930): Yellow.
-        let out = m.control_cycle(900.0, jobs, &FlatView(Level::new(9), Level::new(9)));
+        let out = m.control_cycle(900.0, &jobs, &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(out.state, PowerState::Yellow);
         assert_eq!(out.commands.len(), 2);
         assert!(out.commands.iter().all(|c| c.level == Level::new(8)));
@@ -345,7 +348,7 @@ mod tests {
     #[test]
     fn red_cycle_floors_all_candidates() {
         let mut m = manager(PolicyKind::Hri, None);
-        let out = m.control_cycle(950.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        let out = m.control_cycle(950.0, &[], &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(out.state, PowerState::Red);
         assert_eq!(out.commands.len(), 8);
         assert!(out.commands.iter().all(|c| c.level == Level::LOWEST));
@@ -354,7 +357,7 @@ mod tests {
     #[test]
     fn zero_candidate_cap_never_commands() {
         let mut m = manager(PolicyKind::Mpc, Some(0));
-        let out = m.control_cycle(5_000.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        let out = m.control_cycle(5_000.0, &[], &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(out.state, PowerState::Red);
         assert!(out.commands.is_empty(), "monitoring-only mode");
     }
@@ -369,15 +372,15 @@ mod tests {
         };
         let mut m = PowerManager::new(config, sets).unwrap();
         let view = FlatView(Level::new(9), Level::new(9));
-        m.control_cycle(700.0, vec![], &view);
-        let out = m.control_cycle(750.0, vec![], &view);
+        m.control_cycle(700.0, &[], &view);
+        let out = m.control_cycle(750.0, &[], &view);
         assert!(out.thresholds_adjusted, "training ends on cycle 2");
         assert_eq!(m.learner().p_peak_w(), 750.0);
         assert_eq!(m.stats().threshold_adjustments, 1);
         // Next adjustment after t_p = 3 more cycles.
-        m.control_cycle(740.0, vec![], &view);
-        m.control_cycle(740.0, vec![], &view);
-        let out = m.control_cycle(740.0, vec![], &view);
+        m.control_cycle(740.0, &[], &view);
+        m.control_cycle(740.0, &[], &view);
+        let out = m.control_cycle(740.0, &[], &view);
         assert!(out.thresholds_adjusted);
     }
 
@@ -393,7 +396,7 @@ mod tests {
         // Coverage 0.25 < floor 0.5: conservative Yellow, no policy.
         let out = m.control_cycle_with_coverage(
             900.0,
-            jobs,
+            &jobs,
             &FlatView(Level::new(9), Level::new(9)),
             0.25,
         );
@@ -408,13 +411,13 @@ mod tests {
         let mut m = manager(PolicyKind::Mpc, None);
         // Degrade via a normal Yellow first.
         let jobs = vec![jobs_obs(1, vec![nobs(0, 9, 300.0)], None)];
-        m.control_cycle(900.0, jobs, &FlatView(Level::new(9), Level::new(9)));
+        m.control_cycle(900.0, &jobs, &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(m.degraded_count(), 1);
         // t_g = 10; run plenty of blind Green cycles: no promotion.
         for _ in 0..20 {
             let out = m.control_cycle_with_coverage(
                 500.0,
-                vec![],
+                &[],
                 &FlatView(Level::new(8), Level::new(9)),
                 0.0,
             );
@@ -430,7 +433,7 @@ mod tests {
         let mut m = manager(PolicyKind::Mpc, None);
         let out = m.control_cycle_with_coverage(
             5_000.0,
-            vec![],
+            &[],
             &FlatView(Level::new(9), Level::new(9)),
             0.0,
         );
@@ -447,7 +450,7 @@ mod tests {
         assert_eq!(m.sets().candidate_count(), 7);
         assert!(!m.sets().is_candidate(NodeId(3)));
         // Red while the node is down: commands must skip it.
-        let out = m.control_cycle(5_000.0, vec![], &FlatView(Level::new(9), Level::new(9)));
+        let out = m.control_cycle(5_000.0, &[], &FlatView(Level::new(9), Level::new(9)));
         assert_eq!(out.commands.len(), 7);
         assert!(out.commands.iter().all(|c| c.node != NodeId(3)));
         // Rejoin at the lowest level: adopted for green recovery.

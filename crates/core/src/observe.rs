@@ -83,24 +83,113 @@ impl JobObservation {
 }
 
 /// Everything a selection policy sees in one cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SelectionContext {
+///
+/// Borrows the cycle's job observations instead of owning them so the
+/// manager can hand a cached observation list to the policy without
+/// cloning per cycle (the incremental-evaluation hot path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionContext<'a> {
     /// Observations of all running jobs with candidate nodes.
-    pub jobs: Vec<JobObservation>,
+    pub jobs: &'a [JobObservation],
     /// Current metered system power `P`, watts.
     pub power_w: f64,
     /// The lower threshold `P_L`, watts.
     pub p_low_w: f64,
 }
 
-impl SelectionContext {
+impl SelectionContext<'_> {
     /// The power cut needed to return to Green: `P − P_L` (≥ 0).
     pub fn deficit_w(&self) -> f64 {
         (self.power_w - self.p_low_w).max(0.0)
     }
 }
 
+/// Value-keyed memo of each node's one-level-down saving prediction.
+///
+/// `saving_one_level_w` walks the power model's formula twice per call, and
+/// a steady-state cluster re-presents the *same* sample values cycle after
+/// cycle. The cache keys on exactly the sample fields the prediction reads
+/// (level, operating state, estimated power — compared bit-for-bit, so a
+/// hit returns the bit-identical `f64` a recomputation would) and needs no
+/// explicit invalidation: any changed input misses and recomputes.
+#[derive(Debug, Default)]
+pub struct NodeObsCache {
+    entries: Vec<Option<(Level, ppc_node::OperatingState, f64, f64)>>,
+}
+
+impl NodeObsCache {
+    /// An empty cache; entries appear as nodes are first observed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The saving prediction for `node`'s current sample, memoized.
+    fn saving_w(
+        &mut self,
+        node: NodeId,
+        level: Level,
+        state: &ppc_node::OperatingState,
+        power_w: f64,
+        model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+    ) -> f64 {
+        let i = node.0 as usize;
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, None);
+        }
+        if let Some((l, s, p, saving)) = &self.entries[i] {
+            if *l == level
+                && s.cpu_util.to_bits() == state.cpu_util.to_bits()
+                && s.mem_used_bytes == state.mem_used_bytes
+                && s.nic_bytes == state.nic_bytes
+                && p.to_bits() == power_w.to_bits()
+            {
+                return *saving;
+            }
+        }
+        let saving = model_of(node).saving_one_level_w(level, state);
+        self.entries[i] = Some((level, *state, power_w, saving));
+        saving
+    }
+}
+
+/// Membership test for the candidate set — the only question the
+/// observation builder asks of the node classification. Implemented by
+/// the ordered `BTreeSet` (tests, fault-path freshness sets) and by
+/// [`crate::sets::NodeSets`] through its dense bitmask (the per-tick hot
+/// path, where a tree lookup per member visit is measurable).
+pub trait CandidateFilter {
+    /// True if `node` is in the admitted set.
+    fn admits(&self, node: NodeId) -> bool;
+}
+
+impl CandidateFilter for BTreeSet<NodeId> {
+    fn admits(&self, node: NodeId) -> bool {
+        self.contains(&node)
+    }
+}
+
 /// Builds job observations from the collector's current view.
+///
+/// Convenience wrapper over [`observe_jobs_cached`] with a throwaway cache
+/// (every saving is computed fresh) — fine for tests and one-shot callers;
+/// the simulation hot path keeps a long-lived [`NodeObsCache`] instead.
+pub fn observe_jobs<'a>(
+    collector: &Collector,
+    jobs: impl IntoIterator<Item = (JobId, &'a [NodeId])>,
+    candidates: &BTreeSet<NodeId>,
+    model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+) -> Vec<JobObservation> {
+    observe_jobs_cached(
+        collector,
+        jobs,
+        candidates,
+        model_of,
+        &mut NodeObsCache::new(),
+    )
+}
+
+/// Builds job observations from the collector's current view, memoizing
+/// per-node saving predictions in `cache`.
 ///
 /// `jobs` yields each running job with its full member-node slice —
 /// borrowed, so callers iterate their scheduler state directly instead of
@@ -109,51 +198,101 @@ impl SelectionContext {
 /// clones of a shared Arc). Idle nodes and nodes outside `candidates` are
 /// excluded per the paper's definition of `Nodes(J)`; jobs left with no
 /// observable nodes are dropped entirely.
-pub fn observe_jobs<'a>(
+pub fn observe_jobs_cached<'a, C: CandidateFilter + ?Sized>(
     collector: &Collector,
     jobs: impl IntoIterator<Item = (JobId, &'a [NodeId])>,
-    candidates: &BTreeSet<NodeId>,
+    candidates: &C,
     model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+    cache: &mut NodeObsCache,
 ) -> Vec<JobObservation> {
     let jobs = jobs.into_iter();
     let mut out = Vec::with_capacity(jobs.size_hint().0);
+    observe_jobs_into(collector, jobs, candidates, model_of, cache, &mut out);
+    out
+}
+
+/// [`observe_jobs_cached`] writing into a reused buffer: the output list
+/// and every per-job node vector keep their allocations across cycles.
+/// The result is element-for-element identical to a fresh build.
+pub fn observe_jobs_into<'a, C: CandidateFilter + ?Sized>(
+    collector: &Collector,
+    jobs: impl IntoIterator<Item = (JobId, &'a [NodeId])>,
+    candidates: &C,
+    model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+    cache: &mut NodeObsCache,
+    out: &mut Vec<JobObservation>,
+) {
+    let mut w = 0;
     for (id, members) in jobs {
-        let mut nodes = Vec::new();
-        let mut prev_sum = 0.0;
-        let mut prev_complete = true;
-        for &n in members {
-            if !candidates.contains(&n) {
-                continue;
-            }
-            let Some(sample) = collector.latest(n) else {
-                continue;
-            };
-            if sample.is_idle() {
-                continue;
-            }
-            let model = model_of(n);
-            let saving_w = model.saving_one_level_w(sample.level, &sample.state);
-            nodes.push(NodeObservation {
-                node: n,
-                level: sample.level,
-                power_w: sample.power_w,
-                saving_w,
+        if w == out.len() {
+            out.push(JobObservation {
+                id,
+                nodes: Vec::new(),
+                prev_power_w: None,
             });
-            match collector.prev_power_of(n) {
-                Some(p) => prev_sum += p,
-                None => prev_complete = false,
-            }
         }
-        if nodes.is_empty() {
+        if observe_job_into(
+            collector,
+            id,
+            members,
+            candidates,
+            model_of,
+            cache,
+            &mut out[w],
+        ) {
+            w += 1;
+        }
+    }
+    out.truncate(w);
+}
+
+/// Rebuilds the observation of a single job in place, reusing `out`'s
+/// node-vector allocation. Returns false (and leaves `out` with no
+/// observable nodes) if the job would be dropped from the observation
+/// list — the exact per-job logic of [`observe_jobs_cached`], exposed so
+/// the incremental evaluator can refresh only the jobs whose members
+/// changed this cycle.
+#[allow(clippy::too_many_arguments)]
+pub fn observe_job_into<C: CandidateFilter + ?Sized>(
+    collector: &Collector,
+    id: JobId,
+    members: &[NodeId],
+    candidates: &C,
+    model_of: &dyn Fn(NodeId) -> Arc<PowerModel>,
+    cache: &mut NodeObsCache,
+    out: &mut JobObservation,
+) -> bool {
+    out.id = id;
+    out.nodes.clear();
+    let mut prev_sum = 0.0;
+    let mut prev_complete = true;
+    for &n in members {
+        if !candidates.admits(n) {
             continue;
         }
-        out.push(JobObservation {
-            id,
-            nodes,
-            prev_power_w: (prev_complete && prev_sum > 0.0).then_some(prev_sum),
+        let Some(sample) = collector.latest(n) else {
+            continue;
+        };
+        if sample.is_idle() {
+            continue;
+        }
+        let saving_w = cache.saving_w(n, sample.level, &sample.state, sample.power_w, model_of);
+        out.nodes.push(NodeObservation {
+            node: n,
+            level: sample.level,
+            power_w: sample.power_w,
+            saving_w,
         });
+        match collector.prev_power_of(n) {
+            Some(p) => prev_sum += p,
+            None => prev_complete = false,
+        }
     }
-    out
+    if out.nodes.is_empty() {
+        return false;
+    }
+    out.prev_power_w = (prev_complete && prev_sum > 0.0).then_some(prev_sum);
+    true
 }
 
 #[cfg(test)]
@@ -185,10 +324,12 @@ pub(crate) mod testutil {
         }
     }
 
-    /// A context with the given jobs, power and P_L.
-    pub fn ctx(jobs: Vec<JobObservation>, power_w: f64, p_low_w: f64) -> SelectionContext {
+    /// A context with the given jobs, power and P_L. Leaks the job list
+    /// (tests only) so fixtures can stay by-value at every call site while
+    /// `SelectionContext` itself borrows.
+    pub fn ctx(jobs: Vec<JobObservation>, power_w: f64, p_low_w: f64) -> SelectionContext<'static> {
         SelectionContext {
-            jobs,
+            jobs: Vec::leak(jobs),
             power_w,
             p_low_w,
         }

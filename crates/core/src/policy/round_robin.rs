@@ -50,7 +50,7 @@ mod tests {
     use super::*;
     use crate::observe::testutil::{ctx, jobs_obs, nobs};
 
-    fn three_jobs() -> crate::observe::SelectionContext {
+    fn three_jobs() -> crate::observe::SelectionContext<'static> {
         ctx(
             vec![
                 jobs_obs(1, vec![nobs(0, 5, 100.0)], None),

@@ -27,7 +27,7 @@ impl TargetSelectionPolicy for Uniform {
 
     fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId> {
         let mut targets: BTreeSet<NodeId> = BTreeSet::new();
-        for job in &ctx.jobs {
+        for job in ctx.jobs {
             for n in job.degradable_nodes() {
                 targets.insert(n.node);
             }

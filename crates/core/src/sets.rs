@@ -30,6 +30,15 @@ use std::collections::BTreeSet;
 pub struct NodeSets {
     total: BTreeSet<NodeId>,
     privileged: BTreeSet<NodeId>,
+    /// Dense bitmask mirror of `candidates`, for O(1) membership tests on
+    /// the per-tick hot path (one word load instead of a tree descent).
+    #[serde(skip)]
+    candidate_mask: Vec<u64>,
+    /// Bumped on every candidate-set rebuild; consumers memoizing work
+    /// against the candidate set (e.g. the capping algorithm's degraded-set
+    /// prune) re-run only when this moves.
+    #[serde(skip)]
+    generation: u64,
     /// Nodes currently down (crashed, awaiting reboot). Offline nodes
     /// consume no power and accept no commands, so they leave
     /// `A_candidate` until they rejoin.
@@ -59,6 +68,8 @@ impl From<NodeSetsWire> for NodeSets {
             offline: wire.offline,
             candidate_cap: wire.candidate_cap,
             candidates: BTreeSet::new(),
+            candidate_mask: Vec::new(),
+            generation: 0,
         };
         sets.rebuild();
         sets
@@ -86,6 +97,8 @@ impl NodeSets {
             offline: BTreeSet::new(),
             candidate_cap: None,
             candidates: BTreeSet::new(),
+            candidate_mask: Vec::new(),
+            generation: 0,
         };
         sets.rebuild();
         sets
@@ -102,6 +115,14 @@ impl NodeSets {
             Some(cap) => it.take(cap).collect(),
             None => it.collect(),
         };
+        self.candidate_mask.clear();
+        if let Some(max) = self.candidates.iter().next_back() {
+            self.candidate_mask.resize(max.0 as usize / 64 + 1, 0);
+            for n in &self.candidates {
+                self.candidate_mask[n.0 as usize / 64] |= 1u64 << (n.0 % 64);
+            }
+        }
+        self.generation += 1;
     }
 
     /// Caps the candidate set to its lowest-indexed `cap` members (the
@@ -178,9 +199,25 @@ impl NodeSets {
         self.candidates.len()
     }
 
-    /// True if `node` is currently a candidate.
+    /// True if `node` is currently a candidate — a single word load
+    /// against the dense bitmask, for per-member tests on hot paths.
     pub fn is_candidate(&self, node: NodeId) -> bool {
-        self.candidates.contains(&node)
+        self.candidate_mask
+            .get(node.0 as usize / 64)
+            .is_some_and(|w| w & (1u64 << (node.0 % 64)) != 0)
+    }
+
+    /// The candidate-set generation: bumped on every rebuild (privilege,
+    /// offline or cap change). Equal generations guarantee an identical
+    /// candidate set, so memoized per-set work can be skipped.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl crate::observe::CandidateFilter for NodeSets {
+    fn admits(&self, node: NodeId) -> bool {
+        self.is_candidate(node)
     }
 }
 

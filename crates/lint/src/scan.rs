@@ -47,6 +47,19 @@ impl FileContext {
     fn is_obs_profile(&self) -> bool {
         self.path == "crates/obs/src/profile.rs"
     }
+
+    /// Hot-path modules of the incremental tick core: the SoA node
+    /// columns and the simkit time wheel run inside every simulation
+    /// tick, where a wall-clock read or an unordered collection would
+    /// both cost cycles and threaten replay determinism. For these files
+    /// the two rules are *not suppressable* — an `allow` directive is
+    /// ignored and the finding reported anyway.
+    fn is_hot_path(&self) -> bool {
+        matches!(
+            self.path.as_str(),
+            "crates/cluster/src/columns.rs" | "crates/simkit/src/wheel.rs"
+        )
+    }
 }
 
 /// One finding.
@@ -307,14 +320,21 @@ pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
                 _ => match_rule(rule, &line.code).map(|tok| format!("`{tok}`")),
             };
             let Some(what) = hit else { continue };
-            if allows.contains(&rule) {
+            let unsuppressable =
+                ctx.is_hot_path() && matches!(rule, Rule::WallClock | Rule::UnorderedCollections);
+            if allows.contains(&rule) && !unsuppressable {
                 out.suppressed += 1;
             } else {
+                let note = if unsuppressable {
+                    " (hot-path module: allow directives are ignored here)"
+                } else {
+                    ""
+                };
                 out.diagnostics.push(Diagnostic {
                     file: ctx.path.clone(),
                     line: lineno,
                     rule,
-                    message: format!("{what}: {}", rule.summary()),
+                    message: format!("{what}: {}{note}", rule.summary()),
                 });
             }
         }
@@ -486,6 +506,36 @@ let c = z.unwrap();
         let scan = scan_source(&profile, "let a = x.unwrap();\n");
         assert_eq!(scan.diagnostics.len(), 1);
         assert_eq!(scan.diagnostics[0].rule, Rule::PanicPath);
+    }
+
+    #[test]
+    fn hot_path_modules_ignore_allows_for_determinism_rules() {
+        // In the tick-core hot-path files, wall-clock and unordered-
+        // collection findings cannot be suppressed, even with a reason…
+        for path in [
+            "crates/cluster/src/columns.rs",
+            "crates/simkit/src/wheel.rs",
+        ] {
+            let ctx = FileContext::for_path(path);
+            let src = "\
+// ppc-lint: allow(wall-clock): tempting but forbidden
+let t = Instant::now();
+// ppc-lint: allow(unordered-collections): also forbidden
+use std::collections::HashMap;
+";
+            let scan = scan_source(&ctx, src);
+            assert_eq!(scan.diagnostics.len(), 2, "{path}");
+            assert_eq!(scan.suppressed, 0, "{path}");
+            assert!(scan.diagnostics[0].message.contains("hot-path module"));
+        }
+        // …while other rules keep the normal allow semantics there.
+        let ctx = FileContext::for_path("crates/simkit/src/wheel.rs");
+        let scan = scan_source(
+            &ctx,
+            "// ppc-lint: allow(panic-path): invariant documented\nlet a = x.unwrap();\n",
+        );
+        assert!(scan.diagnostics.is_empty());
+        assert_eq!(scan.suppressed, 1);
     }
 
     #[test]

@@ -128,6 +128,24 @@ impl Node {
         }
     }
 
+    /// Fast-forwards the `/proc` counters by `ticks` further intervals of
+    /// `dt_secs` in the *current* operating state, without changing it.
+    ///
+    /// This is the quiescent-node catch-up used by the incremental
+    /// evaluation path: a node whose inputs did not change for `k` ticks
+    /// accrues exactly `k` identical counter increments, which
+    /// [`ProcCounters::advance_many`] applies in closed form. Bit-identical
+    /// to calling [`run_interval`](Self::run_interval) `ticks` times with
+    /// the same state. Callers must not use this on thermally modelled
+    /// nodes (temperature integration is not linear in time).
+    pub fn catch_up(&mut self, dt_secs: f64, ticks: u64) {
+        debug_assert!(
+            self.thermal.is_none(),
+            "catch_up is only valid without a thermal model"
+        );
+        self.proc_counters.advance_many(&self.state, dt_secs, ticks);
+    }
+
     /// True ("metered") power draw in the current state, watts. With the
     /// thermal model enabled this includes temperature-dependent leakage
     /// above the calibrated tables.
@@ -321,6 +339,25 @@ mod tests {
         let plain = node();
         assert_eq!(plain.temperature_c(), None);
         assert_eq!(plain.relative_failure_rate(25.0), None);
+    }
+
+    #[test]
+    fn catch_up_matches_repeated_run_interval() {
+        let state = OperatingState {
+            cpu_util: 0.37,
+            mem_used_bytes: 3 << 30,
+            nic_bytes: 12_345,
+        };
+        let mut stepped = node();
+        stepped.run_interval(state, 1.0);
+        for _ in 0..9 {
+            stepped.run_interval(state, 1.0);
+        }
+        let mut jumped = node();
+        jumped.run_interval(state, 1.0);
+        jumped.catch_up(1.0, 9);
+        assert_eq!(stepped.proc_counters(), jumped.proc_counters());
+        assert_eq!(stepped.power_w().to_bits(), jumped.power_w().to_bits());
     }
 
     #[test]

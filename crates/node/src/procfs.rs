@@ -33,13 +33,32 @@ impl ProcCounters {
     /// Jiffies are apportioned between busy and idle by utilization with
     /// integer rounding — exactly the quantization a real agent sees.
     pub fn advance(&mut self, state: &OperatingState, dt_secs: f64) {
+        self.advance_many(state, dt_secs, 1);
+    }
+
+    /// Advances the counters by `ticks` consecutive intervals of `dt_secs`
+    /// in the *same* `state`, in closed form.
+    ///
+    /// Because the per-tick increments depend only on `(state, dt_secs)`,
+    /// applying them `k` times is exactly `k` scalar multiplies — this is
+    /// what lets the incremental evaluation path fast-forward a quiescent
+    /// node's counters without touching it every tick. Bit-identical to
+    /// calling [`advance`](Self::advance) `ticks` times.
+    pub fn advance_many(&mut self, state: &OperatingState, dt_secs: f64, ticks: u64) {
         assert!(dt_secs >= 0.0, "time cannot run backwards");
+        if ticks == 0 {
+            return;
+        }
         let total_jiffies = (dt_secs * USER_HZ as f64).round() as u64;
         let busy = (total_jiffies as f64 * state.cpu_util.clamp(0.0, 1.0)).round() as u64;
-        self.busy_jiffies += busy;
-        self.idle_jiffies += total_jiffies - busy.min(total_jiffies);
+        let idle = total_jiffies - busy.min(total_jiffies);
+        self.busy_jiffies += busy * ticks;
+        self.idle_jiffies += idle * ticks;
         self.mem_used_bytes = state.mem_used_bytes;
-        self.nic_bytes_wrapping = self.nic_bytes_wrapping.wrapping_add(state.nic_bytes as u32);
+        // k wrapping adds of x mod 2^32 collapse to one wrapping k·x.
+        self.nic_bytes_wrapping = self
+            .nic_bytes_wrapping
+            .wrapping_add((state.nic_bytes as u32).wrapping_mul(ticks as u32));
     }
 }
 
@@ -55,6 +74,16 @@ impl ProcSnapshot {
         ProcSnapshot {
             counters: *counters,
         }
+    }
+
+    /// Returns the snapshot a capture would yield after `ticks` further
+    /// intervals of `dt_secs` in `state` — the agent-side mirror of
+    /// [`ProcCounters::advance_many`], used to fast-forward a quiescent
+    /// agent's baseline without re-reading the node.
+    pub fn advanced(&self, state: &OperatingState, dt_secs: f64, ticks: u64) -> ProcSnapshot {
+        let mut counters = self.counters;
+        counters.advance_many(state, dt_secs, ticks);
+        ProcSnapshot { counters }
     }
 
     /// Derives the operating state over the interval between `earlier` and
@@ -176,6 +205,25 @@ mod tests {
     }
 
     proptest! {
+        /// Closed-form k-tick advance is bit-identical to k single advances,
+        /// including across the NIC 32-bit wrap.
+        #[test]
+        fn prop_advance_many_matches_iterated(
+            util in 0.0f64..1.0,
+            dt in 0.1f64..5.0,
+            nic in 0u64..4_000_000_000,
+            k in 0u64..200,
+        ) {
+            let state = OperatingState { cpu_util: util, mem_used_bytes: 77, nic_bytes: nic };
+            let mut iterated = ProcCounters { nic_bytes_wrapping: u32::MAX - 5_000, ..Default::default() };
+            let mut closed = iterated;
+            for _ in 0..k {
+                iterated.advance(&state, dt);
+            }
+            closed.advance_many(&state, dt, k);
+            prop_assert_eq!(iterated, closed);
+        }
+
         /// Sampled utilization matches true utilization within one jiffy of
         /// quantization error, for any interval and utilization.
         #[test]

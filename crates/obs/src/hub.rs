@@ -12,9 +12,14 @@ use crate::profile::StageProfiler;
 use crate::span::SpanRecorder;
 use serde::{Deserialize, Serialize};
 
-/// Default retained completed spans (≈ several thousand control cycles
-/// of an 8-stage tree).
-pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+/// Default retained completed spans (≈ 500 control cycles of an 8-stage
+/// tree — ample for flight-recorder windows and Chrome-trace exports).
+///
+/// Deliberately sized so the ring (~112 B/record) stays cache-resident:
+/// the fingerprint covers *every* span ever closed regardless of
+/// retention, and a multi-megabyte ring measurably slowed the managed
+/// tick by streaming every close through cold cache lines.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4_096;
 /// Default flight-recorder snapshot bound.
 pub const DEFAULT_FLIGHT_SNAPSHOTS: usize = 8;
 /// Default spans captured per flight snapshot.

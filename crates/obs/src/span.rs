@@ -40,26 +40,48 @@ pub enum AttrValue {
 }
 
 impl AttrValue {
-    fn absorb(&self, h: &mut Fnv1a) {
+    /// Folds the value as two words: a type tag and the payload bits
+    /// (strings enter via their interned FNV digest).
+    fn absorb(&self, h: &mut Fnv1a, interned: &mut Vec<InternedStr>) {
         match *self {
             AttrValue::U64(v) => {
-                h.write_u8(0);
-                h.write_u64(v);
+                h.write_word(0);
+                h.write_word(v);
             }
             AttrValue::I64(v) => {
-                h.write_u8(1);
-                h.write_u64(v as u64);
+                h.write_word(1);
+                h.write_word(v as u64);
             }
             AttrValue::F64(v) => {
-                h.write_u8(2);
-                h.write_f64(v);
+                h.write_word(2);
+                h.write_word(v.to_bits());
             }
             AttrValue::Str(s) => {
-                h.write_u8(3);
-                h.write_bytes(s.as_bytes());
+                h.write_word(3);
+                h.write_word(static_digest(interned, s));
             }
         }
     }
+}
+
+/// One memoized `&'static str` digest: (address, length, FNV-1a digest).
+/// Keyed by address+length so the lookup never re-reads the string bytes;
+/// a duplicated static (distinct address, same bytes) merely recomputes
+/// the same digest, so fingerprints stay address-independent.
+type InternedStr = (usize, u32, u64);
+
+/// Digest of a static string, memoized in `interned`. Span/attr name sets
+/// are tiny (a dozen distinct strings), so a linear scan beats any map.
+fn static_digest(interned: &mut Vec<InternedStr>, s: &'static str) -> u64 {
+    let key = (s.as_ptr() as usize, s.len() as u32);
+    for &(p, l, d) in interned.iter() {
+        if (p, l) == key {
+            return d;
+        }
+    }
+    let d = Fnv1a::digest_of(s.as_bytes());
+    interned.push((key.0, key.1, d));
+    d
 }
 
 /// One completed span. (Serialize-only: the static name cannot be
@@ -105,6 +127,7 @@ pub struct SpanRecorder {
     done: VecDeque<SpanRecord>,
     stack: Vec<OpenSpan>,
     freelist: Vec<Vec<(&'static str, AttrValue)>>,
+    interned: Vec<InternedStr>,
     next_id: u64,
     closed: u64,
     dropped: u64,
@@ -126,6 +149,7 @@ impl SpanRecorder {
             done: VecDeque::with_capacity(capacity.min(1024)),
             stack: Vec::with_capacity(8),
             freelist: Vec::new(),
+            interned: Vec::new(),
             next_id: 0,
             closed: 0,
             dropped: 0,
@@ -209,18 +233,20 @@ impl SpanRecorder {
         };
         // Fold the span into the running fingerprint now, so the hash
         // covers every closed span regardless of later ring eviction.
+        // Word-granularity absorbs (one multiply per fixed-width field,
+        // names via interned digests) keep this a few nanoseconds: the
+        // fold runs ~10 times per control cycle on the managed hot path.
         let h = &mut self.hash;
-        h.write_u64(record.id.0);
-        h.write_u64(record.parent.map_or(u64::MAX, |p| p.0));
-        h.write_bytes(record.name.as_bytes());
-        h.write_u64(record.start.as_millis());
-        h.write_u64(record.end.as_millis());
-        h.write_u64(u64::from(record.start_seq));
-        h.write_u64(u64::from(record.end_seq));
-        h.write_u64(record.attrs.len() as u64);
+        h.write_word(record.id.0);
+        h.write_word(record.parent.map_or(u64::MAX, |p| p.0));
+        h.write_word(static_digest(&mut self.interned, record.name));
+        h.write_word(record.start.as_millis());
+        h.write_word(record.end.as_millis());
+        h.write_word(u64::from(record.start_seq) << 32 | u64::from(record.end_seq));
+        h.write_word(record.attrs.len() as u64);
         for (key, value) in &record.attrs {
-            h.write_bytes(key.as_bytes());
-            value.absorb(h);
+            h.write_word(static_digest(&mut self.interned, key));
+            value.absorb(h, &mut self.interned);
         }
         self.closed += 1;
         if self.done.len() == self.capacity {
@@ -273,12 +299,15 @@ impl SpanRecorder {
 
     /// Order-sensitive FNV-1a hash over every span ever closed (id,
     /// parent, name, times, sequence numbers, attributes) plus the closed
-    /// count. Ring capacity does not affect the value (the drop count is
+    /// count. The fold absorbs 64-bit words — fixed-width fields directly,
+    /// strings via their own FNV-1a digest — so the value is stable across
+    /// runs, widths and processes but not comparable with a byte-serial
+    /// fold. Ring capacity does not affect the value (the drop count is
     /// derivable from the closed count and is deliberately excluded); any
     /// nondeterminism in stage order, timing or attributes does.
     pub fn fingerprint(&self) -> u64 {
         let mut h = self.hash.clone();
-        h.write_u64(self.closed);
+        h.write_word(self.closed);
         h.finish()
     }
 

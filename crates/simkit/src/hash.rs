@@ -49,6 +49,26 @@ impl Fnv1a {
         self.write_u64(v.to_bits());
     }
 
+    /// Absorbs a `u64` as one 64-bit word: a single xor + multiply rather
+    /// than eight byte steps. This is the hot-path absorb for fixed-width
+    /// fields (the span recorder folds ~10 words per span every control
+    /// cycle). Word and byte absorbs produce *different* streams — a
+    /// fingerprint must pick one discipline and keep it; all the
+    /// determinism properties (cross-run, cross-width, cross-process
+    /// stability) hold either way because the fold is pure.
+    pub fn write_word(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(Self::PRIME);
+    }
+
+    /// FNV-1a digest of a byte string (with the length terminator), for
+    /// pre-hashing interned `&'static str` values into a single word that
+    /// [`Fnv1a::write_word`] can absorb on the hot path.
+    pub fn digest_of(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_bytes(bytes);
+        h.finish()
+    }
+
     /// The current hash value.
     pub fn finish(&self) -> u64 {
         self.0
@@ -84,6 +104,33 @@ mod tests {
         b.write_bytes(b"a");
         b.write_bytes(b"bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn word_absorb_is_deterministic_and_order_sensitive() {
+        let fold = |words: &[u64]| {
+            let mut h = Fnv1a::new();
+            for &w in words {
+                h.write_word(w);
+            }
+            h.finish()
+        };
+        assert_eq!(fold(&[1, 2, 3]), fold(&[1, 2, 3]));
+        assert_ne!(fold(&[1, 2, 3]), fold(&[3, 2, 1]), "order must matter");
+        // One word step ≠ eight byte steps: distinct disciplines.
+        let mut bytes = Fnv1a::new();
+        bytes.write_u64(7);
+        let mut word = Fnv1a::new();
+        word.write_word(7);
+        assert_ne!(bytes.finish(), word.finish());
+    }
+
+    #[test]
+    fn digest_of_matches_write_bytes() {
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"cycle");
+        assert_eq!(Fnv1a::digest_of(b"cycle"), h.finish());
+        assert_ne!(Fnv1a::digest_of(b"cycle"), Fnv1a::digest_of(b"select"));
     }
 
     #[test]

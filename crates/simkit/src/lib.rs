@@ -22,6 +22,9 @@
 //! * [`series`] — append-only time series with trapezoid/step integration,
 //!   used for power traces and the ΔP×T overspend metric.
 //! * [`stats`] — running statistics (Welford) and fixed-bin histograms.
+//! * [`wheel`] — hierarchical timer wheel ([`TimeWheel`]) for sparse
+//!   tick-indexed events (arrivals, retry thaws) with deterministic
+//!   insertion-order drains.
 //!
 //! Nothing in this crate knows about power, nodes or jobs; it is a generic
 //! substrate comparable to what a production simulator would keep in a
@@ -38,6 +41,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use clock::TickClock;
 pub use engine::{Engine, EventHandler, ScheduleHandle};
@@ -50,3 +54,4 @@ pub use rng::{DetRng, RngFactory};
 pub use series::TimeSeries;
 pub use stats::{Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimeWheel;

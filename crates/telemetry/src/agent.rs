@@ -49,6 +49,63 @@ impl ProfilingAgent {
             Some(prev) => snap.delta_since(&prev).unwrap_or(self.last_state),
             None => OperatingState::IDLE,
         };
+        self.emit(node, now, state)
+    }
+
+    /// True once the agent holds a baseline snapshot to differentiate
+    /// against (i.e. [`sample`](Self::sample) ran at least once).
+    pub fn is_primed(&self) -> bool {
+        self.prev_snapshot.is_some()
+    }
+
+    /// Produces the sample a real read would yield for a *quiescent* node —
+    /// one whose counters advanced exactly `ticks_since_sample` intervals of
+    /// `dt_secs` in its current operating state since the previous sample —
+    /// without touching the node's counters.
+    ///
+    /// The caller guarantees quiescence; under that contract the returned
+    /// sample (state, power, drop decision) and the agent's internal
+    /// baseline are bit-identical to calling [`sample`](Self::sample) after
+    /// materializing the node. The agent must already be primed.
+    pub fn resample_quiescent(
+        &mut self,
+        node: &Node,
+        now: SimTime,
+        dt_secs: f64,
+        ticks_since_sample: u64,
+    ) -> Option<NodeSample> {
+        let prev = self
+            .prev_snapshot
+            // ppc-lint: allow(panic-path): documented caller contract — the sim only calls this on agents it has primed
+            .expect("resample_quiescent requires a primed agent");
+        let snap = prev.advanced(node.state(), dt_secs, ticks_since_sample);
+        let state = snap.delta_since(&prev).unwrap_or(self.last_state);
+        self.prev_snapshot = Some(snap);
+        self.emit(node, now, state)
+    }
+
+    /// Fast-forwards the agent's baseline by `ticks` intervals of `dt_secs`
+    /// during which the node ran in `state`, as if `ticks` samples had been
+    /// taken (and their identical results discarded). Leaves the baseline
+    /// and `last_state` exactly where `ticks` real samples of a quiescent
+    /// node would. Draws no noise — only valid under a noise model that
+    /// never consumes RNG (`NoiseModel::NONE`).
+    pub fn advance_baseline(&mut self, state: &OperatingState, dt_secs: f64, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        let prev = self
+            .prev_snapshot
+            // ppc-lint: allow(panic-path): documented caller contract — the sim checks is_primed() before advancing
+            .expect("advance_baseline requires a primed agent");
+        // Each skipped sample would have recovered the same one-tick delta.
+        let one = prev.advanced(state, dt_secs, 1);
+        self.last_state = one.delta_since(&prev).unwrap_or(self.last_state);
+        self.prev_snapshot = Some(prev.advanced(state, dt_secs, ticks));
+        self.samples_taken += ticks;
+    }
+
+    fn emit(&mut self, node: &Node, now: SimTime, state: OperatingState) -> Option<NodeSample> {
         self.last_state = state;
         self.samples_taken += 1;
 
@@ -133,6 +190,52 @@ mod tests {
         let n = node();
         assert!(a.sample(&n, SimTime::ZERO).is_none());
         assert_eq!(a.stats(), (1, 1));
+    }
+
+    #[test]
+    fn resample_quiescent_matches_real_sample() {
+        let busy = OperatingState {
+            cpu_util: 0.63,
+            mem_used_bytes: 2 << 30,
+            nic_bytes: 40_000,
+        };
+        // Real path: node runs every tick, agent samples every tick.
+        let mut real_agent = agent(NoiseModel::NONE);
+        let mut real_node = node();
+        real_agent.sample(&real_node, SimTime::ZERO);
+        let mut real_last = None;
+        for t in 1..=5u64 {
+            real_node.run_interval(busy, 1.0);
+            real_last = real_agent.sample(&real_node, SimTime::from_secs(t));
+        }
+        let r = real_last.unwrap();
+        // Quiescent path: node materialized once at t=1 then left alone;
+        // the agent fast-forwards its baseline to t=4 and resamples at t=5
+        // without a node read.
+        let mut lazy_agent = agent(NoiseModel::NONE);
+        let mut lazy_node = node();
+        lazy_agent.sample(&lazy_node, SimTime::ZERO);
+        lazy_node.run_interval(busy, 1.0);
+        lazy_agent.advance_baseline(lazy_node.state(), 1.0, 4);
+        let s = lazy_agent
+            .resample_quiescent(&lazy_node, SimTime::from_secs(5), 1.0, 1)
+            .unwrap();
+        assert_eq!(s.state, r.state);
+        assert_eq!(s.power_w.to_bits(), r.power_w.to_bits());
+        assert_eq!(s.at, r.at);
+        assert_eq!(lazy_agent.stats(), real_agent.stats());
+        // After catching the node up, a real read agrees with the baseline.
+        lazy_node.catch_up(1.0, 4);
+        assert_eq!(lazy_node.proc_counters(), real_node.proc_counters());
+        lazy_node.run_interval(busy, 1.0);
+        real_node.run_interval(busy, 1.0);
+        let a = lazy_agent
+            .sample(&lazy_node, SimTime::from_secs(6))
+            .unwrap();
+        let b = real_agent
+            .sample(&real_node, SimTime::from_secs(6))
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

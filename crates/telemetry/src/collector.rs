@@ -124,6 +124,37 @@ impl Collector {
         spans.close(at);
     }
 
+    /// Re-stamps `node`'s slot to `now` as if a sample identical to the
+    /// stored one had just been ingested: the latest power shifts into the
+    /// "previous" slot (making `ΔP = 0`) and the timestamp advances.
+    ///
+    /// This is the incremental-evaluation path's way of keeping a
+    /// *quiescent* node fresh without re-reading it; one call covers any
+    /// number of skipped intervals because every skipped sample would have
+    /// been identical. No-op for nodes without a sample. Returns `true` if
+    /// the slot advanced.
+    pub fn refresh(&mut self, node: NodeId, now: SimTime) -> bool {
+        let idx = node.0 as usize;
+        let Some(Some(slot)) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        if now <= slot.latest.at {
+            return false;
+        }
+        slot.prev_power_w = Some(slot.latest.power_w);
+        slot.latest.at = now;
+        let refreshed = slot.latest;
+        if self.history_depth >= 2 {
+            if idx >= self.histories.len() {
+                self.histories.resize_with(idx + 1, || None);
+            }
+            self.histories[idx]
+                .get_or_insert_with(|| PowerHistory::new(self.history_depth))
+                .push(refreshed.at, refreshed.power_w);
+        }
+        true
+    }
+
     /// Windowed rate of increase over the last `k` intervals for `node`
     /// (requires a history-enabled collector; see [`Collector::with_history`]).
     pub fn windowed_rate_of(&self, node: NodeId, k: usize) -> Option<f64> {
@@ -298,6 +329,34 @@ mod tests {
         c.ingest(sample(1, 3, 100.0));
         assert_eq!(c.power_of(NodeId(1)), Some(500.0));
         assert_eq!(c.prev_power_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn refresh_matches_reingesting_an_identical_sample() {
+        let mut real = Collector::new();
+        let mut lazy = Collector::new();
+        for c in [&mut real, &mut lazy] {
+            c.ingest(sample(1, 0, 200.0));
+            c.ingest(sample(1, 1, 250.0));
+        }
+        // Real path: identical samples keep arriving every tick.
+        for t in 2..=6u64 {
+            real.ingest(sample(1, t, 250.0));
+        }
+        // Lazy path: one refresh covers all five skipped intervals.
+        assert!(lazy.refresh(NodeId(1), SimTime::from_secs(6)));
+        assert_eq!(real.power_of(NodeId(1)), lazy.power_of(NodeId(1)));
+        assert_eq!(real.prev_power_of(NodeId(1)), lazy.prev_power_of(NodeId(1)));
+        assert_eq!(
+            real.latest(NodeId(1)).unwrap().at,
+            lazy.latest(NodeId(1)).unwrap().at
+        );
+        assert_eq!(real.power_rate_of(NodeId(1)), Some(0.0));
+        assert_eq!(lazy.power_rate_of(NodeId(1)), Some(0.0));
+        // Refresh at-or-before the stored timestamp is a no-op.
+        assert!(!lazy.refresh(NodeId(1), SimTime::from_secs(6)));
+        // Unknown nodes are a no-op.
+        assert!(!lazy.refresh(NodeId(42), SimTime::from_secs(9)));
     }
 
     #[test]

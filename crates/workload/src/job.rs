@@ -207,6 +207,13 @@ impl Job {
         self.phases.get(self.cur_phase)
     }
 
+    /// Index of the currently executing phase (== phase count once
+    /// finished). Member-node loads are constant between changes of this
+    /// index, which is what the simulator's dirty-set tracking keys on.
+    pub fn phase_index(&self) -> usize {
+        self.cur_phase
+    }
+
     /// Marks the job started on `nodes` at time `at`.
     ///
     /// # Panics

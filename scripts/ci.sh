@@ -19,6 +19,11 @@ cargo run --release -p ppc-bench --bin determinism_gate
 
 cargo run --release -p ppc-bench --bin ext_faults -- --smoke
 
+# Bench smoke + perf guard: quick per-tick medians, then fail if the
+# managed 128-node step regressed >25% vs the committed baseline (the
+# guard takes the best of three medians to ride out shared-box noise).
+cargo run --release -p ppc-bench --bin bench_ppc -- --smoke --guard BENCH_ppc.json >/dev/null
+
 # Observability smoke: a faulted managed run must emit a schema-valid
 # JSONL trace stream through --trace-out (see DESIGN §12).
 trace_tmp="$(mktemp -t ppc-trace.XXXXXX.jsonl)"
