@@ -206,7 +206,7 @@ fn main() {
         }
     }
 
-    let report = serde_json::json!({
+    let mut report = serde_json::json!({
         "workload": {
             "cluster": "tianhe_1a_variant",
             "nodes": 128,
@@ -225,6 +225,17 @@ fn main() {
         },
         "scaling": scaling,
     });
+    // Carry the what-if service section (owned by `whatif_serve`) across
+    // rewrites so the two emitters can share the one baseline file.
+    if let Some(whatif) = std::fs::read_to_string("BENCH_ppc.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|doc| doc.get("whatif").cloned())
+    {
+        if let serde_json::Value::Object(entries) = &mut report {
+            entries.push(("whatif".to_string(), whatif));
+        }
+    }
     let rendered = serde_json::to_string_pretty(&report).expect("serializable");
     println!("{rendered}");
     if !smoke {

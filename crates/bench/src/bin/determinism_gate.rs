@@ -23,6 +23,13 @@
 //! semantic variant: every digest must match the dense reference bit for
 //! bit.
 //!
+//! A third family of legs checks the what-if snapshot contract: the run
+//! is stopped halfway, captured with `ClusterSnapshot`, the *original* is
+//! stepped onward (so any state the branch secretly shared with it would
+//! diverge), and the branch is driven to the end. Every digest of the
+//! branched run — taken mid-fault-schedule, at widths 1 and 8 — must
+//! match the uninterrupted reference bit for bit.
+//!
 //! Any divergence prints the offending run and exits non-zero, failing
 //! CI. Under a minute of wall clock; see `scripts/ci.sh`.
 
@@ -30,6 +37,7 @@ use ppc_cluster::{ClusterSim, ClusterSpec, EvalMode};
 use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
 use ppc_faults::{FaultInjection, FaultRates, FaultSchedule};
 use ppc_simkit::{RngFactory, SimDuration, WorkerPool};
+use ppc_whatif::ClusterSnapshot;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -47,17 +55,18 @@ struct RunDigest {
     commands: u64,
 }
 
-fn fnv1a_u64s(values: impl Iterator<Item = u64>) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in values {
-        for b in v.to_le_bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
+fn digest(sim: &ClusterSim) -> RunDigest {
+    RunDigest {
+        journal: sim.journal().fingerprint(),
+        trace: sim.true_power().fingerprint(),
+        spans: sim.span_fingerprint(),
+        metrics: sim.metrics_fingerprint(),
+        finished: sim.finished().len(),
+        commands: sim.commands_applied(),
     }
-    h
 }
 
-fn run_once(workers: usize, mode: EvalMode) -> Result<RunDigest, String> {
+fn build(workers: usize, mode: EvalMode) -> Result<ClusterSim, String> {
     let mut spec = ClusterSpec::mini(NODES);
     spec.provision_fraction = 0.60; // tight provision: capping engages
     let rates = FaultRates {
@@ -83,38 +92,56 @@ fn run_once(workers: usize, mode: EvalMode) -> Result<RunDigest, String> {
     let manager =
         PowerManager::new(config, sets).map_err(|e| format!("manager construction: {e}"))?;
     let pool = Arc::new(WorkerPool::new(workers).with_inline_threshold(0));
-    let mut sim = ClusterSim::new(spec)
+    Ok(ClusterSim::new(spec)
         .with_manager(manager)
         .with_faults(FaultInjection::new(schedule))
         .with_worker_pool(pool)
-        .with_eval_mode(mode);
+        .with_eval_mode(mode))
+}
+
+fn run_once(workers: usize, mode: EvalMode) -> Result<RunDigest, String> {
+    let mut sim = build(workers, mode)?;
     sim.run_for(SimDuration::from_secs(RUN_SECS));
-    Ok(RunDigest {
-        journal: sim.journal().fingerprint(),
-        trace: fnv1a_u64s(sim.true_power().values().iter().map(|v| v.to_bits())),
-        spans: sim.span_fingerprint(),
-        metrics: sim.metrics_fingerprint(),
-        finished: sim.finished().len(),
-        commands: sim.commands_applied(),
-    })
+    Ok(digest(&sim))
+}
+
+/// The branch-and-replay leg: stop the run halfway — mid-fault-schedule,
+/// jobs in flight, thresholds learned — capture a snapshot, keep stepping
+/// the *original* (a branch that secretly shared state with it would
+/// diverge here), then drive the branch to the end and digest it.
+fn run_branched(workers: usize, mode: EvalMode) -> Result<RunDigest, String> {
+    let half = RUN_SECS / 2;
+    let mut sim = build(workers, mode)?;
+    sim.run_for(SimDuration::from_secs(half));
+    let snapshot = ClusterSnapshot::capture(&sim);
+    // Perturb the original past the capture point before the branch runs.
+    sim.run_for(SimDuration::from_secs(30));
+    let mut branch = snapshot.branch();
+    branch.run_for(SimDuration::from_secs(RUN_SECS - half));
+    Ok(digest(&branch))
 }
 
 fn main() -> ExitCode {
-    // (label, width, mode): width 1 twice proves same-seed repeatability,
-    // width 8 proves pool-width invariance, and the dense (Full) runs
-    // prove the dirty-set/event-driven evaluator changes nothing any
-    // fingerprint can see — at both widths.
+    // (label, width, mode, branched): width 1 twice proves same-seed
+    // repeatability, width 8 proves pool-width invariance, the dense
+    // (Full) runs prove the dirty-set/event-driven evaluator changes
+    // nothing any fingerprint can see, and the branched legs prove a
+    // what-if snapshot forked halfway replays the back half bit for bit
+    // — at both widths.
     let runs = [
-        ("incr width 1", 1usize, EvalMode::Incremental),
-        ("incr width 1 rep", 1, EvalMode::Incremental),
-        ("incr width 8", 8, EvalMode::Incremental),
-        ("dense width 1", 1, EvalMode::Full),
-        ("dense width 8", 8, EvalMode::Full),
+        ("incr width 1", 1usize, EvalMode::Incremental, false),
+        ("incr width 1 rep", 1, EvalMode::Incremental, false),
+        ("incr width 8", 8, EvalMode::Incremental, false),
+        ("dense width 1", 1, EvalMode::Full, false),
+        ("dense width 8", 8, EvalMode::Full, false),
+        ("branch width 1", 1, EvalMode::Incremental, true),
+        ("branch width 8", 8, EvalMode::Incremental, true),
     ];
     let mut baseline: Option<RunDigest> = None;
     let mut failed = false;
-    for (label, workers, mode) in runs {
-        let digest = match run_once(workers, mode) {
+    for (label, workers, mode, branched) in runs {
+        let run = if branched { run_branched } else { run_once };
+        let digest = match run(workers, mode) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("determinism gate: {label}: {e}");

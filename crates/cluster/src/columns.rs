@@ -32,7 +32,7 @@ use ppc_node::NodeId;
 
 /// Deterministic dirty set: dense bitmask + ordered index list, with a
 /// staged buffer for marks that take effect next tick.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DirtySet {
     mask: Vec<bool>,
     list: Vec<u32>,
@@ -97,7 +97,7 @@ impl DirtySet {
 }
 
 /// Dense per-node columns for the hot tick path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NodeColumns {
     /// True power draw, watts; `0.0` while the node is down, so the fleet
     /// sum needs no branch.

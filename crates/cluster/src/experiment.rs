@@ -147,11 +147,12 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutcome {
     run_experiment_full(config).0
 }
 
-/// [`run_experiment`], additionally handing back the finished simulation
-/// for callers that need post-run access to its state — the trace
-/// exporters read the raw span recorder and metrics registry, and the
-/// self-profiler report lives only on the sim.
-pub fn run_experiment_full(config: &ExperimentConfig) -> (ExperimentOutcome, ClusterSim) {
+/// Builds the configured simulation — cluster, manager, faults — without
+/// running it, returning the run label alongside. [`run_experiment_full`]
+/// drives the result through training + measurement; the what-if
+/// subsystem (`ppc-whatif`) uses it to rehydrate a serialized base
+/// scenario by deterministic replay.
+pub fn build_sim(config: &ExperimentConfig) -> (String, ClusterSim) {
     let spec = &config.spec;
     spec.validate();
     let provision_w = spec.provision_w();
@@ -183,6 +184,16 @@ pub fn run_experiment_full(config: &ExperimentConfig) -> (ExperimentOutcome, Clu
     if let Some(faults) = config.faults.clone() {
         sim = sim.with_faults(faults);
     }
+    (label, sim)
+}
+
+/// [`run_experiment`], additionally handing back the finished simulation
+/// for callers that need post-run access to its state — the trace
+/// exporters read the raw span recorder and metrics registry, and the
+/// self-profiler report lives only on the sim.
+pub fn run_experiment_full(config: &ExperimentConfig) -> (ExperimentOutcome, ClusterSim) {
+    let provision_w = config.spec.provision_w();
+    let (label, mut sim) = build_sim(config);
 
     // Phase 1: training (runs even for the baseline so both see the same
     // warmed-up cluster at measurement start).

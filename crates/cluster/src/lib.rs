@@ -22,6 +22,8 @@ pub mod sim;
 pub mod spec;
 
 pub use columns::{DirtySet, NodeColumns};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutcome};
+pub use experiment::{
+    build_sim, run_experiment, run_experiment_full, ExperimentConfig, ExperimentOutcome,
+};
 pub use sim::{ClusterSim, EvalMode};
 pub use spec::ClusterSpec;

@@ -56,14 +56,15 @@ use ppc_telemetry::{
     Collector, MeterReading, NodeSample, NoiseModel, ProfilingAgent, SystemPowerMeter,
 };
 use ppc_workload::{
-    AdmissionPolicy, JobGenerator, JobId, JobPriority, JobQueue, JobRecord, Scheduler, TraceSource,
+    AdmissionPolicy, Class, JobGenerator, JobId, JobPriority, JobQueue, JobRecord, NpbApp,
+    Scheduler, TraceSource,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// How the tick loop evaluates node state and power (see the module docs;
 /// both modes are bit-identical by construction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum EvalMode {
     /// Dense reference path: every node, every tick.
     Full,
@@ -103,6 +104,7 @@ struct PendingRetry {
 
 /// Runtime fault state: the schedule replay engine plus the robustness
 /// bookkeeping the cluster layer accumulates around it.
+#[derive(Clone)]
 struct FaultState {
     engine: FaultEngine,
     requeue_cap: u32,
@@ -123,6 +125,7 @@ struct FaultState {
 /// Handles to the deterministic instruments the cluster layer updates
 /// (registered once in [`ClusterSim::new`], bumped on the hot path via
 /// index access — no name lookups per tick).
+#[derive(Clone, Copy)]
 struct ObsInstruments {
     /// Control cycles executed (manager or budget controller).
     cycles: CounterHandle,
@@ -176,6 +179,14 @@ impl LevelView for NodesView<'_> {
 }
 
 /// The integrated cluster simulation.
+///
+/// `Clone` produces a deep, independent copy of every piece of mutable
+/// state (RNG streams, columns, wheel, controller, journal, observability)
+/// while sharing the immutable `Arc<PowerModel>`/`Arc<NodeSpec>` tables —
+/// the substrate of the what-if snapshot/branch subsystem (`ppc-whatif`).
+/// A branched clone stepped N ticks is bit-identical to the original
+/// stepped N ticks, fingerprint for fingerprint.
+#[derive(Clone)]
 pub struct ClusterSim {
     spec: ClusterSpec,
     clock: TickClock,
@@ -217,6 +228,10 @@ pub struct ClusterSim {
     pool: Option<Arc<WorkerPool>>,
     /// Fault injection (`None` = a perfectly healthy machine).
     faults: Option<FaultState>,
+    /// Nodes removed permanently via [`ClusterSim::decommission_node`]:
+    /// the fault schedule was generated before they left, so its pending
+    /// edges for them (a reboot above all) must be ignored.
+    decommissioned: BTreeSet<NodeId>,
     /// Observability: span tree, instruments, flight recorder, profiler.
     obs: ObsHub,
     /// Pre-registered instrument handles into `obs.metrics`.
@@ -378,6 +393,7 @@ impl ClusterSim {
             failure_integral: 0.0,
             pool: None,
             faults: None,
+            decommissioned: BTreeSet::new(),
             obs,
             obs_i,
             eval_mode: EvalMode::default(),
@@ -689,6 +705,146 @@ impl ClusterSim {
         self.scheduler.running_jobs().len()
     }
 
+    /// Number of queued (not yet placed) jobs.
+    pub fn queued_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True while `id` sits in the pending queue (what-if admission
+    /// checks: an injected job still queued at the horizon was denied a
+    /// placement).
+    pub fn job_is_queued(&self, id: JobId) -> bool {
+        self.queue.iter().any(|j| j.id() == id)
+    }
+
+    /// Completed ticks since construction (`now() == tick_index · τ`).
+    pub fn tick_index(&self) -> u64 {
+        self.tick_index
+    }
+
+    /// Replaces the bounded journal ring with one of `capacity` events
+    /// (builder; call before stepping — any prior contents are discarded).
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal = Journal::new(capacity).with_min_severity(Severity::Info);
+        self
+    }
+
+    /// Submits a fully specified hypothetical job to the queue — the
+    /// what-if "admit this job mix" mutation. The job is synthesized by
+    /// the run's own generator (its phase jitter comes from the same
+    /// id-keyed stream a generated job would use) and queued behind any
+    /// existing backlog; the scheduler places it on the next tick.
+    ///
+    /// Call at a tick boundary (between [`ClusterSim::step`] calls).
+    pub fn inject_job(
+        &mut self,
+        app: NpbApp,
+        class: Class,
+        nprocs: u32,
+        priority: JobPriority,
+    ) -> JobId {
+        let now = self.clock.now();
+        let job = self.generator.synthesize(app, class, nprocs, priority, now);
+        let id = job.id();
+        self.journal.record_with(now, Severity::Info, "whatif", || {
+            format!("{id} injected: {app} class {class} x{nprocs} ({priority:?})")
+        });
+        self.queue.push(job);
+        id
+    }
+
+    /// Permanently removes a node from the cluster — the what-if "drop N
+    /// nodes" mutation. Mirrors the fault path's crash handling (the job
+    /// hosted on the node is evicted and requeued, the node leaves the
+    /// scheduler, telemetry, and the candidate set) except that no reboot
+    /// ever rejoins it. Returns `false` if the node is already down.
+    ///
+    /// Call at a tick boundary (between [`ClusterSim::step`] calls): the
+    /// dirty marks are staged for the next tick.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside the cluster.
+    pub fn decommission_node(&mut self, n: NodeId) -> bool {
+        assert!(
+            (n.0 as usize) < self.nodes.len(),
+            "node {} outside the cluster",
+            n.0
+        );
+        if self.columns.is_down(n) {
+            return false;
+        }
+        let now = self.clock.now();
+        let tick = self.tick_index;
+        let dt = self.clock.dt_secs();
+        let incremental = self.incremental_active();
+        if let Some(fs) = self.faults.as_mut() {
+            // Whatever command we owed the node is moot.
+            fs.retries.retain(|r| r.node != n);
+        }
+        if let Some(mut job) = self.scheduler.evict_job_on(n) {
+            // Release dynamic SLA protection, mirroring the completion
+            // path: the job is no longer running.
+            if job.priority() == JobPriority::Critical {
+                for &m in job.nodes() {
+                    if self.spec.privileged.contains(&m) {
+                        continue;
+                    }
+                    self.nodes[m.0 as usize].set_privileged(false);
+                    if let Some(mgr) = self.manager.as_mut() {
+                        mgr.sets_mut().set_privileged(m, false);
+                    }
+                    // The node rejoins the candidate set between ticks: the
+                    // lazy regime must take a real sample next cycle (its
+                    // delta spans the whole protection window).
+                    if incremental && m != n && self.lazy_control_ok() {
+                        self.resample_now.push(m.0);
+                    }
+                }
+            }
+            // Co-members lose their load starting next tick; phase
+            // tracking ends here.
+            for &m in job.nodes() {
+                self.columns.dirty.mark_next(m);
+            }
+            self.phase_sigs.remove(&job.id());
+            self.obs_stale = true;
+            let id = job.id();
+            job.requeue();
+            let attempt = job.requeues();
+            self.queue.push_front(job);
+            self.journal.record_with(now, Severity::Warn, "whatif", || {
+                format!(
+                    "{id} evicted: node {} decommissioned, requeued (attempt {attempt})",
+                    n.0
+                )
+            });
+        }
+        self.scheduler.set_node_down(n);
+        if incremental {
+            // Freeze the node's counters at the boundary: catch up the
+            // quiescent interval it sat clean (same state throughout, so
+            // the closed form is exact) before zeroing its power entry.
+            let behind = tick - self.columns.stamp_of(n);
+            if behind > 0 {
+                self.nodes[n.0 as usize].catch_up(dt, behind);
+                self.columns.set_stamp(n, tick);
+            }
+        }
+        self.columns.set_down(n);
+        self.columns.dirty.mark_next(n);
+        self.collector.forget(n);
+        if let Some(mgr) = self.manager.as_mut() {
+            mgr.note_node_down(n);
+        }
+        // The fault schedule predates the decommission: mask its pending
+        // edges for this node (a reboot must not resurrect it).
+        self.decommissioned.insert(n);
+        self.journal.record_with(now, Severity::Warn, "whatif", || {
+            format!("node {} decommissioned", n.0)
+        });
+        true
+    }
+
     /// Replays the fault schedule up to `now` and reacts to every edge:
     /// crashed nodes are evicted, de-scheduled, forgotten by telemetry and
     /// dropped from `A_candidate`; rebooted nodes rejoin at the lowest
@@ -702,7 +858,19 @@ impl ClusterSim {
         self.scratch_transitions
             .extend_from_slice(fs.engine.advance_traced(now, &mut self.obs.spans));
         for i in 0..self.scratch_transitions.len() {
-            match self.scratch_transitions[i] {
+            let edge = self.scratch_transitions[i];
+            let (FaultTransition::NodeDown(n)
+            | FaultTransition::NodeUp(n)
+            | FaultTransition::HangStart(n)
+            | FaultTransition::HangEnd(n)
+            | FaultTransition::SilenceStart(n)
+            | FaultTransition::SilenceEnd(n)) = edge;
+            if self.decommissioned.contains(&n) {
+                // Decommissioned nodes are gone for good: the schedule's
+                // remaining edges for them are void.
+                continue;
+            }
+            match edge {
                 FaultTransition::NodeDown(n) => {
                     // The node is dead: whatever command we owed it is moot.
                     fs.retries.retain(|r| r.node != n);
@@ -1004,15 +1172,14 @@ impl ClusterSim {
                 },
             ));
             // Down nodes are dark: they neither advance counters nor draw
-            // power until their reboot. The mask is all-false without
-            // faults.
+            // power until their reboot (if any). The columns' down flag
+            // mirrors every fault-engine edge the same tick it strikes
+            // (see `fault_tick`) and additionally covers decommissioned
+            // nodes, which the engine never sees.
             self.scratch_down.clear();
-            match self.faults.as_ref() {
-                Some(fs) => self
-                    .scratch_down
-                    .extend(self.nodes.iter().map(|n| fs.engine.is_down(n.id()))),
-                None => self.scratch_down.resize(self.nodes.len(), false),
-            }
+            let columns = &self.columns;
+            self.scratch_down
+                .extend((0..self.nodes.len() as u32).map(|i| columns.is_down(NodeId(i))));
             let pool: &WorkerPool = match self.pool.as_deref() {
                 Some(p) => p,
                 None => WorkerPool::global(),
@@ -1245,9 +1412,13 @@ impl ClusterSim {
             if node.is_privileged() {
                 continue;
             }
+            // Dead or decommissioned nodes have no agent to sample.
+            if self.columns.is_down(node.id()) {
+                continue;
+            }
             if let Some(fs) = self.faults.as_ref() {
-                // Dead nodes have no agent; silent ones produce no samples.
-                if fs.engine.is_down(node.id()) || fs.engine.is_silent(node.id()) {
+                // Silent nodes produce no samples.
+                if fs.engine.is_silent(node.id()) {
                     continue;
                 }
             }

@@ -57,6 +57,11 @@ pub struct ManagerStats {
 }
 
 /// The cluster-level power manager.
+///
+/// `Clone` (via [`TargetSelectionPolicy::clone_box`] for the boxed
+/// policy) so a snapshot of the whole control stack can be branched for
+/// what-if evaluation.
+#[derive(Clone)]
 pub struct PowerManager {
     config: ManagerConfig,
     sets: NodeSets,
@@ -154,6 +159,24 @@ impl PowerManager {
         if self.sets.is_candidate(node) {
             self.capping.adopt(node);
         }
+    }
+
+    /// Swaps the target-selection policy in place (what-if "swap policy"
+    /// operation). The new policy starts from its initial state; all
+    /// other controller state — thresholds, `A_degraded`, statistics —
+    /// carries over unchanged.
+    pub fn set_policy(&mut self, kind: crate::policy::PolicyKind) {
+        self.policy = kind.build();
+        self.config.policy = kind;
+    }
+
+    /// Changes the power provision capability `P_Max` in place (what-if
+    /// "raise/lower the cap" operation). Thresholds are re-derived from
+    /// the new provision immediately; see [`ThresholdLearner::reprovision`].
+    pub fn reprovision(&mut self, p_provision_w: f64) -> Result<(), CoreError> {
+        self.learner.reprovision(p_provision_w)?;
+        self.config.p_provision_w = p_provision_w;
+        Ok(())
     }
 
     /// Runs one control cycle with full telemetry coverage.

@@ -112,7 +112,7 @@ impl SelectionContext<'_> {
 /// (level, operating state, estimated power — compared bit-for-bit, so a
 /// hit returns the bit-identical `f64` a recomputation would) and needs no
 /// explicit invalidation: any changed input misses and recomputes.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeObsCache {
     entries: Vec<Option<(Level, ppc_node::OperatingState, f64, f64)>>,
 }

@@ -15,6 +15,10 @@ use ppc_node::NodeId;
 pub struct Bfp;
 
 impl TargetSelectionPolicy for Bfp {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "BFP"
     }

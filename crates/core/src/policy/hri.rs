@@ -22,6 +22,10 @@ use ppc_node::NodeId;
 pub struct Hri;
 
 impl TargetSelectionPolicy for Hri {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "HRI"
     }

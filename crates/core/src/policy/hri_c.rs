@@ -16,6 +16,10 @@ use std::collections::BTreeSet;
 pub struct HriC;
 
 impl TargetSelectionPolicy for HriC {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "HRI-C"
     }

@@ -13,6 +13,10 @@ use ppc_node::NodeId;
 pub struct Lpc;
 
 impl TargetSelectionPolicy for Lpc {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "LPC"
     }

@@ -14,6 +14,10 @@ use ppc_node::NodeId;
 pub struct LpcC;
 
 impl TargetSelectionPolicy for LpcC {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "LPC-C"
     }

@@ -41,12 +41,26 @@ use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 
 /// A target-set selection policy.
-pub trait TargetSelectionPolicy: Send {
+///
+/// `Send + Sync` so a sim holding one can be shared immutably across the
+/// worker pool, and [`clone_box`](Self::clone_box) so the manager — and
+/// therefore a whole simulation — can be deep-cloned for snapshot/branch.
+pub trait TargetSelectionPolicy: Send + Sync {
     /// Short policy name (e.g. `"MPC"`).
     fn name(&self) -> &'static str;
 
     /// Selects `A_target`: the nodes to degrade one level this cycle.
     fn select(&mut self, ctx: &SelectionContext) -> Vec<NodeId>;
+
+    /// Deep copy behind the trait object, including any internal state
+    /// (e.g. [`RoundRobin`]'s cursor).
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy>;
+}
+
+impl Clone for Box<dyn TargetSelectionPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Enumerates the implemented policies (CLI/config surface).

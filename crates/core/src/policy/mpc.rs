@@ -16,6 +16,10 @@ use ppc_node::NodeId;
 pub struct Mpc;
 
 impl TargetSelectionPolicy for Mpc {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "MPC"
     }

@@ -17,6 +17,10 @@ use std::collections::BTreeSet;
 pub struct MpcC;
 
 impl TargetSelectionPolicy for MpcC {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "MPC-C"
     }

@@ -21,6 +21,10 @@ pub struct RoundRobin {
 }
 
 impl TargetSelectionPolicy for RoundRobin {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "RR"
     }

@@ -21,6 +21,10 @@ use std::collections::BTreeSet;
 pub struct Uniform;
 
 impl TargetSelectionPolicy for Uniform {
+    fn clone_box(&self) -> Box<dyn TargetSelectionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "UNIFORM"
     }

@@ -145,6 +145,18 @@ impl ThresholdLearner {
         false
     }
 
+    /// Re-seeds the learner with a new provision capability `P_Max` —
+    /// the what-if "raise/lower the cap" operation. The threshold pair
+    /// is re-derived from the new basis immediately; peak observation
+    /// restarts so a later adjustment reflects only post-change history.
+    pub fn reprovision(&mut self, p_provision_w: f64) -> Result<(), CoreError> {
+        self.thresholds = Thresholds::from_peak(p_provision_w, self.low_margin, self.high_margin)?;
+        self.p_peak_w = p_provision_w;
+        self.observed_peak_w = 0.0;
+        self.cycles_since_adjust = 0;
+        Ok(())
+    }
+
     /// Re-derives thresholds from the observed peak (if any observation
     /// was made; an idle training period keeps the provision-based pair).
     fn adopt_observed_peak(&mut self) {

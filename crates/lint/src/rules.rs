@@ -39,8 +39,11 @@ impl CrateClass {
             "bench" => CrateClass::Bench,
             "obs" => CrateClass::Obs,
             "lint" => CrateClass::Tool,
-            // core, cluster, simkit, faults, node, workload, metrics, ppc —
-            // and any crate added later — get the strict treatment.
+            // core, cluster, simkit, faults, node, workload, metrics,
+            // whatif, ppc — and any crate added later — get the strict
+            // treatment. `whatif` in particular must stay deterministic:
+            // its branched projections feed CI's branch-and-replay gate,
+            // and latency timing belongs to `bench` (whatif_serve).
             _ => CrateClass::Deterministic,
         }
     }

@@ -27,7 +27,7 @@ pub struct FlightSnapshot {
 }
 
 /// Bounded incident snapshotter. See the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlightRecorder {
     max_snapshots: usize,
     span_window: usize,

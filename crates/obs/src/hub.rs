@@ -26,7 +26,7 @@ pub const DEFAULT_FLIGHT_SNAPSHOTS: usize = 8;
 pub const DEFAULT_FLIGHT_WINDOW: usize = 64;
 
 /// One simulation's observability state. See the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ObsHub {
     /// Control-cycle span tree.
     pub spans: SpanRecorder,

@@ -54,7 +54,7 @@ impl Instrument {
 }
 
 /// Deterministic instrument registry. See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     names: BTreeMap<&'static str, usize>,
     instruments: Vec<Instrument>,

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Accumulates wall-clock cost per named stage.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StageProfiler {
     stages: BTreeMap<&'static str, RunningStats>,
 }

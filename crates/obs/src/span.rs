@@ -109,7 +109,7 @@ pub struct SpanRecord {
 }
 
 /// An open span awaiting close.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenSpan {
     id: SpanId,
     parent: Option<SpanId>,
@@ -120,7 +120,7 @@ struct OpenSpan {
 }
 
 /// Bounded, deterministic span recorder. See the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SpanRecorder {
     enabled: bool,
     capacity: usize,

@@ -68,6 +68,17 @@ impl TimeSeries {
         self.times.iter().copied().zip(self.values.iter().copied())
     }
 
+    /// FNV-1a fingerprint over the raw bits of every value (byte
+    /// discipline — the same stream CI's determinism gate has always
+    /// hashed): equal fingerprints mean a bit-identical trace.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::Fnv1a::new();
+        for v in &self.values {
+            h.write_u64(v.to_bits());
+        }
+        h.finish()
+    }
+
     /// The raw value slice.
     pub fn values(&self) -> &[f64] {
         &self.values

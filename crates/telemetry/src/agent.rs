@@ -14,7 +14,7 @@ use ppc_node::OperatingState;
 use ppc_simkit::{DetRng, SimTime};
 
 /// A profiling agent bound to one node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ProfilingAgent {
     prev_snapshot: Option<ProcSnapshot>,
     last_state: OperatingState,

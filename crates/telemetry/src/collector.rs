@@ -29,7 +29,7 @@ struct Slot {
 }
 
 /// The central sample store.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Collector {
     /// Dense per-node slots, indexed by `NodeId.0`; `None` = no sample.
     slots: Vec<Option<Slot>>,

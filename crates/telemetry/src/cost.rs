@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Measures real per-cycle management cost.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CycleCostMeter {
     stats: RunningStats,
 }

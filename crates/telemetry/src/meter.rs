@@ -43,7 +43,7 @@ impl MeterReading {
 }
 
 /// Whole-system power meter with reading history.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SystemPowerMeter {
     noise: NoiseModel,
     rng: DetRng,

@@ -1,0 +1,275 @@
+//! The batched what-if query engine.
+//!
+//! [`WhatIfEngine`] holds one [`ClusterSnapshot`] and answers fleets of
+//! [`WhatIfRequest`]s against it. Each request becomes an independent
+//! branch-and-simulate run — [`ClusterSnapshot::branch`], apply the
+//! hypothetical mutation, step the horizon, summarize — so a batch fans
+//! out over the `simkit` worker pool with no sharing between queries.
+//! Results are written into per-query slots and the engine's own
+//! observability (a span per query, admitted/denied counters) is
+//! recorded serially in request order after the fan-out joins, which
+//! keeps the engine's span and metrics fingerprints identical at every
+//! pool width.
+//!
+//! No wall-clock enters this module: answers are functions of simulated
+//! time only, and the crate is lint-classified `Deterministic`. Latency
+//! measurement belongs to the bench harness (`whatif_serve`).
+
+use crate::query::{WhatIfAnswer, WhatIfQuery, WhatIfRequest};
+use crate::snapshot::ClusterSnapshot;
+use ppc_cluster::ClusterSim;
+use ppc_core::PowerState;
+use ppc_node::NodeId;
+use ppc_obs::{AttrValue, CounterHandle, MetricsRegistry, SpanRecorder};
+use ppc_simkit::series::Interp;
+use ppc_simkit::WorkerPool;
+use ppc_workload::JobId;
+use std::sync::Arc;
+
+/// Completed query spans the engine retains for inspection/fingerprints.
+const SPAN_CAPACITY: usize = 4096;
+
+/// Batched what-if evaluation against one cluster snapshot.
+pub struct WhatIfEngine {
+    snapshot: ClusterSnapshot,
+    pool: Option<Arc<WorkerPool>>,
+    spans: SpanRecorder,
+    metrics: MetricsRegistry,
+    queries_total: CounterHandle,
+    queries_admitted: CounterHandle,
+    queries_denied: CounterHandle,
+}
+
+impl WhatIfEngine {
+    /// An engine answering queries against `snapshot`, evaluating batches
+    /// sequentially until a pool is attached.
+    pub fn new(snapshot: ClusterSnapshot) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let queries_total = metrics.counter("whatif.queries_total");
+        let queries_admitted = metrics.counter("whatif.queries_admitted");
+        let queries_denied = metrics.counter("whatif.queries_denied");
+        WhatIfEngine {
+            snapshot,
+            pool: None,
+            spans: SpanRecorder::new(SPAN_CAPACITY),
+            metrics,
+            queries_total,
+            queries_admitted,
+            queries_denied,
+        }
+    }
+
+    /// Fans batches out over `pool`. Answers (and the engine's span and
+    /// metrics fingerprints) are identical at every pool width.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The snapshot queries branch from.
+    pub fn snapshot(&self) -> &ClusterSnapshot {
+        &self.snapshot
+    }
+
+    /// Evaluates every request as an independent branch of the snapshot
+    /// and returns the answers in request order.
+    pub fn run_batch(&mut self, requests: &[WhatIfRequest]) -> Vec<WhatIfAnswer> {
+        let mut slots: Vec<Option<WhatIfAnswer>> = requests.iter().map(|_| None).collect();
+        {
+            let snapshot = &self.snapshot;
+            let eval = |i: usize, slot: &mut Option<WhatIfAnswer>| {
+                *slot = Some(evaluate(snapshot.branch(), &requests[i]));
+            };
+            match self.pool.as_deref() {
+                Some(pool) => pool.for_each_mut(&mut slots, eval),
+                None => {
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        eval(i, slot);
+                    }
+                }
+            }
+        }
+        // Serial, request-ordered bookkeeping after the join: the span
+        // stream and counters never see fan-out scheduling.
+        let at = self.snapshot.now();
+        let mut answers = Vec::with_capacity(slots.len());
+        for slot in slots {
+            // ppc-lint: allow(panic-path): for_each_mut runs the closure exactly once per slot, so every slot is filled
+            let answer = slot.expect("every slot filled by the fan-out");
+            self.spans.open("whatif.query", at);
+            self.spans.attr("kind", AttrValue::Str(answer.query.kind()));
+            self.spans
+                .attr("horizon_ticks", AttrValue::U64(answer.horizon_ticks));
+            self.spans
+                .attr("admit", AttrValue::U64(u64::from(answer.admit)));
+            self.spans
+                .attr("peak_power_w", AttrValue::F64(answer.peak_power_w));
+            self.spans.close(at);
+            self.metrics.inc(self.queries_total, 1);
+            if answer.admit {
+                self.metrics.inc(self.queries_admitted, 1);
+            } else {
+                self.metrics.inc(self.queries_denied, 1);
+            }
+            answers.push(answer);
+        }
+        answers
+    }
+
+    /// Order-sensitive digest of every query span recorded so far.
+    pub fn span_fingerprint(&self) -> u64 {
+        self.spans.fingerprint()
+    }
+
+    /// Digest of the engine's counters.
+    pub fn metrics_fingerprint(&self) -> u64 {
+        self.metrics.fingerprint()
+    }
+}
+
+impl std::fmt::Debug for WhatIfEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WhatIfEngine")
+            .field("snapshot", &self.snapshot)
+            .field("pooled", &self.pool.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs one request on an owned branch: apply the mutation at the branch
+/// boundary, project the horizon, summarize the projection.
+pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
+    let branch_tick = sim.tick_index();
+    let t0 = sim.now();
+    let stats0 = sim.manager().map(|m| m.stats());
+    let finished0 = sim.finished().len();
+
+    let mut injected: Vec<JobId> = Vec::new();
+    let deny_reason = apply(&mut sim, &req.query, &mut injected).err();
+
+    for _ in 0..req.horizon_ticks {
+        sim.step();
+    }
+
+    let provision_w = sim
+        .manager()
+        .map(|m| m.config().p_provision_w)
+        .unwrap_or_else(|| sim.spec().provision_w());
+    let trace = sim.true_power().since(t0);
+    let peak_power_w = trace.max().unwrap_or(0.0);
+    let mean_power_w = trace.time_weighted_mean().unwrap_or(0.0);
+    let overspend_w_s = trace.integrate_excess_above(provision_w, Interp::Step);
+
+    let cycle_secs = sim.spec().tick.as_secs_f64();
+    let mut yellow_secs = 0.0;
+    let mut red_secs = 0.0;
+    for (at, state) in sim.state_log() {
+        if *at <= t0 {
+            continue;
+        }
+        match state {
+            PowerState::Yellow => yellow_secs += cycle_secs,
+            PowerState::Red => red_secs += cycle_secs,
+            PowerState::Green => {}
+        }
+    }
+
+    let records = &sim.finished()[finished0..];
+    let performance = ppc_metrics::performance::performance(records);
+    let jobs_finished = records.len();
+    let jobs_pending = injected.iter().filter(|&&id| sim.job_is_queued(id)).count();
+    let commands_applied = match (sim.manager().map(|m| m.stats()), stats0) {
+        (Some(end), Some(start)) => end.commands_issued - start.commands_issued,
+        _ => 0,
+    };
+
+    let admit = deny_reason.is_none() && red_secs == 0.0 && jobs_pending == 0;
+    WhatIfAnswer {
+        query: req.query.clone(),
+        branch_tick,
+        horizon_ticks: req.horizon_ticks,
+        admit,
+        deny_reason,
+        provision_w,
+        peak_power_w,
+        mean_power_w,
+        overspend_w_s,
+        yellow_secs,
+        red_secs,
+        performance,
+        jobs_finished,
+        jobs_pending,
+        commands_applied,
+    }
+}
+
+/// Applies one hypothetical mutation at the branch boundary, recording
+/// injected job ids; an `Err` is the query's deny reason.
+fn apply(
+    sim: &mut ClusterSim,
+    query: &WhatIfQuery,
+    injected: &mut Vec<JobId>,
+) -> Result<(), String> {
+    match query {
+        WhatIfQuery::Baseline => Ok(()),
+        WhatIfQuery::AdmitJobs { jobs } => {
+            for spec in jobs {
+                injected.push(sim.inject_job(spec.app, spec.class, spec.nprocs, spec.priority()));
+            }
+            Ok(())
+        }
+        WhatIfQuery::SetCap { provision_w } => {
+            let mgr = sim
+                .manager_mut()
+                .ok_or_else(|| "no power manager attached".to_string())?;
+            mgr.reprovision(*provision_w)
+                .map_err(|e| format!("reprovision rejected: {e}"))
+        }
+        WhatIfQuery::DropNodes { count } => {
+            let victims = drop_victims(sim, *count);
+            if victims.len() < *count as usize {
+                return Err(format!(
+                    "only {} droppable nodes (need {count})",
+                    victims.len()
+                ));
+            }
+            for n in victims {
+                sim.decommission_node(n);
+            }
+            Ok(())
+        }
+        WhatIfQuery::SwapPolicy { policy } => {
+            let mgr = sim
+                .manager_mut()
+                .ok_or_else(|| "no power manager attached".to_string())?;
+            mgr.set_policy(*policy);
+            Ok(())
+        }
+        WhatIfQuery::Compound { steps } => {
+            for step in steps {
+                apply(sim, step, injected)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Highest-id nodes eligible for decommissioning: up, and not statically
+/// privileged (privileged nodes host uncontrollable services the what-if
+/// cannot hypothetically remove). May return fewer than `count`.
+fn drop_victims(sim: &ClusterSim, count: u32) -> Vec<NodeId> {
+    let columns = sim.columns();
+    let privileged = &sim.spec().privileged;
+    let mut victims = Vec::with_capacity(count as usize);
+    for i in (0..columns.len() as u32).rev() {
+        if victims.len() == count as usize {
+            break;
+        }
+        let n = NodeId(i);
+        if columns.is_down(n) || privileged.contains(&n) {
+            continue;
+        }
+        victims.push(n);
+    }
+    victims
+}

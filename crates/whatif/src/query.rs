@@ -1,0 +1,200 @@
+//! Query and answer types for the what-if service.
+
+use ppc_core::PolicyKind;
+use ppc_workload::{Class, JobPriority, NpbApp};
+use serde::{Deserialize, Serialize};
+
+/// A hypothetical job to admit (the what-if analogue of one generator
+/// draw, but fully specified so a query is reproducible by value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// NPB application kernel.
+    pub app: NpbApp,
+    /// Problem class.
+    pub class: Class,
+    /// Rank count (placement spreads ranks over nodes by core count).
+    pub nprocs: u32,
+    /// Admit as SLA-critical (its nodes join `A_uncontrollable`).
+    pub critical: bool,
+}
+
+impl JobSpec {
+    /// The scheduler priority this spec admits under.
+    pub fn priority(&self) -> JobPriority {
+        if self.critical {
+            JobPriority::Critical
+        } else {
+            JobPriority::Normal
+        }
+    }
+}
+
+/// One hypothetical mutation of the branched cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WhatIfQuery {
+    /// No mutation: project the cluster as-is (the control arm every
+    /// other answer in a batch is comparable against).
+    Baseline,
+    /// Admit this job mix on top of the current load.
+    AdmitJobs {
+        /// Jobs to queue at the branch point, in order.
+        jobs: Vec<JobSpec>,
+    },
+    /// Raise or lower the power provision capability `P_Max` to this
+    /// value; thresholds re-derive immediately.
+    SetCap {
+        /// New provision capability, watts.
+        provision_w: f64,
+    },
+    /// Permanently remove `count` nodes (highest node ids first, skipping
+    /// statically privileged and already-down nodes) — the "lose a rack"
+    /// question.
+    DropNodes {
+        /// Nodes to decommission.
+        count: u32,
+    },
+    /// Swap the target-selection policy; controller state (thresholds,
+    /// `A_degraded`) carries over, the new policy starts fresh.
+    SwapPolicy {
+        /// Replacement policy.
+        policy: PolicyKind,
+    },
+    /// Apply several hypotheticals in order on the same branch — e.g.
+    /// *admit this job mix under cap C* is `[SetCap, AdmitJobs]`. The
+    /// first inapplicable step denies the whole query.
+    Compound {
+        /// Mutations, applied in order at the branch point.
+        steps: Vec<WhatIfQuery>,
+    },
+}
+
+impl WhatIfQuery {
+    /// Stable short name (span attributes, tables).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WhatIfQuery::Baseline => "baseline",
+            WhatIfQuery::AdmitJobs { .. } => "admit-jobs",
+            WhatIfQuery::SetCap { .. } => "set-cap",
+            WhatIfQuery::DropNodes { .. } => "drop-nodes",
+            WhatIfQuery::SwapPolicy { .. } => "swap-policy",
+            WhatIfQuery::Compound { .. } => "compound",
+        }
+    }
+}
+
+/// A query plus its evaluation horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfRequest {
+    /// The hypothetical mutation.
+    pub query: WhatIfQuery,
+    /// Ticks to project forward from the branch point.
+    pub horizon_ticks: u64,
+}
+
+impl WhatIfRequest {
+    /// A request projecting `query` over `horizon_ticks` ticks.
+    pub fn new(query: WhatIfQuery, horizon_ticks: u64) -> Self {
+        WhatIfRequest {
+            query,
+            horizon_ticks,
+        }
+    }
+}
+
+/// The structured projection one branch-and-simulate run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfAnswer {
+    /// The query this answers (echoed for self-containment).
+    pub query: WhatIfQuery,
+    /// Completed ticks at the branch point.
+    pub branch_tick: u64,
+    /// Ticks projected.
+    pub horizon_ticks: u64,
+    /// The admit/deny verdict: the mutation applied cleanly, every
+    /// injected job was placed within the horizon, and the capping
+    /// guarantee held (zero Red cycles).
+    pub admit: bool,
+    /// Why the query was denied outright (mutation inapplicable), if so.
+    /// `None` with `admit == false` means the projection itself vetoed
+    /// it (Red cycles, or injected jobs still queued at the horizon).
+    pub deny_reason: Option<String>,
+    /// Provision capability in force over the projection, watts.
+    pub provision_w: f64,
+    /// Projected peak power over the horizon, watts.
+    pub peak_power_w: f64,
+    /// Projected time-weighted mean power, watts.
+    pub mean_power_w: f64,
+    /// ΔP×T against the provision over the horizon, watt-seconds.
+    pub overspend_w_s: f64,
+    /// Seconds of the horizon classified Yellow.
+    pub yellow_secs: f64,
+    /// Seconds of the horizon classified Red.
+    pub red_secs: f64,
+    /// SLO impact: mean `Performance(cap)` of jobs finished in the
+    /// horizon (1.0 = no capping-induced slowdown; 1.0 when none
+    /// finished).
+    pub performance: f64,
+    /// Jobs finished within the horizon.
+    pub jobs_finished: usize,
+    /// Injected jobs still waiting in the queue at the horizon.
+    pub jobs_pending: usize,
+    /// Throttling commands applied over the horizon (SLO pressure).
+    pub commands_applied: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_kinds_are_stable() {
+        assert_eq!(WhatIfQuery::Baseline.kind(), "baseline");
+        assert_eq!(WhatIfQuery::AdmitJobs { jobs: vec![] }.kind(), "admit-jobs");
+        assert_eq!(WhatIfQuery::SetCap { provision_w: 1.0 }.kind(), "set-cap");
+        assert_eq!(WhatIfQuery::DropNodes { count: 1 }.kind(), "drop-nodes");
+        assert_eq!(
+            WhatIfQuery::SwapPolicy {
+                policy: PolicyKind::Hri
+            }
+            .kind(),
+            "swap-policy"
+        );
+    }
+
+    #[test]
+    fn job_spec_priority_maps_critical_flag() {
+        let spec = JobSpec {
+            app: NpbApp::Bt,
+            class: Class::C,
+            nprocs: 16,
+            critical: true,
+        };
+        assert_eq!(spec.priority(), JobPriority::Critical);
+        assert_eq!(
+            JobSpec {
+                critical: false,
+                ..spec
+            }
+            .priority(),
+            JobPriority::Normal
+        );
+    }
+
+    #[test]
+    fn request_roundtrips_through_serde() {
+        let req = WhatIfRequest::new(
+            WhatIfQuery::AdmitJobs {
+                jobs: vec![JobSpec {
+                    app: NpbApp::Cg,
+                    class: Class::D,
+                    nprocs: 32,
+                    critical: false,
+                }],
+            },
+            120,
+        );
+        let json = serde_json::to_string(&req).unwrap();
+        let back: WhatIfRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+}

@@ -16,7 +16,7 @@ use ppc_simkit::{DetRng, RngFactory, SimTime};
 pub const NPROCS_CHOICES: [u32; 6] = [8, 16, 32, 64, 128, 256];
 
 /// Generates random evaluation jobs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct JobGenerator {
     class: Class,
     max_nprocs: u32,
@@ -87,6 +87,26 @@ impl JobGenerator {
                 JobPriority::Normal
             };
         Job::new(id, app, self.class, nprocs, phases, now).with_priority(priority)
+    }
+
+    /// Builds a fully specified job — the what-if "admit this job mix"
+    /// path. Unlike [`JobGenerator::next_job`] nothing is drawn from the
+    /// pick stream, so synthesizing a hypothetical job perturbs no future
+    /// random draw; the phase jitter still comes from the job's own
+    /// id-keyed stream, exactly as generated jobs do.
+    pub fn synthesize(
+        &mut self,
+        app: NpbApp,
+        class: Class,
+        nprocs: u32,
+        priority: JobPriority,
+        now: SimTime,
+    ) -> Job {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let mut phase_rng = self.factory.stream("job-phases", id.0);
+        let phases = build_phases(app, class, nprocs, &mut phase_rng);
+        Job::new(id, app, class, nprocs, phases, now).with_priority(priority)
     }
 
     /// The paper's refill rule: append one job iff the queue is empty.

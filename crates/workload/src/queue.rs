@@ -10,7 +10,7 @@ use crate::job::Job;
 use std::collections::VecDeque;
 
 /// FIFO queue of pending jobs.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct JobQueue {
     jobs: VecDeque<Job>,
 }

@@ -131,7 +131,7 @@ pub fn render_trace(entries: &[TraceEntry]) -> String {
 }
 
 /// Replays a parsed trace as concrete jobs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceSource {
     entries: Vec<TraceEntry>,
     next: usize,

@@ -29,7 +29,7 @@ pub enum AdmissionPolicy {
 }
 
 /// Whole-node first-fit scheduler and run-queue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scheduler {
     free: BTreeSet<NodeId>,
     cores_per_node: u32,

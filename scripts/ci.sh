@@ -17,6 +17,11 @@ cargo run --release -p ppc-lint -- --workspace --json
 # the replay-determinism contract.
 cargo run --release -p ppc-bench --bin determinism_gate
 
+# What-if service smoke: a short query stream against a snapshot of the
+# paper-scale cluster must replay bit-identically (answers and engine
+# fingerprints) when served twice.
+cargo run --release -p ppc-bench --bin whatif_serve -- --smoke >/dev/null
+
 cargo run --release -p ppc-bench --bin ext_faults -- --smoke
 
 # Bench smoke + perf guard: quick per-tick medians, then fail if the

@@ -36,4 +36,5 @@ pub use ppc_node as node;
 pub use ppc_obs as obs;
 pub use ppc_simkit as simkit;
 pub use ppc_telemetry as telemetry;
+pub use ppc_whatif as whatif;
 pub use ppc_workload as workload;
