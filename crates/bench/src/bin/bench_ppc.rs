@@ -25,12 +25,18 @@
 //! run, which is what an experiment sweep actually pays.
 
 use ppc_cluster::{ClusterSim, ClusterSpec};
-use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc_core::{HierarchicalManager, ManagerConfig, NodeSets, PolicyKind, PowerManager, Topology};
 use ppc_node::{Level, NodeId, OperatingState};
 use ppc_simkit::{SimDuration, SimTime, WorkerPool};
 use ppc_telemetry::{Collector, NodeSample};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Hierarchical sweep shape: the paper-scale rack of 128 nodes, 16 racks
+/// to a row — 1024 nodes = 8 racks, 102 400 nodes = 800 racks / 50 rows.
+const HIER_NODES_PER_RACK: u32 = 128;
+const HIER_RACKS_PER_ROW: u32 = 16;
 
 /// Median of a sample set, in place.
 fn median(samples: &mut [f64]) -> f64 {
@@ -88,6 +94,26 @@ fn scaling_sim(nodes: u32, managed: bool, pool: &Arc<WorkerPool>) -> ClusterSim 
         ClusterSim::new(spec)
     };
     sim.with_worker_pool(Arc::clone(pool))
+}
+
+/// A saturated cluster under the *hierarchical* control plane at the
+/// sweep shape above.
+fn hier_scaling_sim(nodes: u32, pool: &Arc<WorkerPool>) -> ClusterSim {
+    let mut spec = ClusterSpec::tianhe_1a_variant();
+    spec.node_count = nodes;
+    spec.think_time_mean = SimDuration::ZERO;
+    spec.queue_depth = (nodes / 64).max(1) as usize;
+    let topology =
+        Topology::new(nodes, HIER_NODES_PER_RACK, HIER_RACKS_PER_ROW).expect("valid topology");
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+    };
+    let hier = HierarchicalManager::new(config, topology, &BTreeSet::new(), spec.node_weights_w())
+        .expect("valid hierarchy");
+    ClusterSim::new(spec)
+        .with_hierarchy(hier)
+        .with_worker_pool(Arc::clone(pool))
 }
 
 fn samples(n: u32, at: u64) -> Vec<NodeSample> {
@@ -165,6 +191,15 @@ fn main() {
         total += collector.aggregate_power(&nodes);
     });
 
+    // Micro: per-tick cost of the hierarchical control plane at the
+    // 1024-node scale (8 racks of 128) — the smallest rung of the Figure 5
+    // extension, cheap enough to measure (and guard) even in smoke mode.
+    let pool0 = Arc::new(WorkerPool::new(8));
+    let mut hier = hier_scaling_sim(1024, &pool0);
+    hier.run_for(SimDuration::from_secs(30));
+    let sim_step_1024_hier_us = median_us(batches, iters, || hier.step());
+    drop(hier);
+
     // Micro: one pool dispatch over a 4096-element slice (above the inline
     // threshold, so this exercises the persistent workers when the machine
     // has more than one core; on a 1-core machine it measures the inline
@@ -175,6 +210,53 @@ fn main() {
         pool.for_each_mut(&mut cells, |i, c| *c += i as f64);
     });
     assert!(total != 0.0 && cells[1] != 0.0, "work must not be elided");
+
+    // Hierarchical scaling sweep — the Figure 5 extension: per-tick cost
+    // at 1k/10k/100k nodes under the sharded control plane, at pool
+    // widths 1 and 8. Sample counts shrink with scale; a 100k-node tick
+    // is milliseconds, so even a handful of batches is minutes-stable.
+    let mut scaling_hier = Vec::new();
+    if !smoke {
+        let mut per_width_us: Vec<(u32, Vec<(u32, f64)>)> = Vec::new();
+        for &w in &[1u32, 8] {
+            let mut col = Vec::new();
+            for &n in &[1024u32, 10_240, 102_400] {
+                let pool = Arc::new(WorkerPool::new(w as usize));
+                let (warm_secs, sb, si) = if n >= 100_000 {
+                    (20, 3, 3)
+                } else if n > 4096 {
+                    (40, 5, 10)
+                } else {
+                    (120, 9, 20)
+                };
+                let mut h = hier_scaling_sim(n, &pool);
+                h.run_for(SimDuration::from_secs(warm_secs));
+                let hier_us = median_us(sb, si, || h.step());
+                let racks = h.hierarchy().expect("hierarchical sim").topology().racks();
+                eprintln!("scaling-hier: nodes={n} workers={w} racks={racks} step={hier_us:.2}us");
+                scaling_hier.push(serde_json::json!({
+                    "nodes": n,
+                    "workers": w,
+                    "racks": racks,
+                    "sim_step_hier_us": hier_us,
+                }));
+                col.push((n, hier_us));
+            }
+            per_width_us.push((w, col));
+        }
+        // The acceptance shape: each 10× node-count rung should cost well
+        // under 10× per tick (the issue's bar is ≤ ~3×).
+        for (w, col) in &per_width_us {
+            for pair in col.windows(2) {
+                let (n0, us0) = pair[0];
+                let (n1, us1) = pair[1];
+                eprintln!(
+                    "scaling-hier: width {w}: {n0}->{n1} nodes cost x{:.2} per tick",
+                    us1 / us0
+                );
+            }
+        }
+    }
 
     // Scaling sweep: managed and unmanaged per-tick cost across node
     // counts and explicit pool widths. Warmup is shorter at the largest
@@ -222,8 +304,10 @@ fn main() {
             "collector_ingest_batch_1024": collector_ingest_batch_1024_us,
             "aggregate_power_1024": aggregate_power_1024_us,
             "pool_dispatch_4096": pool_dispatch_4096_us,
+            "sim_step_1024_hier": sim_step_1024_hier_us,
         },
         "scaling": scaling,
+        "scaling_hier": scaling_hier,
     });
     // Carry the what-if service section (owned by `whatif_serve`) across
     // rewrites so the two emitters can share the one baseline file.
@@ -264,8 +348,26 @@ fn main() {
             "perf guard: sim_step_128_managed best-median {best:.2}us vs committed {baseline:.2}us \
              (limit {limit:.2}us)"
         );
-        if best > limit {
-            eprintln!("perf guard: FAILED — managed step regressed >25% vs {path}");
+        let mut guard_failed = best > limit;
+        // Guard the hierarchical step the same way once the committed
+        // baseline records it.
+        if let Some(hier_baseline) = committed["median_us"]["sim_step_1024_hier"].as_f64() {
+            let mut hier = hier_scaling_sim(1024, &pool0);
+            hier.run_for(SimDuration::from_secs(30));
+            let hier_best = sim_step_1024_hier_us
+                .min(median_us(batches, iters, || hier.step()))
+                .min(median_us(batches, iters, || hier.step()));
+            let hier_limit = hier_baseline * 1.25;
+            eprintln!(
+                "perf guard: sim_step_1024_hier best-median {hier_best:.2}us vs committed \
+                 {hier_baseline:.2}us (limit {hier_limit:.2}us)"
+            );
+            if hier_best > hier_limit {
+                guard_failed = true;
+            }
+        }
+        if guard_failed {
+            eprintln!("perf guard: FAILED — per-tick step regressed >25% vs {path}");
             std::process::exit(1);
         }
         eprintln!("perf guard: ok");

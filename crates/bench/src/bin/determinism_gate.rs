@@ -34,10 +34,11 @@
 //! CI. Under a minute of wall clock; see `scripts/ci.sh`.
 
 use ppc_cluster::{ClusterSim, ClusterSpec, EvalMode};
-use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager};
+use ppc_core::{HierarchicalManager, ManagerConfig, NodeSets, PolicyKind, PowerManager, Topology};
 use ppc_faults::{FaultInjection, FaultRates, FaultSchedule};
 use ppc_simkit::{RngFactory, SimDuration, WorkerPool};
 use ppc_whatif::ClusterSnapshot;
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -66,7 +67,10 @@ fn digest(sim: &ClusterSim) -> RunDigest {
     }
 }
 
-fn build(workers: usize, mode: EvalMode) -> Result<ClusterSim, String> {
+/// The gate's shared experiment: a tightly-provisioned mini cluster with
+/// an aggressive fault schedule. Both the flat and the hierarchical legs
+/// run exactly this.
+fn gate_spec() -> (ClusterSpec, FaultSchedule, ManagerConfig) {
     let mut spec = ClusterSpec::mini(NODES);
     spec.provision_fraction = 0.60; // tight provision: capping engages
     let rates = FaultRates {
@@ -84,11 +88,16 @@ fn build(workers: usize, mode: EvalMode) -> Result<ClusterSim, String> {
         SimDuration::from_secs(RUN_SECS),
         &RngFactory::new(spec.seed),
     );
-    let sets = NodeSets::new(spec.node_ids(), []);
     let config = ManagerConfig {
         training_cycles: 0,
         ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
     };
+    (spec, schedule, config)
+}
+
+fn build(workers: usize, mode: EvalMode) -> Result<ClusterSim, String> {
+    let (spec, schedule, config) = gate_spec();
+    let sets = NodeSets::new(spec.node_ids(), []);
     let manager =
         PowerManager::new(config, sets).map_err(|e| format!("manager construction: {e}"))?;
     let pool = Arc::new(WorkerPool::new(workers).with_inline_threshold(0));
@@ -97,6 +106,25 @@ fn build(workers: usize, mode: EvalMode) -> Result<ClusterSim, String> {
         .with_faults(FaultInjection::new(schedule))
         .with_worker_pool(pool)
         .with_eval_mode(mode))
+}
+
+/// The same experiment under the hierarchical control plane.
+fn build_hier(workers: usize, mode: EvalMode, topology: Topology) -> Result<ClusterSim, String> {
+    let (spec, schedule, config) = gate_spec();
+    let hier = HierarchicalManager::new(config, topology, &BTreeSet::new(), spec.node_weights_w())
+        .map_err(|e| format!("hierarchy construction: {e}"))?;
+    let pool = Arc::new(WorkerPool::new(workers).with_inline_threshold(0));
+    Ok(ClusterSim::new(spec)
+        .with_hierarchy(hier)
+        .with_faults(FaultInjection::new(schedule))
+        .with_worker_pool(pool)
+        .with_eval_mode(mode))
+}
+
+fn run_once_hier(workers: usize, mode: EvalMode, topology: Topology) -> Result<RunDigest, String> {
+    let mut sim = build_hier(workers, mode, topology)?;
+    sim.run_for(SimDuration::from_secs(RUN_SECS));
+    Ok(digest(&sim))
 }
 
 fn run_once(workers: usize, mode: EvalMode) -> Result<RunDigest, String> {
@@ -177,13 +205,85 @@ fn main() -> ExitCode {
             Some(_) => {}
         }
     }
+    // Hierarchical legs. A single-rack hierarchy *is* the flat
+    // architecture — pure delegation passthrough — so its digests must
+    // match the flat baseline bit for bit at both widths. A 3-level
+    // topology (2 rows × 2 racks of 2 nodes) exercises real delegation,
+    // sharded sub-manager evaluation and rollup; it forms its own digest
+    // family, pinned across widths 1 and 8 plus a same-width repeat.
+    let single_rack = match Topology::single_rack(NODES) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("determinism gate: topology: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let three_level = match Topology::new(NODES, 2, 2) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("determinism gate: topology: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hier_runs = [
+        ("hier 1rack width 1", 1usize, single_rack, false),
+        ("hier 1rack width 8", 8, single_rack, false),
+        ("hier 3lvl width 1", 1, three_level, true),
+        ("hier 3lvl width 1 rep", 1, three_level, true),
+        ("hier 3lvl width 8", 8, three_level, true),
+    ];
+    let mut hier_baseline: Option<RunDigest> = None;
+    for (label, workers, topology, own_family) in hier_runs {
+        let digest = match run_once_hier(workers, EvalMode::Incremental, topology) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("determinism gate: {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "determinism gate: {label:16} journal={:016x} trace={:016x} spans={:016x} \
+             metrics={:016x} finished={} commands={}",
+            digest.journal,
+            digest.trace,
+            digest.spans,
+            digest.metrics,
+            digest.finished,
+            digest.commands
+        );
+        if !own_family {
+            // Flat-equivalence family: compare against the flat baseline.
+            if baseline.as_ref() != Some(&digest) {
+                eprintln!(
+                    "determinism gate: {label} diverged from the flat manager — \
+                     single-rack hierarchy is not a passthrough"
+                );
+                failed = true;
+            }
+            continue;
+        }
+        match &hier_baseline {
+            None => {
+                if digest.commands == 0 {
+                    eprintln!("determinism gate: hierarchical run applied no commands — gate would be vacuous");
+                    failed = true;
+                }
+                hier_baseline = Some(digest);
+            }
+            Some(b) if *b != digest => {
+                eprintln!("determinism gate: {label} diverged from the first hierarchical run");
+                failed = true;
+            }
+            Some(_) => {}
+        }
+    }
     if failed {
         eprintln!("determinism gate: FAILED — seeded replay is not bit-identical");
         ExitCode::FAILURE
     } else {
         println!(
             "determinism gate: ok — journal, trace, span and metrics hashes identical across \
-             runs, pool widths and evaluation modes"
+             runs, pool widths, evaluation modes and control-plane architectures"
         );
         ExitCode::SUCCESS
     }

@@ -69,6 +69,7 @@ fn request(i: usize, horizon: u64, provision_w: f64) -> WhatIfRequest {
         },
         3 => WhatIfQuery::DropNodes {
             count: 1 + (v % 4) as u32,
+            rack: None,
         },
         _ => WhatIfQuery::SwapPolicy {
             policy: PolicyKind::ALL[v % PolicyKind::ALL.len()],

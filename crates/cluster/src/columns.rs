@@ -114,6 +114,15 @@ pub struct NodeColumns {
     /// Cached fleet power sum and its validity.
     fleet_sum_w: f64,
     sum_valid: bool,
+    /// Shard-contiguous layout: half-open `[lo, hi)` node-id ranges, one
+    /// per shard (rack), covering the column in index order. Empty until
+    /// [`set_shards`](Self::set_shards) — per-shard sums are a
+    /// hierarchical-manager feature.
+    shards: Vec<(u32, u32)>,
+    /// Cached per-shard power sums and their validity (invalidated by
+    /// exactly the same edges as the fleet sum).
+    shard_sum_w: Vec<f64>,
+    shards_valid: bool,
 }
 
 impl NodeColumns {
@@ -128,6 +137,9 @@ impl NodeColumns {
             dirty: DirtySet::with_len(n),
             fleet_sum_w: 0.0,
             sum_valid: false,
+            shards: Vec::new(),
+            shard_sum_w: Vec::new(),
+            shards_valid: false,
         }
     }
 
@@ -173,6 +185,7 @@ impl NodeColumns {
         self.speed[i] = speed;
         self.stamp[i] = tick;
         self.sum_valid = false;
+        self.shards_valid = false;
     }
 
     /// Updates only the speed column (a level change between evaluations).
@@ -193,6 +206,7 @@ impl NodeColumns {
     /// cached sum is invalidated.
     pub fn power_fill_mut(&mut self) -> &mut [f64] {
         self.sum_valid = false;
+        self.shards_valid = false;
         &mut self.power_w
     }
 
@@ -203,6 +217,7 @@ impl NodeColumns {
         self.down[i] = true;
         self.power_w[i] = 0.0;
         self.sum_valid = false;
+        self.shards_valid = false;
     }
 
     /// Brings a node back up at `tick`; its next materialization starts
@@ -212,6 +227,7 @@ impl NodeColumns {
         self.down[i] = false;
         self.stamp[i] = tick;
         self.sum_valid = false;
+        self.shards_valid = false;
     }
 
     /// Fleet power sum: a serial index-order fold over the dense power
@@ -225,6 +241,50 @@ impl NodeColumns {
             self.sum_valid = true;
         }
         self.fleet_sum_w
+    }
+
+    /// Installs the shard-contiguous layout: half-open `[lo, hi)` node-id
+    /// ranges in index order, one per rack. Ranges must tile the column
+    /// (each starts where the previous ended, the last ends at `len`).
+    ///
+    /// # Panics
+    /// Panics if the ranges do not tile the column.
+    pub fn set_shards(&mut self, shards: Vec<(u32, u32)>) {
+        let mut expect = 0u32;
+        for &(lo, hi) in &shards {
+            assert!(lo == expect && hi >= lo, "shards must tile the column");
+            expect = hi;
+        }
+        assert_eq!(
+            expect as usize,
+            self.power_w.len(),
+            "shards must cover every node"
+        );
+        self.shard_sum_w = vec![0.0; shards.len()];
+        self.shards = shards;
+        self.shards_valid = false;
+    }
+
+    /// The installed shard ranges (empty without a hierarchical manager).
+    pub fn shards(&self) -> &[(u32, u32)] {
+        &self.shards
+    }
+
+    /// Per-shard power sums: each entry is a serial index-order fold over
+    /// its shard's contiguous sub-slice of the dense power column, so a
+    /// rack's fleet sum is exactly the flat fold restricted to its range —
+    /// deterministic at any worker-pool width, same as the fleet sum.
+    /// Cached; invalidated by the same edges as the fleet sum. The fleet
+    /// sum stays a single whole-column fold (float addition is not
+    /// associative: summing shard sums would change its bits).
+    pub fn shard_power_w(&mut self) -> &[f64] {
+        if !self.shards_valid {
+            for (s, &(lo, hi)) in self.shard_sum_w.iter_mut().zip(&self.shards) {
+                *s = self.power_w[lo as usize..hi as usize].iter().sum();
+            }
+            self.shards_valid = true;
+        }
+        &self.shard_sum_w
     }
 }
 
@@ -265,6 +325,30 @@ mod tests {
         d.mark(NodeId(0));
         d.mark(NodeId(2)); // already present via promotion
         assert_eq!(d.indices(), &[2, 0]);
+    }
+
+    #[test]
+    fn shard_sums_are_dense_range_folds() {
+        let mut c = NodeColumns::new(6);
+        c.set_shards(vec![(0, 2), (2, 4), (4, 6)]);
+        for i in 0..6u32 {
+            c.materialize(NodeId(i), (i + 1) as f64 * 10.0, 1.0, 0);
+        }
+        assert_eq!(c.shard_power_w(), &[30.0, 70.0, 110.0]);
+        // Same invalidation edges as the fleet sum.
+        c.set_down(NodeId(2));
+        assert_eq!(c.shard_power_w(), &[30.0, 40.0, 110.0]);
+        assert_eq!(c.fleet_power_w(), 180.0);
+        // Each shard sum is bitwise the flat fold over its sub-slice.
+        let expect: f64 = c.power_w()[2..4].iter().sum();
+        assert_eq!(c.shard_power_w()[1].to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn shards_must_tile() {
+        let mut c = NodeColumns::new(4);
+        c.set_shards(vec![(0, 2), (3, 4)]);
     }
 
     #[test]

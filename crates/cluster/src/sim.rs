@@ -42,12 +42,17 @@ use crate::columns::NodeColumns;
 use crate::spec::ClusterSpec;
 use ppc_core::capping::LevelView;
 use ppc_core::observe::{observe_job_into, observe_jobs_cached, JobObservation};
-use ppc_core::{BudgetNodeView, PowerManager, PowerState, ProportionalBudgetController};
+use ppc_core::{
+    BudgetNodeView, CycleOutcome, HierarchicalManager, ManagerStats, PowerManager, PowerState,
+    ProportionalBudgetController,
+};
 use ppc_faults::{FaultEngine, FaultInjection, FaultTransition};
 use ppc_metrics::{AvailabilityInputs, AvailabilityReport};
 use ppc_node::node::Node;
 use ppc_node::{Level, NodeId, OperatingState, PowerModel};
-use ppc_obs::{AttrValue, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, ObsHub};
+use ppc_obs::{
+    AttrValue, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, ObsHub, SpanRecorder,
+};
 use ppc_simkit::journal::{Journal, Severity};
 use ppc_simkit::par::WorkerPool;
 use ppc_simkit::{RngFactory, SimDuration, SimTime, TickClock, TimeSeries, TimeWheel};
@@ -166,6 +171,56 @@ impl ObsInstruments {
     }
 }
 
+/// Handles to the hierarchy-specific instruments, registered only when a
+/// *multi-rack* hierarchical manager is attached. A single-rack hierarchy
+/// is the flat architecture and must keep the flat registry: the metrics
+/// fingerprint walks instrument names, and flat-vs-single-rack-hierarchy
+/// bit-equality is a pinned determinism property.
+#[derive(Clone)]
+struct HierInstruments {
+    /// Rack budgets moved by delegation passes, cumulative.
+    redelegations: CounterHandle,
+    /// Rack budgets drained to zero (all nodes offline), cumulative.
+    budget_drains: CounterHandle,
+    /// Racks classified Yellow on the last rolled-up cycle.
+    racks_yellow: GaugeHandle,
+    /// Racks classified Red on the last rolled-up cycle.
+    racks_red: GaugeHandle,
+    /// Delegated budget per rack, watts — first [`Self::MAX_RACK_GAUGES`]
+    /// racks only (per-rack gauges at 100k-node scale would swamp the
+    /// registry and its fingerprint walk).
+    rack_budget: Vec<GaugeHandle>,
+}
+
+impl HierInstruments {
+    /// Per-rack budget gauges are capped; beyond this, aggregates only.
+    const MAX_RACK_GAUGES: usize = 16;
+
+    fn register(m: &mut MetricsRegistry, racks: usize) -> Self {
+        HierInstruments {
+            redelegations: m.counter("hier_redelegations_total"),
+            budget_drains: m.counter("hier_budget_drains_total"),
+            racks_yellow: m.gauge("hier_racks_yellow"),
+            racks_red: m.gauge("hier_racks_red"),
+            rack_budget: (0..racks.min(Self::MAX_RACK_GAUGES))
+                .map(|r| m.gauge(rack_gauge_name(r)))
+                .collect(),
+        }
+    }
+}
+
+/// The registry holds `&'static str` names; the per-rack gauge names are
+/// interned once per process (bounded by `MAX_RACK_GAUGES`), so repeated
+/// sim construction never re-leaks.
+fn rack_gauge_name(r: usize) -> &'static str {
+    static NAMES: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    NAMES.get_or_init(|| {
+        (0..HierInstruments::MAX_RACK_GAUGES)
+            .map(|i| &*Box::leak(format!("hier_rack{i:02}_budget_w").into_boxed_str()))
+            .collect()
+    })[r]
+}
+
 /// Level lookup over the node array.
 struct NodesView<'a>(&'a [Node]);
 
@@ -205,6 +260,17 @@ pub struct ClusterSim {
     /// Alternative control architecture: the related-work proportional
     /// budget controller (mutually exclusive with `manager`).
     budget_controller: Option<ProportionalBudgetController>,
+    /// The hierarchical control plane: per-rack sub-managers under
+    /// delegated budgets (mutually exclusive with both of the above).
+    hierarchy: Option<HierarchicalManager>,
+    /// Hierarchy instruments (`Some` only for multi-rack hierarchies).
+    hier_i: Option<HierInstruments>,
+    /// Per-rack job-observation slices, re-split from `cached_obs`
+    /// whenever it is rebuilt (multi-rack hierarchy only).
+    rack_obs: Vec<Vec<JobObservation>>,
+    /// Per-rack true power snapshot taken at the top of the control
+    /// cycle (multi-rack hierarchy only).
+    scratch_rack_true: Vec<f64>,
     true_power: TimeSeries,
     finished: Vec<JobRecord>,
     cost_meter: CycleCostMeter,
@@ -380,6 +446,10 @@ impl ClusterSim {
             collector: Collector::new(),
             manager: None,
             budget_controller: None,
+            hierarchy: None,
+            hier_i: None,
+            rack_obs: Vec::new(),
+            scratch_rack_true: Vec::new(),
             true_power: TimeSeries::new(),
             finished: Vec::new(),
             cost_meter: CycleCostMeter::new(),
@@ -524,8 +594,8 @@ impl ClusterSim {
     /// Panics if a budget controller is already attached.
     pub fn with_manager(mut self, manager: PowerManager) -> Self {
         assert!(
-            self.budget_controller.is_none(),
-            "manager and budget controller are mutually exclusive"
+            self.budget_controller.is_none() && self.hierarchy.is_none(),
+            "manager, hierarchy and budget controller are mutually exclusive"
         );
         self.manager = Some(manager);
         self
@@ -539,8 +609,8 @@ impl ClusterSim {
     /// Panics if a power manager is already attached.
     pub fn with_budget_controller(mut self, controller: ProportionalBudgetController) -> Self {
         assert!(
-            self.manager.is_none(),
-            "manager and budget controller are mutually exclusive"
+            self.manager.is_none() && self.hierarchy.is_none(),
+            "manager, hierarchy and budget controller are mutually exclusive"
         );
         self.budget_controller = Some(controller);
         self
@@ -549,6 +619,71 @@ impl ClusterSim {
     /// The attached budget controller, if any.
     pub fn budget_controller(&self) -> Option<&ProportionalBudgetController> {
         self.budget_controller.as_ref()
+    }
+
+    /// Attaches the hierarchical control plane (built by the caller from
+    /// a facility [`ppc_core::ManagerConfig`] and [`ppc_core::Topology`]).
+    /// Installs the topology's shard-contiguous layout on the node
+    /// columns so per-rack fleet sums stay dense index-order folds.
+    /// Hierarchy instruments register only on multi-rack topologies: a
+    /// single-rack hierarchy is the flat architecture and must
+    /// fingerprint like it.
+    ///
+    /// # Panics
+    /// Panics if another controller is attached or the topology does not
+    /// cover the cluster exactly.
+    pub fn with_hierarchy(mut self, hierarchy: HierarchicalManager) -> Self {
+        assert!(
+            self.manager.is_none() && self.budget_controller.is_none(),
+            "manager, hierarchy and budget controller are mutually exclusive"
+        );
+        assert_eq!(
+            hierarchy.topology().node_count() as usize,
+            self.nodes.len(),
+            "topology must cover the cluster exactly"
+        );
+        let racks = hierarchy.topology().racks();
+        let shards: Vec<(u32, u32)> = (0..racks)
+            .map(|r| {
+                let range = hierarchy.topology().rack_nodes(r);
+                (range.start, range.end)
+            })
+            .collect();
+        self.columns.set_shards(shards);
+        if !hierarchy.is_single_rack() {
+            self.hier_i = Some(HierInstruments::register(&mut self.obs.metrics, racks));
+        }
+        self.rack_obs = vec![Vec::new(); racks];
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// The attached hierarchical manager, if any.
+    pub fn hierarchy(&self) -> Option<&HierarchicalManager> {
+        self.hierarchy.as_ref()
+    }
+
+    /// Mutable access to the hierarchical manager (what-if mutations).
+    pub fn hierarchy_mut(&mut self) -> Option<&mut HierarchicalManager> {
+        self.hierarchy.as_mut()
+    }
+
+    /// Control statistics of whichever control plane is attached — flat
+    /// manager or hierarchy (`None` for unmanaged and budget runs).
+    pub fn control_stats(&self) -> Option<ManagerStats> {
+        self.manager
+            .as_ref()
+            .map(|m| m.stats())
+            .or_else(|| self.hierarchy.as_ref().map(|h| h.stats()))
+    }
+
+    /// The provision capability currently in force in the attached
+    /// control plane (`None` for unmanaged and budget runs).
+    pub fn provision_in_force_w(&self) -> Option<f64> {
+        self.manager
+            .as_ref()
+            .map(|m| m.config().p_provision_w)
+            .or_else(|| self.hierarchy.as_ref().map(|h| h.config().p_provision_w))
     }
 
     /// The cluster spec.
@@ -624,11 +759,8 @@ impl ClusterSim {
         let fs = self.faults.as_ref()?;
         let now = self.clock.now();
         let stats = fs.engine.stats_at(now);
-        let (red_cycles, conservative_cycles, total_cycles) = match self.manager.as_ref() {
-            Some(m) => {
-                let s = m.stats();
-                (s.red_cycles, s.conservative_cycles, s.cycles)
-            }
+        let (red_cycles, conservative_cycles, total_cycles) = match self.control_stats() {
+            Some(s) => (s.red_cycles, s.conservative_cycles, s.cycles),
             None => {
                 let red = self
                     .state_log
@@ -792,6 +924,8 @@ impl ClusterSim {
                     self.nodes[m.0 as usize].set_privileged(false);
                     if let Some(mgr) = self.manager.as_mut() {
                         mgr.sets_mut().set_privileged(m, false);
+                    } else if let Some(h) = self.hierarchy.as_mut() {
+                        h.set_privileged(m, false);
                     }
                     // The node rejoins the candidate set between ticks: the
                     // lazy regime must take a real sample next cycle (its
@@ -835,6 +969,8 @@ impl ClusterSim {
         self.collector.forget(n);
         if let Some(mgr) = self.manager.as_mut() {
             mgr.note_node_down(n);
+        } else if let Some(h) = self.hierarchy.as_mut() {
+            h.note_node_down(n);
         }
         // The fault schedule predates the decommission: mask its pending
         // edges for this node (a reboot must not resurrect it).
@@ -885,6 +1021,8 @@ impl ClusterSim {
                                 self.nodes[m.0 as usize].set_privileged(false);
                                 if let Some(mgr) = self.manager.as_mut() {
                                     mgr.sets_mut().set_privileged(m, false);
+                                } else if let Some(h) = self.hierarchy.as_mut() {
+                                    h.set_privileged(m, false);
                                 }
                             }
                         }
@@ -936,6 +1074,8 @@ impl ClusterSim {
                     self.collector.forget(n);
                     if let Some(mgr) = self.manager.as_mut() {
                         mgr.note_node_down(n);
+                    } else if let Some(h) = self.hierarchy.as_mut() {
+                        h.note_node_down(n);
                     }
                     self.journal.record_with(now, Severity::Warn, "fault", || {
                         format!("node {} down", n.0)
@@ -963,6 +1103,8 @@ impl ClusterSim {
                     self.columns.set_speed(n, speed);
                     if let Some(mgr) = self.manager.as_mut() {
                         mgr.note_node_rejoined(n);
+                    } else if let Some(h) = self.hierarchy.as_mut() {
+                        h.note_node_rejoined(n);
                     }
                     self.journal.record_with(now, Severity::Info, "fault", || {
                         format!("node {} rebooted, rejoins at lowest level", n.0)
@@ -1011,7 +1153,9 @@ impl ClusterSim {
         let now0 = self.clock.now();
         let tick = self.tick_index + 1;
         let incremental = self.incremental_active();
-        let lazy_step = incremental && self.manager.is_some() && self.lazy_control_ok();
+        let lazy_step = incremental
+            && (self.manager.is_some() || self.hierarchy.is_some())
+            && self.lazy_control_ok();
 
         // Tick boundary: promote dirty marks staged during tick−1 (phase
         // boundaries, level commands), remembering whether tick−1 itself
@@ -1145,6 +1289,8 @@ impl ClusterSim {
                         self.columns.set_speed(n, speed);
                         if let Some(m) = self.manager.as_mut() {
                             m.sets_mut().set_privileged(n, true);
+                        } else if let Some(h) = self.hierarchy.as_mut() {
+                            h.set_privileged(n, true);
                         }
                     }
                 }
@@ -1211,6 +1357,8 @@ impl ClusterSim {
                     self.nodes[n.0 as usize].set_privileged(false);
                     if let Some(m) = self.manager.as_mut() {
                         m.sets_mut().set_privileged(n, false);
+                    } else if let Some(h) = self.hierarchy.as_mut() {
+                        h.set_privileged(n, false);
                     }
                     // The node rejoins the candidate set mid-tick: the
                     // dense path samples it this very cycle, so the lazy
@@ -1320,7 +1468,7 @@ impl ClusterSim {
         // controller 0.0 W) would read as maximal headroom and promote
         // every degraded node, so the cycle is skipped instead.
         if let Some(metered_w) = reading.value() {
-            if self.manager.is_some() {
+            if self.manager.is_some() || self.hierarchy.is_some() {
                 self.control_cycle(now1, metered_w, dt, tick, incremental);
             } else if self.budget_controller.is_some() {
                 self.budget_cycle(now1, metered_w);
@@ -1346,7 +1494,10 @@ impl ClusterSim {
         self.scratch_dirty
             .extend_from_slice(self.columns.dirty.indices());
         let lazy_candidates = if self.lazy_control_ok() {
-            self.manager.as_ref().map(|m| m.sets())
+            self.manager
+                .as_ref()
+                .map(|m| m.sets())
+                .or_else(|| self.hierarchy.as_ref().map(|h| h.sets()))
         } else {
             None
         };
@@ -1519,9 +1670,73 @@ impl ClusterSim {
         tick: u64,
         incremental: bool,
     ) {
-        // ppc-lint: allow(panic-path): step() dispatches here only when a manager is attached
-        let manager = self.manager.as_mut().expect("checked by caller");
         self.obs.spans.open("cycle", now);
+
+        // Hierarchical delegation pass (multi-rack only): re-cut the
+        // facility budget across rows and racks from each rack's *true*
+        // power demand before the rack control cycles run. Serial — the
+        // budget trajectory must be worker-width-invariant — and absent on
+        // single-rack topologies, whose span stream must stay bit-equal to
+        // the flat manager's.
+        let hier_multi = self.hierarchy.as_ref().is_some_and(|h| !h.is_single_rack());
+        let mut fleet_true_w = 0.0;
+        if hier_multi {
+            fleet_true_w = self.columns.fleet_power_w();
+            let shard_w = self.columns.shard_power_w();
+            self.scratch_rack_true.clear();
+            self.scratch_rack_true.extend_from_slice(shard_w);
+            // ppc-lint: allow(panic-path): hier_multi implies a hierarchy is attached
+            let h = self.hierarchy.as_mut().expect("checked just above");
+            self.obs.spans.open("delegate", now);
+            let outcome = h.delegate(&self.scratch_rack_true);
+            self.obs
+                .spans
+                .attr("racks", AttrValue::U64(h.topology().racks() as u64));
+            self.obs
+                .spans
+                .attr("redelegated", AttrValue::U64(u64::from(outcome.changed)));
+            self.obs
+                .spans
+                .attr("drained", AttrValue::U64(outcome.drained.len() as u64));
+            self.obs.spans.close(now);
+            for &r in &outcome.drained {
+                self.journal.record_with(now, Severity::Warn, "hier", || {
+                    format!("rack {r} budget drained to its row (no online nodes)")
+                });
+            }
+            if let Some(hi) = self.hier_i.as_ref() {
+                self.obs
+                    .metrics
+                    .inc(hi.redelegations, u64::from(outcome.changed));
+                self.obs
+                    .metrics
+                    .inc(hi.budget_drains, outcome.drained.len() as u64);
+                for (&g, &b) in hi.rack_budget.iter().zip(h.rack_budget_w()) {
+                    self.obs.metrics.set(g, b);
+                }
+            }
+        }
+
+        // Whichever control plane is attached drives the rest of the
+        // cycle; both expose the same global candidate view.
+        enum Ctrl<'a> {
+            Flat(&'a mut PowerManager),
+            Hier(&'a mut HierarchicalManager),
+        }
+        impl Ctrl<'_> {
+            fn sets(&self) -> &ppc_core::NodeSets {
+                match self {
+                    Ctrl::Flat(m) => m.sets(),
+                    Ctrl::Hier(h) => h.sets(),
+                }
+            }
+        }
+        let mut ctrl = match (self.manager.as_mut(), self.hierarchy.as_mut()) {
+            (Some(m), _) => Ctrl::Flat(m),
+            (None, Some(h)) => Ctrl::Hier(h),
+            // ppc-lint: allow(panic-path): step() dispatches here only when a controller is attached
+            (None, None) => unreachable!("checked by caller"),
+        };
 
         // The lazy regime (incremental, fault-free, no meter dropout): when
         // nothing changed since the last cycle, every candidate's sample
@@ -1554,7 +1769,7 @@ impl ClusterSim {
             // its collector entry, so skipping it changes nothing the
             // policies (or the fingerprints) can see.
             let resample = std::mem::take(&mut self.resample_now);
-            let sets = manager.sets();
+            let sets = ctrl.sets();
             // Nodes sampled last cycle settle their prev-power view; a
             // node being re-sampled now settles via the ingest itself, and
             // one that just left the candidate set (SLA protection) keeps
@@ -1615,7 +1830,7 @@ impl ClusterSim {
             spent.clear();
             self.resample_now = std::mem::replace(&mut self.resample_next, spent);
         } else if rebuild {
-            for &id in manager.sets().candidates() {
+            for &id in ctrl.sets().candidates() {
                 if let Some(fs) = self.faults.as_ref() {
                     if fs.engine.is_down(id) || fs.engine.is_silent(id) {
                         continue;
@@ -1649,7 +1864,7 @@ impl ClusterSim {
         // path would have taken (one per candidate; the lazy regime
         // excludes faults and agent noise, so none are dropped).
         let logical_samples = if lazy {
-            manager.sets().candidates().len() as u64
+            ctrl.sets().candidates().len() as u64
         } else {
             self.scratch_samples.len() as u64
         };
@@ -1680,6 +1895,12 @@ impl ClusterSim {
         let scratch_slots = &mut self.scratch_slots;
         let faults = self.faults.as_mut();
         let spans = &mut self.obs.spans;
+        let rack_obs = &mut self.rack_obs;
+        let rack_true = &self.scratch_rack_true;
+        let pool: &WorkerPool = match self.pool.as_deref() {
+            Some(p) => p,
+            None => WorkerPool::global(),
+        };
         // Full observation rebuild only when the job list itself changed
         // shape (start/finish/protection edges) or outside the lazy
         // regime; otherwise only the jobs whose members were sampled or
@@ -1698,7 +1919,7 @@ impl ClusterSim {
             match faults {
                 Some(fs) => {
                     fs.fresh.clear();
-                    let candidates = manager.sets().candidates();
+                    let candidates = ctrl.sets().candidates();
                     for &id in candidates {
                         if collector.is_fresh(id, now, fs.staleness_limit) {
                             fs.fresh.insert(id);
@@ -1715,14 +1936,39 @@ impl ClusterSim {
                     spans.attr("jobs", AttrValue::U64(cached_obs.len() as u64));
                     spans.attr("coverage", AttrValue::F64(coverage));
                     spans.close(now);
-                    manager.control_cycle_traced(
-                        metered_w,
-                        cached_obs.as_slice(),
-                        &NodesView(nodes),
-                        coverage,
-                        now,
-                        spans,
-                    )
+                    match &mut ctrl {
+                        Ctrl::Flat(m) => m.control_cycle_traced(
+                            metered_w,
+                            cached_obs.as_slice(),
+                            &NodesView(nodes),
+                            coverage,
+                            now,
+                            spans,
+                        ),
+                        Ctrl::Hier(h) if h.is_single_rack() => h.subs_mut()[0]
+                            .control_cycle_traced(
+                                metered_w,
+                                cached_obs.as_slice(),
+                                &NodesView(nodes),
+                                coverage,
+                                now,
+                                spans,
+                            ),
+                        Ctrl::Hier(h) => hier_multi_control(
+                            h,
+                            metered_w,
+                            cached_obs.as_slice(),
+                            nodes,
+                            Some(&fs.fresh),
+                            rack_true,
+                            fleet_true_w,
+                            true,
+                            rack_obs,
+                            pool,
+                            now,
+                            spans,
+                        ),
+                    }
                 }
                 None => {
                     spans.open("observe", now);
@@ -1749,7 +1995,7 @@ impl ClusterSim {
                         if !full && !scratch_slots.is_empty() {
                             scratch_slots.sort_unstable();
                             scratch_slots.dedup();
-                            let sets = manager.sets();
+                            let sets = ctrl.sets();
                             let running = scheduler.running_jobs();
                             for &slot in scratch_slots.iter() {
                                 let job = &running[obs_runq[slot as usize] as usize];
@@ -1771,7 +2017,7 @@ impl ClusterSim {
                         }
                     }
                     if full {
-                        let sets = manager.sets();
+                        let sets = ctrl.sets();
                         let running = scheduler.running_jobs();
                         obs_slot.fill(u32::MAX);
                         node_runq.fill(u32::MAX);
@@ -1808,14 +2054,39 @@ impl ClusterSim {
                     }
                     spans.attr("jobs", AttrValue::U64(cached_obs.len() as u64));
                     spans.close(now);
-                    manager.control_cycle_traced(
-                        metered_w,
-                        cached_obs.as_slice(),
-                        &NodesView(nodes),
-                        1.0,
-                        now,
-                        spans,
-                    )
+                    match &mut ctrl {
+                        Ctrl::Flat(m) => m.control_cycle_traced(
+                            metered_w,
+                            cached_obs.as_slice(),
+                            &NodesView(nodes),
+                            1.0,
+                            now,
+                            spans,
+                        ),
+                        Ctrl::Hier(h) if h.is_single_rack() => h.subs_mut()[0]
+                            .control_cycle_traced(
+                                metered_w,
+                                cached_obs.as_slice(),
+                                &NodesView(nodes),
+                                1.0,
+                                now,
+                                spans,
+                            ),
+                        Ctrl::Hier(h) => hier_multi_control(
+                            h,
+                            metered_w,
+                            cached_obs.as_slice(),
+                            nodes,
+                            None,
+                            rack_true,
+                            fleet_true_w,
+                            rebuild,
+                            rack_obs,
+                            pool,
+                            now,
+                            spans,
+                        ),
+                    }
                 }
             }
         });
@@ -1855,10 +2126,10 @@ impl ClusterSim {
         let in_training = self
             .manager
             .as_ref()
-            // ppc-lint: allow(panic-path): control_cycle() runs only with a manager attached (see step())
-            .expect("checked by caller")
-            .learner()
-            .in_training();
+            .map(|m| m.learner().in_training())
+            .or_else(|| self.hierarchy.as_ref().map(|h| h.in_training()))
+            // ppc-lint: allow(panic-path): control_cycle() runs only with a controller attached (see step())
+            .expect("checked by caller");
         if !in_training {
             let actuate_t = self.obs.profile.start();
             self.obs.spans.open("actuate", now);
@@ -1895,6 +2166,19 @@ impl ClusterSim {
         self.obs
             .metrics
             .set(self.obs_i.journal_dropped, self.journal.dropped() as f64);
+        if let (Some(h), Some(hi)) = (self.hierarchy.as_ref(), self.hier_i.as_ref()) {
+            let mut yellow = 0u64;
+            let mut red = 0u64;
+            for s in h.last_rack_states() {
+                match s {
+                    PowerState::Yellow => yellow += 1,
+                    PowerState::Red => red += 1,
+                    PowerState::Green => {}
+                }
+            }
+            self.obs.metrics.set(hi.racks_yellow, yellow as f64);
+            self.obs.metrics.set(hi.racks_red, red as f64);
+        }
         self.obs
             .spans
             .attr("state", AttrValue::Str(outcome.state.name()));
@@ -2038,6 +2322,146 @@ impl ClusterSim {
             self.step();
         }
     }
+}
+
+/// One per-rack slot of the hierarchical fan-out: the rack's sub-manager,
+/// its inputs, and its outcome slot. Workers touch disjoint slots only.
+struct RackSlot<'a> {
+    mgr: &'a mut PowerManager,
+    obs: &'a [JobObservation],
+    metered_w: f64,
+    coverage: f64,
+    out: Option<CycleOutcome>,
+}
+
+/// Runs the multi-rack hierarchical control cycle: split the global job
+/// observations by owning rack, apportion the metered reading by each
+/// rack's share of true fleet power, restrict coverage to each rack's own
+/// candidates, fan the rack sub-managers out over the worker pool, and
+/// roll the outcomes back up serially in rack order.
+///
+/// Width-invariance argument: each rack's cycle reads only its own slot
+/// (its sub-manager, its observation slice, scalars) and records no spans
+/// (sub-managers run with a disabled recorder); every piece of shared
+/// bookkeeping — the rollup, the `shards` span taxonomy, the instruments —
+/// happens after the join, in rack order. This is the same serial
+/// post-join discipline the what-if engine's batch fan-out uses.
+#[allow(clippy::too_many_arguments)]
+fn hier_multi_control(
+    hier: &mut HierarchicalManager,
+    metered_w: f64,
+    cached_obs: &[JobObservation],
+    nodes: &[Node],
+    fresh: Option<&BTreeSet<NodeId>>,
+    rack_true_w: &[f64],
+    fleet_true_w: f64,
+    resplit: bool,
+    rack_obs: &mut Vec<Vec<JobObservation>>,
+    pool: &WorkerPool,
+    now: SimTime,
+    spans: &mut SpanRecorder,
+) -> CycleOutcome {
+    let topology = *hier.topology();
+    let racks = topology.racks();
+    rack_obs.resize_with(racks, Vec::new);
+    if resplit {
+        // Re-partition each job observation by owning rack: a job spanning
+        // racks appears once per rack it touches, carrying only that
+        // rack's member observations. Its job-global previous power passes
+        // through unchanged — the per-node savings estimates are what the
+        // node-scoped policies actually consume.
+        for ro in rack_obs.iter_mut() {
+            ro.clear();
+        }
+        for obs in cached_obs {
+            for nob in &obs.nodes {
+                let bucket = &mut rack_obs[topology.rack_of(nob.node)];
+                if bucket.last().map(|o| o.id) != Some(obs.id) {
+                    bucket.push(JobObservation {
+                        id: obs.id,
+                        nodes: Vec::new(),
+                        prev_power_w: obs.prev_power_w,
+                    });
+                }
+                // ppc-lint: allow(panic-path): an entry was pushed just above
+                let slot = bucket.last_mut().expect("bucket entry just pushed");
+                slot.nodes.push(*nob);
+            }
+        }
+    }
+    // Per-rack inputs. The metered apportionment keys off *true* power so
+    // the split is exact under meter noise; coverage restricts the fresh
+    // set to the rack's node-id range against the rack's own candidates.
+    let mut metered_rack = vec![0.0f64; racks];
+    let mut coverage_rack = vec![1.0f64; racks];
+    for r in 0..racks {
+        if fleet_true_w > 0.0 {
+            metered_rack[r] = metered_w * rack_true_w[r] / fleet_true_w;
+        }
+        if let Some(fresh) = fresh {
+            let range = topology.rack_nodes(r);
+            let candidates = hier.subs()[r].sets().candidate_count();
+            if candidates > 0 {
+                let fresh_here = fresh.range(NodeId(range.start)..NodeId(range.end)).count();
+                coverage_rack[r] = fresh_here as f64 / candidates as f64;
+            }
+        }
+    }
+    let mut slots: Vec<RackSlot> = hier
+        .subs_mut()
+        .iter_mut()
+        .zip(rack_obs.iter())
+        .zip(metered_rack.iter().zip(&coverage_rack))
+        .map(|((mgr, obs), (&metered_w, &coverage))| RackSlot {
+            mgr,
+            obs,
+            metered_w,
+            coverage,
+            out: None,
+        })
+        .collect();
+    pool.for_each_mut(&mut slots, |_, slot| {
+        slot.out = Some(slot.mgr.control_cycle_with_coverage(
+            slot.metered_w,
+            slot.obs,
+            &NodesView(nodes),
+            slot.coverage,
+        ));
+    });
+    // Serial post-join bookkeeping, in rack order. Span budget: one nested
+    // span per *interesting* rack only (non-Green or commanding) — a pure
+    // function of sim state, so the taxonomy stays deterministic and the
+    // recorder is not swamped at 100k-node scale.
+    spans.open("shards", now);
+    let mut outcomes = Vec::with_capacity(racks);
+    let mut yellow = 0u64;
+    let mut red = 0u64;
+    let mut total_commands = 0u64;
+    for (r, slot) in slots.iter_mut().enumerate() {
+        // ppc-lint: allow(panic-path): for_each_mut runs the closure once per slot
+        let out = slot.out.take().expect("every rack slot filled");
+        match out.state {
+            PowerState::Yellow => yellow += 1,
+            PowerState::Red => red += 1,
+            PowerState::Green => {}
+        }
+        total_commands += out.commands.len() as u64;
+        if out.state != PowerState::Green || !out.commands.is_empty() {
+            spans.open("shard", now);
+            spans.attr("rack", AttrValue::U64(r as u64));
+            spans.attr("state", AttrValue::Str(out.state.name()));
+            spans.attr("commands", AttrValue::U64(out.commands.len() as u64));
+            spans.close(now);
+        }
+        outcomes.push(out);
+    }
+    spans.attr("racks", AttrValue::U64(racks as u64));
+    spans.attr("commands", AttrValue::U64(total_commands));
+    spans.attr("yellow", AttrValue::U64(yellow));
+    spans.attr("red", AttrValue::U64(red));
+    spans.close(now);
+    drop(slots);
+    hier.rollup(outcomes)
 }
 
 #[cfg(test)]

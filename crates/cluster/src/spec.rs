@@ -159,6 +159,17 @@ impl ClusterSpec {
         self.provision_fraction * self.theoretical_max_w()
     }
 
+    /// Per-node theoretical max power in node-id order (base partition,
+    /// then each extra group) — the budget-delegation weights of the
+    /// hierarchical control plane.
+    pub fn node_weights_w(&self) -> Vec<f64> {
+        let mut weights = vec![self.node_spec.theoretical_max_w(); self.node_count as usize];
+        for g in &self.extra_groups {
+            weights.resize(weights.len() + g.count as usize, g.spec.theoretical_max_w());
+        }
+        weights
+    }
+
     /// Largest NPROCS the cluster can host.
     pub fn max_nprocs(&self) -> u32 {
         self.total_nodes() * self.node_spec.cores()

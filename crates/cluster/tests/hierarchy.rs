@@ -1,0 +1,160 @@
+//! Hierarchical control plane integration tests: budget conservation
+//! under fault injection, orphaned-headroom reclamation after whole-rack
+//! loss, and flat-equivalence of the single-rack passthrough.
+//!
+//! The conservation invariant is the *sequential draw-down* form the core
+//! delegation primitives guarantee exactly (no float re-summation slack):
+//! walking the children in order, each child's budget is non-negative and
+//! never exceeds what remains of the parent's — which implies
+//! Σ child ≤ parent.
+
+use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_core::{conserves_budget, HierarchicalManager, ManagerConfig, PolicyKind, Topology};
+use ppc_faults::{FaultInjection, FaultRates, FaultSchedule};
+use ppc_node::NodeId;
+use ppc_simkit::{RngFactory, SimDuration};
+use std::collections::BTreeSet;
+
+const RUN_SECS: u64 = 300;
+
+fn hier_spec(nodes: u32) -> ClusterSpec {
+    let mut spec = ClusterSpec::mini(nodes);
+    spec.provision_fraction = 0.60; // tight: capping and delegation engage
+    spec
+}
+
+fn hier_sim(topology: Topology, faulted: bool) -> ClusterSim {
+    let spec = hier_spec(topology.node_count());
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+    };
+    let hier = HierarchicalManager::new(config, topology, &BTreeSet::new(), spec.node_weights_w())
+        .expect("valid hierarchy");
+    let sim = ClusterSim::new(spec);
+    let sim = if faulted {
+        let rates = FaultRates {
+            crash_per_node_hour: 6.0,
+            reboot_mean_secs: 45.0,
+            hang_per_node_hour: 6.0,
+            silence_per_node_hour: 8.0,
+            partition_per_hour: 10.0,
+            partition_width: 4,
+            ..FaultRates::default()
+        };
+        let schedule = FaultSchedule::generate(
+            &rates,
+            topology.node_count(),
+            SimDuration::from_secs(RUN_SECS),
+            &RngFactory::new(7),
+        );
+        sim.with_faults(FaultInjection::new(schedule))
+    } else {
+        sim
+    };
+    sim.with_hierarchy(hier)
+}
+
+/// Every level of the tree conserves its parent's budget, exactly.
+fn assert_conserving(sim: &ClusterSim) {
+    let h = sim.hierarchy().expect("hierarchical sim");
+    let topology = *h.topology();
+    assert!(
+        conserves_budget(h.config().p_provision_w, h.row_budget_w()),
+        "rows overspend the facility budget: {:?} from {}",
+        h.row_budget_w(),
+        h.config().p_provision_w
+    );
+    for row in 0..topology.rows() {
+        let racks = topology.row_racks(row);
+        assert!(
+            conserves_budget(h.row_budget_w()[row], &h.rack_budget_w()[racks.clone()]),
+            "row {row} racks overspend: {:?} from {}",
+            &h.rack_budget_w()[racks],
+            h.row_budget_w()[row]
+        );
+    }
+}
+
+#[test]
+fn budget_conservation_holds_every_cycle_under_faults() {
+    let topology = Topology::new(8, 2, 2).unwrap();
+    let mut sim = hier_sim(topology, true);
+    for _ in 0..RUN_SECS {
+        sim.step();
+        assert_conserving(&sim);
+    }
+    // The run must have exercised the control plane for the invariant
+    // check to mean anything.
+    let stats = sim.control_stats().expect("hierarchy attached");
+    assert!(stats.cycles > 0, "no control cycles ran");
+    assert!(sim.commands_applied() > 0, "no commands applied");
+}
+
+#[test]
+fn whole_rack_loss_drains_its_budget_and_siblings_reclaim_it() {
+    let topology = Topology::new(8, 2, 2).unwrap();
+    let mut sim = hier_sim(topology, false);
+    sim.run_for(SimDuration::from_secs(20));
+    let h = sim.hierarchy().unwrap();
+    assert!(h.rack_budget_w()[0] > 0.0, "rack 0 starts funded");
+
+    // Rack 0 is nodes {0, 1}: decommission both, then let the next
+    // control cycle's delegation pass observe the empty rack.
+    sim.decommission_node(NodeId(0));
+    sim.decommission_node(NodeId(1));
+    sim.run_for(SimDuration::from_secs(5));
+
+    let h = sim.hierarchy().unwrap();
+    let rack_w = h.rack_budget_w();
+    assert_eq!(rack_w[0], 0.0, "dead rack keeps a budget: {}", rack_w[0]);
+    assert_conserving(&sim);
+    // The orphaned headroom flows back: rack 1 (the row sibling) now
+    // holds essentially the whole row budget.
+    let row0 = h.row_budget_w()[0];
+    assert!(
+        rack_w[1] > 0.9 * row0,
+        "sibling did not reclaim the drained budget: rack1={} row0={row0}",
+        rack_w[1]
+    );
+    // And the drain is journaled for the operator.
+    let drains = sim.journal().by_category("hier").count();
+    assert!(drains > 0, "no drain event in the journal");
+}
+
+#[test]
+fn single_rack_hierarchy_matches_flat_manager_bit_for_bit() {
+    use ppc_core::{NodeSets, PowerManager};
+
+    let spec = hier_spec(8);
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+    };
+    let flat = {
+        let sets = NodeSets::new(spec.node_ids(), []);
+        let manager = PowerManager::new(config, sets).unwrap();
+        let mut sim = ClusterSim::new(spec.clone()).with_manager(manager);
+        sim.run_for(SimDuration::from_secs(120));
+        (
+            sim.journal().fingerprint(),
+            sim.true_power().fingerprint(),
+            sim.span_fingerprint(),
+            sim.metrics_fingerprint(),
+        )
+    };
+    let hier = {
+        let mut sim = hier_sim(Topology::single_rack(8).unwrap(), false);
+        sim.run_for(SimDuration::from_secs(120));
+        (
+            sim.journal().fingerprint(),
+            sim.true_power().fingerprint(),
+            sim.span_fingerprint(),
+            sim.metrics_fingerprint(),
+        )
+    };
+    assert_eq!(
+        flat, hier,
+        "single-rack hierarchy is not a bitwise passthrough of the flat manager"
+    );
+}

@@ -16,26 +16,38 @@
 //!   MPC-C (Algorithm 2), LPC, LPC-C, BFP and change-based HRI, HRI-C;
 //! * [`observe`] — the per-cycle view (jobs → candidate nodes → power and
 //!   one-level-down savings) that policies consume;
-//! * [`manager`] — the control loop tying sensing to throttling commands.
+//! * [`manager`] — the control loop tying sensing to throttling commands;
+//! * [`topology`] — the facility → row → rack → node tree with
+//!   contiguous per-rack node-id ranges;
+//! * [`hierarchy`] — the hierarchical control plane: per-rack
+//!   sub-managers under delegated budgets, sibling headroom
+//!   re-delegation, and worst-state rollup classification.
 
 pub mod budget;
 pub mod capping;
 pub mod config;
 pub mod error;
+pub mod hierarchy;
 pub mod manager;
 pub mod observe;
 pub mod policy;
 pub mod sets;
 pub mod state;
 pub mod thresholds;
+pub mod topology;
 
-pub use budget::{BudgetNodeView, ProportionalBudgetController};
+pub use budget::{
+    conserves_budget, delegate_with_headroom, split_proportional, BudgetNodeView,
+    ProportionalBudgetController,
+};
 pub use capping::{CappingAlgorithm, NodeCommand};
 pub use config::ManagerConfig;
 pub use error::CoreError;
-pub use manager::{CycleOutcome, PowerManager};
+pub use hierarchy::{DelegationOutcome, HierarchicalManager};
+pub use manager::{CycleOutcome, ManagerStats, PowerManager};
 pub use observe::{JobObservation, NodeObsCache, NodeObservation, SelectionContext};
 pub use policy::{PolicyKind, TargetSelectionPolicy};
 pub use sets::NodeSets;
 pub use state::{PowerState, Thresholds};
 pub use thresholds::ThresholdLearner;
+pub use topology::Topology;

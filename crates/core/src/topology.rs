@@ -1,0 +1,175 @@
+//! The facility → row → rack → node topology.
+//!
+//! Real facilities do not run one flat control loop over every node:
+//! power is provisioned down a tree (facility PDUs feed rows, rows feed
+//! rack PDUs, racks feed nodes) and each level protects its own budget.
+//! [`Topology`] captures that tree shape for the hierarchical control
+//! plane: node ids are assigned **contiguously per rack** (rack `r`
+//! covers ids `[r·nodes_per_rack, (r+1)·nodes_per_rack)`), so every
+//! per-rack aggregate — fleet power, candidate membership, telemetry
+//! freshness — is a dense index-order fold or range query over the same
+//! flat arrays the rest of the simulator already uses. Fan-out at both
+//! levels is configurable; `racks_per_row` groups racks into rows for
+//! the two-stage facility → row → rack budget delegation.
+//!
+//! A [`Topology::single_rack`] degenerates to the flat architecture: one
+//! rack holding every node, one row holding that rack. The hierarchical
+//! manager treats that shape as a pure passthrough, which is what makes
+//! the flat-vs-single-rack determinism equivalence checkable bit for bit.
+
+use crate::error::CoreError;
+use ppc_node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// The static facility → row → rack → node tree, with contiguous
+/// per-rack node-id ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    node_count: u32,
+    nodes_per_rack: u32,
+    racks_per_row: u32,
+}
+
+impl Topology {
+    /// A topology over `node_count` nodes with the given fan-out at each
+    /// level. The last rack (and the last row) may be partially filled.
+    pub fn new(
+        node_count: u32,
+        nodes_per_rack: u32,
+        racks_per_row: u32,
+    ) -> Result<Self, CoreError> {
+        if node_count == 0 {
+            return Err(CoreError::InvalidConfig(
+                "topology needs at least one node".to_string(),
+            ));
+        }
+        if nodes_per_rack == 0 || racks_per_row == 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "topology fan-out must be positive, got {nodes_per_rack} nodes/rack, \
+                 {racks_per_row} racks/row"
+            )));
+        }
+        Ok(Topology {
+            node_count,
+            nodes_per_rack,
+            racks_per_row,
+        })
+    }
+
+    /// The degenerate one-rack, one-row topology: the flat architecture
+    /// expressed as a tree.
+    pub fn single_rack(node_count: u32) -> Result<Self, CoreError> {
+        Topology::new(node_count, node_count, 1)
+    }
+
+    /// True for the one-rack degenerate shape.
+    pub fn is_single_rack(&self) -> bool {
+        self.racks() == 1
+    }
+
+    /// Total nodes in the facility.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Configured nodes per rack (the last rack may hold fewer).
+    pub fn nodes_per_rack(&self) -> u32 {
+        self.nodes_per_rack
+    }
+
+    /// Configured racks per row (the last row may hold fewer).
+    pub fn racks_per_row(&self) -> u32 {
+        self.racks_per_row
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.node_count.div_ceil(self.nodes_per_rack) as usize
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        (self.racks() as u32).div_ceil(self.racks_per_row) as usize
+    }
+
+    /// The contiguous node-id range of rack `r`.
+    pub fn rack_nodes(&self, r: usize) -> Range<u32> {
+        let lo = (r as u32).saturating_mul(self.nodes_per_rack);
+        let hi = lo.saturating_add(self.nodes_per_rack).min(self.node_count);
+        lo..hi
+    }
+
+    /// The contiguous rack-index range of row `row`.
+    pub fn row_racks(&self, row: usize) -> Range<usize> {
+        let lo = row * self.racks_per_row as usize;
+        let hi = (lo + self.racks_per_row as usize).min(self.racks());
+        lo..hi
+    }
+
+    /// The rack holding `node`.
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        (node.0 / self.nodes_per_rack) as usize
+    }
+
+    /// The row holding rack `r`.
+    pub fn row_of_rack(&self, r: usize) -> usize {
+        r / self.racks_per_row as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_node_space() {
+        let t = Topology::new(10, 4, 2).unwrap();
+        assert_eq!(t.racks(), 3);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.rack_nodes(0), 0..4);
+        assert_eq!(t.rack_nodes(1), 4..8);
+        assert_eq!(t.rack_nodes(2), 8..10, "last rack is partial");
+        assert_eq!(t.row_racks(0), 0..2);
+        assert_eq!(t.row_racks(1), 2..3, "last row is partial");
+        // Every node maps into exactly the rack whose range holds it.
+        for id in 0..10u32 {
+            let r = t.rack_of(NodeId(id));
+            assert!(t.rack_nodes(r).contains(&id));
+            assert!(t.row_racks(t.row_of_rack(r)).contains(&r));
+        }
+    }
+
+    #[test]
+    fn single_rack_degenerates_to_flat() {
+        let t = Topology::single_rack(128).unwrap();
+        assert!(t.is_single_rack());
+        assert_eq!(t.racks(), 1);
+        assert_eq!(t.rows(), 1);
+        assert_eq!(t.rack_nodes(0), 0..128);
+        assert_eq!(t.row_racks(0), 0..1);
+    }
+
+    #[test]
+    fn exact_fanout_has_no_partial_tail() {
+        let t = Topology::new(16, 4, 2).unwrap();
+        assert_eq!(t.racks(), 4);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.rack_nodes(3), 12..16);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(Topology::new(0, 4, 2).is_err());
+        assert!(Topology::new(8, 0, 2).is_err());
+        assert!(Topology::new(8, 4, 0).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::new(100, 8, 4).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -43,7 +43,11 @@ impl CrateClass {
             // whatif, ppc — and any crate added later — get the strict
             // treatment. `whatif` in particular must stay deterministic:
             // its branched projections feed CI's branch-and-replay gate,
-            // and latency timing belongs to `bench` (whatif_serve).
+            // and latency timing belongs to `bench` (whatif_serve). The
+            // hierarchical control plane (`core`'s topology, budget
+            // delegation and hierarchy modules; `cluster`'s sharded
+            // evaluation) is likewise strict: budget splits and rollups
+            // feed every determinism fingerprint.
             _ => CrateClass::Deterministic,
         }
     }

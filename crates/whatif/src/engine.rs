@@ -141,7 +141,7 @@ impl std::fmt::Debug for WhatIfEngine {
 pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
     let branch_tick = sim.tick_index();
     let t0 = sim.now();
-    let stats0 = sim.manager().map(|m| m.stats());
+    let stats0 = sim.control_stats();
     let finished0 = sim.finished().len();
 
     let mut injected: Vec<JobId> = Vec::new();
@@ -152,8 +152,7 @@ pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
     }
 
     let provision_w = sim
-        .manager()
-        .map(|m| m.config().p_provision_w)
+        .provision_in_force_w()
         .unwrap_or_else(|| sim.spec().provision_w());
     let trace = sim.true_power().since(t0);
     let peak_power_w = trace.max().unwrap_or(0.0);
@@ -178,7 +177,7 @@ pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
     let performance = ppc_metrics::performance::performance(records);
     let jobs_finished = records.len();
     let jobs_pending = injected.iter().filter(|&&id| sim.job_is_queued(id)).count();
-    let commands_applied = match (sim.manager().map(|m| m.stats()), stats0) {
+    let commands_applied = match (sim.control_stats(), stats0) {
         (Some(end), Some(start)) => end.commands_issued - start.commands_issued,
         _ => 0,
     };
@@ -219,14 +218,19 @@ fn apply(
             Ok(())
         }
         WhatIfQuery::SetCap { provision_w } => {
-            let mgr = sim
-                .manager_mut()
+            if let Some(mgr) = sim.manager_mut() {
+                return mgr
+                    .reprovision(*provision_w)
+                    .map_err(|e| format!("reprovision rejected: {e}"));
+            }
+            let h = sim
+                .hierarchy_mut()
                 .ok_or_else(|| "no power manager attached".to_string())?;
-            mgr.reprovision(*provision_w)
+            h.reprovision(*provision_w)
                 .map_err(|e| format!("reprovision rejected: {e}"))
         }
-        WhatIfQuery::DropNodes { count } => {
-            let victims = drop_victims(sim, *count);
+        WhatIfQuery::DropNodes { count, rack } => {
+            let victims = drop_victims(sim, *count, *rack)?;
             if victims.len() < *count as usize {
                 return Err(format!(
                     "only {} droppable nodes (need {count})",
@@ -239,10 +243,14 @@ fn apply(
             Ok(())
         }
         WhatIfQuery::SwapPolicy { policy } => {
-            let mgr = sim
-                .manager_mut()
+            if let Some(mgr) = sim.manager_mut() {
+                mgr.set_policy(*policy);
+                return Ok(());
+            }
+            let h = sim
+                .hierarchy_mut()
                 .ok_or_else(|| "no power manager attached".to_string())?;
-            mgr.set_policy(*policy);
+            h.set_policy(*policy);
             Ok(())
         }
         WhatIfQuery::Compound { steps } => {
@@ -256,12 +264,31 @@ fn apply(
 
 /// Highest-id nodes eligible for decommissioning: up, and not statically
 /// privileged (privileged nodes host uncontrollable services the what-if
-/// cannot hypothetically remove). May return fewer than `count`.
-fn drop_victims(sim: &ClusterSim, count: u32) -> Vec<NodeId> {
+/// cannot hypothetically remove). May return fewer than `count`. With
+/// `rack`, candidates are restricted to that rack of the hierarchical
+/// topology — the "lose *this* rack" question — and the query is a hard
+/// error when no hierarchy is attached or the rack does not exist.
+fn drop_victims(sim: &ClusterSim, count: u32, rack: Option<u32>) -> Result<Vec<NodeId>, String> {
+    let range = match rack {
+        None => 0..sim.columns().len() as u32,
+        Some(r) => {
+            let h = sim
+                .hierarchy()
+                .ok_or_else(|| "rack-scoped drop needs a hierarchical control plane".to_string())?;
+            let topology = h.topology();
+            if r as usize >= topology.racks() {
+                return Err(format!(
+                    "rack {r} out of range (topology has {} racks)",
+                    topology.racks()
+                ));
+            }
+            topology.rack_nodes(r as usize)
+        }
+    };
     let columns = sim.columns();
     let privileged = &sim.spec().privileged;
     let mut victims = Vec::with_capacity(count as usize);
-    for i in (0..columns.len() as u32).rev() {
+    for i in range.rev() {
         if victims.len() == count as usize {
             break;
         }
@@ -271,5 +298,5 @@ fn drop_victims(sim: &ClusterSim, count: u32) -> Vec<NodeId> {
         }
         victims.push(n);
     }
-    victims
+    Ok(victims)
 }

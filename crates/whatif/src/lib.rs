@@ -44,7 +44,7 @@
 //! let mut engine = WhatIfEngine::new(ClusterSnapshot::capture(&sim));
 //! let answers = engine.run_batch(&[
 //!     WhatIfRequest::new(WhatIfQuery::Baseline, 30),
-//!     WhatIfRequest::new(WhatIfQuery::DropNodes { count: 1 }, 30),
+//!     WhatIfRequest::new(WhatIfQuery::DropNodes { count: 1, rack: None }, 30),
 //! ]);
 //! assert_eq!(answers.len(), 2);
 //! assert!(answers[0].peak_power_w >= answers[1].peak_power_w);

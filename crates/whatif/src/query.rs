@@ -52,6 +52,11 @@ pub enum WhatIfQuery {
     DropNodes {
         /// Nodes to decommission.
         count: u32,
+        /// Restrict victims to this rack of the hierarchical topology
+        /// (`None`, the default when the field is absent from a JSON
+        /// payload, = fleet-wide, the flat behaviour). Denied when no
+        /// hierarchy is attached.
+        rack: Option<u32>,
     },
     /// Swap the target-selection policy; controller state (thresholds,
     /// `A_degraded`) carries over, the new policy starts fresh.
@@ -151,7 +156,14 @@ mod tests {
         assert_eq!(WhatIfQuery::Baseline.kind(), "baseline");
         assert_eq!(WhatIfQuery::AdmitJobs { jobs: vec![] }.kind(), "admit-jobs");
         assert_eq!(WhatIfQuery::SetCap { provision_w: 1.0 }.kind(), "set-cap");
-        assert_eq!(WhatIfQuery::DropNodes { count: 1 }.kind(), "drop-nodes");
+        assert_eq!(
+            WhatIfQuery::DropNodes {
+                count: 1,
+                rack: None
+            }
+            .kind(),
+            "drop-nodes"
+        );
         assert_eq!(
             WhatIfQuery::SwapPolicy {
                 policy: PolicyKind::Hri

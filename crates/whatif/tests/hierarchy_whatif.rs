@@ -1,0 +1,168 @@
+//! What-if regression tests on the *hierarchical* control plane: a
+//! snapshot branched from a hierarchical sim replays bit-identically to
+//! the fresh same-seed run, and a rack-scoped `DropNodes` query follows
+//! the exact trajectory of decommissioning that rack by hand — which
+//! drains the rack's delegated budget to its row.
+
+use ppc_cluster::{ClusterSim, ClusterSpec};
+use ppc_core::{HierarchicalManager, ManagerConfig, PolicyKind, Topology};
+use ppc_faults::{FaultInjection, FaultRates, FaultSchedule};
+use ppc_simkit::{RngFactory, SimDuration};
+use ppc_whatif::engine::evaluate;
+use ppc_whatif::{ClusterSnapshot, WhatIfEngine, WhatIfQuery, WhatIfRequest};
+use std::collections::BTreeSet;
+
+const NODES: u32 = 8;
+const RUN_SECS: u64 = 240;
+
+/// A managed, faulted 2-rows × 2-racks × 2-nodes hierarchical cluster.
+fn hier_sim(faulted: bool) -> ClusterSim {
+    let topology = Topology::new(NODES, 2, 2).expect("valid topology");
+    let mut spec = ClusterSpec::mini(NODES);
+    spec.provision_fraction = 0.60;
+    let config = ManagerConfig {
+        training_cycles: 0,
+        ..ManagerConfig::paper_defaults(spec.provision_w(), PolicyKind::Mpc)
+    };
+    let hier = HierarchicalManager::new(config, topology, &BTreeSet::new(), spec.node_weights_w())
+        .expect("valid hierarchy");
+    let sim = ClusterSim::new(spec);
+    let sim = if faulted {
+        let rates = FaultRates {
+            crash_per_node_hour: 12.0,
+            reboot_mean_secs: 30.0,
+            silence_per_node_hour: 8.0,
+            ..FaultRates::default()
+        };
+        let schedule = FaultSchedule::generate(
+            &rates,
+            NODES,
+            SimDuration::from_secs(RUN_SECS),
+            &RngFactory::new(13),
+        );
+        sim.with_faults(FaultInjection::new(schedule))
+    } else {
+        sim
+    };
+    sim.with_hierarchy(hier)
+}
+
+fn digest(sim: &ClusterSim) -> (u64, u64, u64, u64) {
+    (
+        sim.journal().fingerprint(),
+        sim.true_power().fingerprint(),
+        sim.span_fingerprint(),
+        sim.metrics_fingerprint(),
+    )
+}
+
+/// Capture-and-branch on a hierarchical sim is bit-identical to the
+/// uninterrupted fresh run with the same seed — all four fingerprints.
+#[test]
+fn hierarchical_branch_matches_fresh_run() {
+    let half = RUN_SECS / 2;
+    let mut fresh = hier_sim(true);
+    fresh.run_for(SimDuration::from_secs(RUN_SECS));
+    let want = digest(&fresh);
+
+    let mut original = hier_sim(true);
+    original.run_for(SimDuration::from_secs(half));
+    let snapshot = ClusterSnapshot::capture(&original);
+    // Perturb the original past the capture point: a branch that secretly
+    // shared hierarchy state (sub-managers, budgets) would diverge.
+    original.run_for(SimDuration::from_secs(30));
+    let mut branch = snapshot.branch();
+    branch.run_for(SimDuration::from_secs(RUN_SECS - half));
+    assert_eq!(
+        digest(&branch),
+        want,
+        "hierarchical branch diverged from the fresh same-seed run"
+    );
+}
+
+/// A rack-scoped `DropNodes` answers exactly like hand-decommissioning
+/// that rack on a branch of the same snapshot — and doing so drains the
+/// rack's delegated budget to its row, the sibling reclaiming it.
+#[test]
+fn rack_scoped_drop_drains_the_rack_budget() {
+    let mut sim = hier_sim(false);
+    sim.run_for(SimDuration::from_secs(60));
+    let snapshot = ClusterSnapshot::capture(&sim);
+    let t0 = snapshot.now();
+
+    let horizon = 40u64;
+    let answer = evaluate(
+        snapshot.branch(),
+        &WhatIfRequest::new(
+            WhatIfQuery::DropNodes {
+                count: 2,
+                rack: Some(0),
+            },
+            horizon,
+        ),
+    );
+    assert_eq!(answer.deny_reason, None, "rack-scoped drop applies");
+
+    // Reproduce the query by hand on another branch: DropNodes picks the
+    // rack's victims highest-id-first, so decommission 1 then 0.
+    let mut manual = snapshot.branch();
+    for n in [1u32, 0] {
+        manual.decommission_node(ppc_node::NodeId(n));
+    }
+    for _ in 0..horizon {
+        manual.step();
+    }
+    let h = manual.hierarchy().expect("hierarchy attached");
+    assert_eq!(
+        h.rack_budget_w()[0],
+        0.0,
+        "dead rack 0 still holds a budget"
+    );
+    assert!(
+        h.rack_budget_w()[1] > 0.9 * h.row_budget_w()[0],
+        "row sibling did not reclaim the drained budget"
+    );
+    // The query's projection is the same trajectory, bit for bit.
+    let trace = manual.true_power();
+    assert_eq!(
+        answer.peak_power_w.to_bits(),
+        trace.since(t0).max().unwrap_or(0.0).to_bits(),
+        "rack-scoped DropNodes diverged from the hand-applied equivalent"
+    );
+}
+
+/// Rack scoping is rejected without a hierarchy and for bad rack ids.
+#[test]
+fn rack_scoped_drop_is_validated() {
+    let mut flat = ClusterSim::new(ClusterSpec::mini(4));
+    flat.run_for(SimDuration::from_secs(30));
+    let mut engine = WhatIfEngine::new(ClusterSnapshot::capture(&flat));
+    let answers = engine.run_batch(&[WhatIfRequest::new(
+        WhatIfQuery::DropNodes {
+            count: 1,
+            rack: Some(0),
+        },
+        10,
+    )]);
+    let reason = answers[0].deny_reason.as_deref().unwrap_or("");
+    assert!(
+        reason.contains("hierarchical"),
+        "flat sim accepted a rack-scoped drop: {reason:?}"
+    );
+
+    let mut sim = hier_sim(false);
+    sim.run_for(SimDuration::from_secs(30));
+    let mut engine = WhatIfEngine::new(ClusterSnapshot::capture(&sim));
+    let answers = engine.run_batch(&[WhatIfRequest::new(
+        WhatIfQuery::DropNodes {
+            count: 1,
+            rack: Some(99),
+        },
+        10,
+    )]);
+    let reason = answers[0].deny_reason.as_deref().unwrap_or("");
+    assert!(
+        reason.contains("out of range"),
+        "bad rack id accepted: {reason:?}"
+    );
+}

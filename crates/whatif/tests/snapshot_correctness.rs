@@ -226,7 +226,13 @@ fn engine_batches_are_pool_width_invariant() {
             },
             40,
         ),
-        WhatIfRequest::new(WhatIfQuery::DropNodes { count: 2 }, 40),
+        WhatIfRequest::new(
+            WhatIfQuery::DropNodes {
+                count: 2,
+                rack: None,
+            },
+            40,
+        ),
         WhatIfRequest::new(
             WhatIfQuery::SwapPolicy {
                 policy: PolicyKind::Hri,
@@ -239,7 +245,10 @@ fn engine_batches_are_pool_width_invariant() {
                     WhatIfQuery::SetCap {
                         provision_w: snapshot.base().spec().provision_w() * 0.9,
                     },
-                    WhatIfQuery::DropNodes { count: 1 },
+                    WhatIfQuery::DropNodes {
+                        count: 1,
+                        rack: None,
+                    },
                 ],
             },
             40,
