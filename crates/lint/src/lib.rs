@@ -12,8 +12,16 @@
 //! `#[cfg(test)]` regions by brace depth, and matches rule tokens against
 //! the remaining code).
 //!
-//! Rules are documented in [`rules::Rule`] and DESIGN.md §11. Every rule
-//! has an inline escape hatch:
+//! v2 grew the scanner into a multi-pass analyzer: [`items`] recovers the
+//! module tree and fn/impl items from the lexed lines, [`graph`] resolves
+//! intra-workspace call edges into a workspace call graph, and [`taint`]
+//! walks it to find paths from nondeterminism sources (unordered-map
+//! iteration, wall clocks, thread identity, env reads, unordered float
+//! reduction) to fingerprint sinks (`Fnv1a::write*`, `Journal::record*`,
+//! `SpanRecorder`, `MetricsRegistry`). See DESIGN.md §16.
+//!
+//! Rules are documented in [`rules::Rule`] and DESIGN.md §11/§16. Every
+//! rule has an inline escape hatch:
 //!
 //! ```text
 //! // ppc-lint: allow(panic-path): lock poisoning is unrecoverable here
@@ -28,11 +36,19 @@
 //! Run it as `cargo run -p ppc-lint -- --workspace` (add `--json` to also
 //! write `LINT_report.json` for trend tracking, like `BENCH_ppc.json`).
 
+pub mod graph;
+pub mod items;
 pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod source;
+pub mod taint;
 
+pub use graph::{CallEdge, CallGraph, FileUnit, FnNode};
 pub use report::Report;
 pub use rules::{CrateClass, Rule};
-pub use scan::{scan_source, scan_workspace, Diagnostic, FileContext, FileScan, WorkspaceScan};
+pub use scan::{
+    scan_source, scan_units, scan_workspace, Diagnostic, FileContext, FileScan, GraphStats,
+    TaintPathReport, WorkspaceScan,
+};
+pub use taint::SourceKind;

@@ -3,16 +3,24 @@
 //! ```text
 //! cargo run -p ppc-lint -- --workspace            # scan, exit 1 on violations
 //! cargo run -p ppc-lint -- --workspace --json     # also write LINT_report.json
+//! cargo run -p ppc-lint -- --workspace --deny     # stale allows become errors
 //! cargo run -p ppc-lint -- --list-rules           # rule catalogue
 //! cargo run -p ppc-lint -- crates/core/src/budget.rs   # scan specific files
 //! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage/IO error. Without `--deny`,
+//! `unused-suppression` findings are advisory (printed, but do not affect
+//! the exit code); CI passes `--deny` so stale allows rot for at most one
+//! merge.
 
-use ppc_lint::{report, scan, Report};
+use ppc_lint::{report, scan, Report, Rule};
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     root: PathBuf,
     json: bool,
+    deny: bool,
     list_rules: bool,
     workspace: bool,
     files: Vec<String>,
@@ -22,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: false,
+        deny: false,
         list_rules: false,
         workspace: false,
         files: Vec::new(),
@@ -31,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
             "--json" => args.json = true,
+            "--deny" => args.deny = true,
             "--list-rules" => args.list_rules = true,
             "--root" => {
                 args.root = PathBuf::from(
@@ -39,9 +49,11 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: ppc-lint [--root DIR] [--json] [--list-rules] \
+                return Err(
+                    "usage: ppc-lint [--root DIR] [--json] [--deny] [--list-rules] \
                      [--workspace | FILES...]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}` (try --help)"))
@@ -62,19 +74,24 @@ fn run() -> Result<i32, String> {
         return Ok(0);
     }
 
+    let started = Instant::now();
     let ws = if args.workspace {
         scan::scan_workspace(&args.root)
             .map_err(|e| format!("scanning workspace at {}: {e}", args.root.display()))?
     } else {
-        let mut ws = scan::WorkspaceScan::default();
+        // Explicit file lists still go through the full multi-pass engine:
+        // the call graph is just restricted to the named files, so taint
+        // chains that leave the set are invisible (the workspace scan is
+        // the authority; this mode is for fast iteration on one file).
+        let mut inputs = Vec::new();
         for rel in &args.files {
-            let fs = scan::scan_file(&args.root, rel).map_err(|e| format!("{rel}: {e}"))?;
-            ws.diagnostics.extend(fs.diagnostics);
-            ws.suppressed += fs.suppressed;
-            ws.files_scanned += 1;
+            let text =
+                std::fs::read_to_string(args.root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+            inputs.push((scan::FileContext::for_path(rel), text));
         }
-        ws
+        scan::scan_units(inputs)
     };
+    let elapsed = started.elapsed();
 
     if args.json {
         let json = Report::from_scan(&ws).to_json();
@@ -86,7 +103,28 @@ fn run() -> Result<i32, String> {
     } else {
         print!("{}", report::render_text(&ws));
     }
-    Ok(if ws.diagnostics.is_empty() { 0 } else { 1 })
+    eprintln!(
+        "lint-runtime: {} files, {} fns, {} call edges in {:.3}s",
+        ws.files_scanned,
+        ws.graph.functions,
+        ws.graph.edges,
+        elapsed.as_secs_f64()
+    );
+
+    let hard = ws
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule != Rule::UnusedSuppression)
+        .count();
+    let stale = ws.diagnostics.len() - hard;
+    if !args.deny && hard == 0 && stale > 0 {
+        eprintln!("note: {stale} stale allow(s) tolerated without --deny");
+    }
+    Ok(if hard > 0 || (args.deny && stale > 0) {
+        1
+    } else {
+        0
+    })
 }
 
 fn main() {

@@ -70,8 +70,9 @@ pub enum Rule {
     /// `thread_rng`/`from_entropy`/`rand::random`: all randomness must
     /// flow from the experiment seed through `RngFactory` so runs replay.
     AdHocRng,
-    /// `.unwrap()`/`.expect(...)`/`panic!`/`todo!`/`unimplemented!` in
-    /// library code: a panic in the control loop takes down the manager
+    /// `.unwrap()`/`.expect(...)`/`panic!`/`todo!`/`unimplemented!`/
+    /// `unreachable!` in library code: a panic in the control loop takes
+    /// down the manager
     /// mid-experiment. Return typed errors, or document the invariant with
     /// an `allow` justification. Test code is exempt.
     PanicPath,
@@ -90,11 +91,30 @@ pub enum Rule {
     /// the closing parenthesis, or naming an unknown rule. Suppressions
     /// must say why.
     BareAllow,
+    /// Call-graph pass: a nondeterministic source (unordered-map
+    /// iteration, wall-clock, thread/machine identity, env read, float
+    /// reduction over unordered iteration) can reach a fingerprint sink
+    /// (`Fnv1a::write*`, `Journal::record*`, `SpanRecorder`,
+    /// `MetricsRegistry`, any `fingerprint()`) through some call chain.
+    /// The diagnostic carries the full chain; suppress on the *source*
+    /// line with `allow(fingerprint-taint): <invariant>`.
+    FingerprintTaint,
+    /// Call-graph pass: a fingerprint sink written directly from inside a
+    /// closure handed to a `WorkerPool` fan-out (`for_each_mut`, `map`,
+    /// `map_reduce`, `sum_f64`, `par_*`). Worker interleaving is
+    /// nondeterministic, so all journal/span/metrics bookkeeping must run
+    /// in the serial post-join pass, in index order.
+    ShardJoinOrder,
+    /// Workspace pass: a justified `allow(...)` that no longer suppresses
+    /// anything. The finding it silenced is gone, so the directive — and
+    /// the invariant it claims — is stale. Delete it, or fix the code it
+    /// was meant to cover.
+    UnusedSuppression,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 10] = [
         Rule::UnorderedCollections,
         Rule::WallClock,
         Rule::AdHocRng,
@@ -102,6 +122,9 @@ impl Rule {
         Rule::Stdout,
         Rule::FloatEq,
         Rule::BareAllow,
+        Rule::FingerprintTaint,
+        Rule::ShardJoinOrder,
+        Rule::UnusedSuppression,
     ];
 
     /// Stable kebab-case id used in diagnostics and `allow(...)`.
@@ -114,6 +137,9 @@ impl Rule {
             Rule::Stdout => "stdout",
             Rule::FloatEq => "float-eq",
             Rule::BareAllow => "bare-allow",
+            Rule::FingerprintTaint => "fingerprint-taint",
+            Rule::ShardJoinOrder => "shard-join-order",
+            Rule::UnusedSuppression => "unused-suppression",
         }
     }
 
@@ -134,6 +160,13 @@ impl Rule {
             Rule::Stdout => "println!/dbg! in library code (route through the journal)",
             Rule::FloatEq => "float-literal ==/!= in power/budget arithmetic (use a tolerance)",
             Rule::BareAllow => "ppc-lint allow directive without a justification",
+            Rule::FingerprintTaint => {
+                "nondeterministic source reaches a fingerprint sink via the call graph"
+            }
+            Rule::ShardJoinOrder => {
+                "fingerprint sink written inside a pool fan-out closure (join serially, in index order)"
+            }
+            Rule::UnusedSuppression => "allow directive whose rule no longer fires (stale suppression)",
         }
     }
 
@@ -144,7 +177,11 @@ impl Rule {
     pub fn applies_in_tests(self) -> bool {
         matches!(
             self,
-            Rule::UnorderedCollections | Rule::WallClock | Rule::AdHocRng | Rule::BareAllow
+            Rule::UnorderedCollections
+                | Rule::WallClock
+                | Rule::AdHocRng
+                | Rule::BareAllow
+                | Rule::UnusedSuppression
         )
     }
 
@@ -161,6 +198,11 @@ impl Rule {
             // Scoped further to the power-model/budget crates in scan.rs.
             Rule::FloatEq => class == CrateClass::Deterministic,
             Rule::BareAllow => true,
+            // Source kinds carry their own finer class gating in
+            // `taint::SourceKind::applies`; the class-level statement is
+            // just "the tool does not analyze itself".
+            Rule::FingerprintTaint | Rule::ShardJoinOrder => class != CrateClass::Tool,
+            Rule::UnusedSuppression => true,
         }
     }
 }

@@ -1,8 +1,20 @@
 //! The scanner: applies [`Rule`]s to analyzed source lines, honors
 //! `// ppc-lint: allow(rule): reason` directives, and walks the workspace.
+//!
+//! Scanning is a multi-pass pipeline (v2):
+//!
+//! 1. per-file token pass (the original line scanner), which also
+//!    collects every `allow` directive as an [`AllowSite`];
+//! 2. item parse + call-graph build ([`crate::items`], [`crate::graph`]);
+//! 3. the determinism-taint and shard-join-order passes
+//!    ([`crate::taint`]), whose suppressions attach to source lines;
+//! 4. an unused-suppression sweep over every justified allow that ended
+//!    the run with zero uses.
 
+use crate::graph::{self, FileUnit};
 use crate::rules::{CrateClass, Rule};
 use crate::source;
+use crate::taint;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -75,6 +87,22 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// One `allow(rule)` directive found in a file, with its use count.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// 1-based code line the directive attaches to (the directive's own
+    /// line for trailing comments, the next code line otherwise).
+    pub code_line: usize,
+    /// The rule it suppresses.
+    pub rule: Rule,
+    /// True when a justification follows the closing parenthesis.
+    pub justified: bool,
+    /// How many findings this directive silenced, across all passes.
+    pub used: usize,
+}
+
 /// Result of scanning one file.
 #[derive(Debug, Clone, Default)]
 pub struct FileScan {
@@ -82,17 +110,61 @@ pub struct FileScan {
     pub diagnostics: Vec<Diagnostic>,
     /// Findings silenced by a justified `allow`.
     pub suppressed: usize,
+    /// Every allow directive in the file, with token-pass use counts.
+    pub allows: Vec<AllowSite>,
+}
+
+/// One reported source→sink taint path (structured for the JSON report).
+#[derive(Debug, Clone)]
+pub struct TaintPathReport {
+    /// Source kind id (e.g. `wall-clock`).
+    pub kind: String,
+    /// The matched source token.
+    pub token: String,
+    /// File and line of the source.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Fully qualified source fn.
+    pub source_fn: String,
+    /// Fully qualified sink fn and its sink label.
+    pub sink_fn: String,
+    /// What fingerprint the sink feeds.
+    pub sink_label: String,
+    /// Rendered call chain, source to sink: `fq (file:line)` per hop.
+    pub chain: Vec<String>,
+    /// True if any hop came from ambiguous method resolution.
+    pub ambiguous: bool,
+}
+
+/// Call-graph size statistics for the report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Function items recovered.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Edges from ambiguous method resolution.
+    pub ambiguous_edges: usize,
+    /// Live taint sources detected.
+    pub taint_sources: usize,
+    /// Fingerprint sink fns detected.
+    pub taint_sinks: usize,
 }
 
 /// Result of scanning the whole workspace.
 #[derive(Debug, Clone, Default)]
 pub struct WorkspaceScan {
-    /// Findings across all files, in path order.
+    /// Findings across all files, sorted by (file, line, rule).
     pub diagnostics: Vec<Diagnostic>,
-    /// Total justified suppressions.
+    /// Total justified suppressions (token and graph passes).
     pub suppressed: usize,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Call-graph statistics.
+    pub graph: GraphStats,
+    /// Unsuppressed taint paths, in diagnostic order.
+    pub taint_paths: Vec<TaintPathReport>,
 }
 
 /// A parsed `ppc-lint:` directive.
@@ -135,7 +207,7 @@ fn parse_directives(comment: &str) -> Vec<Directive> {
 
 /// True if the byte at `i` starts token `tok` with a non-identifier char
 /// (or line start) before it.
-fn token_at(code: &str, tok: &str) -> bool {
+pub(crate) fn token_at(code: &str, tok: &str) -> bool {
     let mut from = 0;
     while let Some(at) = code[from..].find(tok) {
         let i = from + at;
@@ -170,9 +242,20 @@ fn match_rule(rule: Rule, code: &str) -> Option<&'static str> {
         Rule::UnorderedCollections => &["HashMap", "HashSet"],
         Rule::WallClock => &["Instant::now", "SystemTime", "UNIX_EPOCH"],
         Rule::AdHocRng => &["thread_rng", "from_entropy", "rand::random", "OsRng"],
-        Rule::PanicPath => &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"],
+        Rule::PanicPath => &[
+            ".unwrap()",
+            ".expect(",
+            "panic!",
+            "todo!",
+            "unimplemented!",
+            "unreachable!",
+        ],
         Rule::Stdout => &["println!", "eprintln!", "print!", "eprint!", "dbg!"],
-        Rule::FloatEq | Rule::BareAllow => &[],
+        Rule::FloatEq
+        | Rule::BareAllow
+        | Rule::FingerprintTaint
+        | Rule::ShardJoinOrder
+        | Rule::UnusedSuppression => &[],
     };
     tokens.iter().find(|t| token_at(code, t)).copied()
 }
@@ -260,19 +343,28 @@ fn has_float_literal(s: &str) -> bool {
     false
 }
 
-/// Scans one file's source text under the given context.
-pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
+/// Scans one file's analyzed lines under the given context (token pass).
+fn scan_lines(ctx: &FileContext, lines: &[source::Line]) -> FileScan {
     let class = ctx.class();
-    let lines = source::analyze(text);
     let mut out = FileScan::default();
-    let mut pending: Vec<Rule> = Vec::new();
+    // Indices into `out.allows` still waiting for their code line.
+    let mut pending: Vec<usize> = Vec::new();
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        let mut here: Vec<Rule> = Vec::new();
+        let mut here: Vec<usize> = Vec::new();
         for d in parse_directives(&line.comment) {
             match d {
-                Directive::Allow(rule) => here.push(rule),
+                Directive::Allow(rule) => {
+                    here.push(out.allows.len());
+                    out.allows.push(AllowSite {
+                        line: lineno,
+                        code_line: lineno,
+                        rule,
+                        justified: true,
+                        used: 0,
+                    });
+                }
                 Directive::BareAllow(rule) => {
                     out.diagnostics.push(Diagnostic {
                         file: ctx.path.clone(),
@@ -285,7 +377,15 @@ pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
                             rule.id()
                         ),
                     });
-                    here.push(rule); // still honored so CI shows only the bare-allow
+                    // Still honored so CI shows only the bare-allow.
+                    here.push(out.allows.len());
+                    out.allows.push(AllowSite {
+                        line: lineno,
+                        code_line: lineno,
+                        rule,
+                        justified: false,
+                        used: 0,
+                    });
                 }
                 Directive::Unknown(name) => {
                     out.diagnostics.push(Diagnostic {
@@ -303,7 +403,10 @@ pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
             pending.append(&mut here);
             continue;
         }
-        let allows: Vec<Rule> = pending.drain(..).chain(here).collect();
+        let attached: Vec<usize> = pending.drain(..).chain(here).collect();
+        for &site in &attached {
+            out.allows[site].code_line = lineno;
+        }
 
         for rule in Rule::ALL {
             if rule == Rule::BareAllow || !rule.applies_to(class) {
@@ -322,7 +425,12 @@ pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
             let Some(what) = hit else { continue };
             let unsuppressable =
                 ctx.is_hot_path() && matches!(rule, Rule::WallClock | Rule::UnorderedCollections);
-            if allows.contains(&rule) && !unsuppressable {
+            let allow = attached
+                .iter()
+                .copied()
+                .find(|&s| out.allows[s].rule == rule);
+            if let Some(site) = allow.filter(|_| !unsuppressable) {
+                out.allows[site].used += 1;
                 out.suppressed += 1;
             } else {
                 let note = if unsuppressable {
@@ -340,6 +448,13 @@ pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
         }
     }
     out
+}
+
+/// Scans one file's source text under the given context (token pass
+/// only — the call-graph passes need the whole workspace; see
+/// [`scan_units`]).
+pub fn scan_source(ctx: &FileContext, text: &str) -> FileScan {
+    scan_lines(ctx, &source::analyze(text))
 }
 
 /// Scans one file from disk.
@@ -388,16 +503,178 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> 
     Ok(())
 }
 
-/// Scans the whole workspace rooted at `root`.
-pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceScan> {
-    let mut ws = WorkspaceScan::default();
-    for rel in workspace_files(root)? {
-        let fs = scan_file(root, &rel)?;
-        ws.diagnostics.extend(fs.diagnostics);
-        ws.suppressed += fs.suppressed;
-        ws.files_scanned += 1;
+/// Renders the head of a taint chain: the source fn at the source line.
+fn chain_head(units: &[FileUnit], g: &graph::CallGraph, node: usize, line: usize) -> String {
+    format!(
+        "{} ({}:{})",
+        g.nodes[node].fq(),
+        units[g.nodes[node].file].ctx.path,
+        line
+    )
+}
+
+/// Renders one hop of a taint chain: the callee, located by the call
+/// site in the *caller's* file (that is where a reader must look next).
+fn chain_hop(units: &[FileUnit], g: &graph::CallGraph, e: graph::CallEdge) -> String {
+    format!(
+        "{} (called at {}:{})",
+        g.nodes[e.callee].fq(),
+        units[g.nodes[e.caller].file].ctx.path,
+        e.line
+    )
+}
+
+/// Runs the full multi-pass analysis over a set of in-memory files. This
+/// is the v2 engine: token rules per file, then the call-graph passes
+/// (`fingerprint-taint`, `shard-join-order`) across all of them, then the
+/// unused-suppression sweep.
+pub fn scan_units(inputs: Vec<(FileContext, String)>) -> WorkspaceScan {
+    // Pass 1: lex + item parse + token rules.
+    let mut units: Vec<FileUnit> = Vec::with_capacity(inputs.len());
+    let mut file_scans: Vec<FileScan> = Vec::with_capacity(inputs.len());
+    for (ctx, text) in inputs {
+        let unit = FileUnit::new(ctx, &text);
+        file_scans.push(scan_lines(&unit.ctx, &unit.lines));
+        units.push(unit);
     }
-    Ok(ws)
+
+    // Pass 2: workspace call graph.
+    let g = graph::build(&units);
+    let mut suppressed = 0usize;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut taint_reports: Vec<TaintPathReport> = Vec::new();
+
+    // Pass 3a: determinism taint. An allow suppresses at the source line.
+    let paths = taint::taint_paths(&units, &g);
+    let source_count = taint::find_sources(&units, &g).len();
+    let sink_count = taint::find_sinks(&g).len();
+    for p in &paths {
+        let src = &g.nodes[p.source.fn_id];
+        let fi = src.file;
+        let path = units[fi].ctx.path.clone();
+        let allow = file_scans[fi].allows.iter_mut().find(|a| {
+            a.justified && a.rule == Rule::FingerprintTaint && a.code_line == p.source.line
+        });
+        if let Some(a) = allow {
+            a.used += 1;
+            suppressed += 1;
+            continue;
+        }
+        let mut chain = vec![chain_head(&units, &g, p.source.fn_id, p.source.line)];
+        for &ei in &p.hops {
+            chain.push(chain_hop(&units, &g, g.edges[ei]));
+        }
+        let label = taint::sink_label(&g.nodes[p.sink]).unwrap_or("fingerprint");
+        let amb = if p.ambiguous {
+            " [chain includes ambiguous method resolution]"
+        } else {
+            ""
+        };
+        diagnostics.push(Diagnostic {
+            file: path.clone(),
+            line: p.source.line,
+            rule: Rule::FingerprintTaint,
+            message: format!(
+                "nondeterministic `{}` ({}) reaches the {} sink `{}`: {}{}",
+                p.source.token,
+                p.source.kind,
+                label,
+                g.nodes[p.sink].fq(),
+                chain.join(" -> "),
+                amb
+            ),
+        });
+        taint_reports.push(TaintPathReport {
+            kind: p.source.kind.id().to_string(),
+            token: p.source.token.to_string(),
+            file: path,
+            line: p.source.line,
+            source_fn: g.nodes[p.source.fn_id].fq(),
+            sink_fn: g.nodes[p.sink].fq(),
+            sink_label: label.to_string(),
+            chain,
+            ambiguous: p.ambiguous,
+        });
+    }
+
+    // Pass 3b: fan-out join discipline. An allow suppresses at the line
+    // of the offending sink call.
+    for f in taint::shard_join_findings(&units, &g) {
+        let fi = g.nodes[f.caller].file;
+        let allow = file_scans[fi]
+            .allows
+            .iter_mut()
+            .find(|a| a.justified && a.rule == Rule::ShardJoinOrder && a.code_line == f.line);
+        if let Some(a) = allow {
+            a.used += 1;
+            suppressed += 1;
+            continue;
+        }
+        diagnostics.push(Diagnostic {
+            file: units[fi].ctx.path.clone(),
+            line: f.line,
+            rule: Rule::ShardJoinOrder,
+            message: format!(
+                "`{}` written inside the `{}` fan-out opened at line {}: sinks must be \
+                 combined serially after the join, in index order",
+                g.nodes[f.callee].fq(),
+                f.fanout,
+                f.fanout_line
+            ),
+        });
+    }
+
+    // Pass 4: stale allows. Only justified directives are reported here —
+    // bare ones already carry a bare-allow diagnostic.
+    for (fi, fscan) in file_scans.iter().enumerate() {
+        for a in &fscan.allows {
+            if a.justified && a.used == 0 {
+                diagnostics.push(Diagnostic {
+                    file: units[fi].ctx.path.clone(),
+                    line: a.line,
+                    rule: Rule::UnusedSuppression,
+                    message: format!(
+                        "allow({}) suppresses nothing here — the finding it covered is \
+                         gone; delete the directive",
+                        a.rule.id()
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut ws = WorkspaceScan {
+        files_scanned: units.len(),
+        graph: GraphStats {
+            functions: g.nodes.len(),
+            edges: g.edges.len(),
+            ambiguous_edges: g.ambiguous_edges(),
+            taint_sources: source_count,
+            taint_sinks: sink_count,
+        },
+        ..WorkspaceScan::default()
+    };
+    for fscan in file_scans {
+        ws.diagnostics.extend(fscan.diagnostics);
+        ws.suppressed += fscan.suppressed;
+    }
+    ws.diagnostics.extend(diagnostics);
+    ws.suppressed += suppressed;
+    ws.diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    taint_reports.sort_by(|a, b| (&a.file, a.line, &a.kind).cmp(&(&b.file, b.line, &b.kind)));
+    ws.taint_paths = taint_reports;
+    ws
+}
+
+/// Scans the whole workspace rooted at `root` with the full v2 pipeline.
+pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceScan> {
+    let mut inputs = Vec::new();
+    for rel in workspace_files(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        inputs.push((FileContext::for_path(&rel), text));
+    }
+    Ok(scan_units(inputs))
 }
 
 #[cfg(test)]

@@ -1,0 +1,19 @@
+//! Taint fixture sources: a leaking chain, a clean leaf, an allowed one.
+
+use ppc_core::journal_fixture::Journal;
+
+pub fn leak(j: &mut Journal) {
+    let w = std::thread::available_parallelism().map(|n| n.get() as u64);
+    j.record_width(w.unwrap_or(1));
+}
+
+pub fn harmless() -> u64 {
+    let w = std::thread::available_parallelism().map(|n| n.get() as u64);
+    w.unwrap_or(1)
+}
+
+pub fn pinned(j: &mut Journal) {
+    // ppc-lint: allow(fingerprint-taint): fixture — the invariance gate pins width
+    let w = std::thread::available_parallelism().map(|n| n.get() as u64);
+    j.record_width(w.unwrap_or(1));
+}

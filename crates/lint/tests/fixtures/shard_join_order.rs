@@ -1,0 +1,37 @@
+//! Shard fixture: fan-out closures must not write fingerprint sinks.
+
+pub struct SpanRecorder;
+
+impl SpanRecorder {
+    pub fn open(&mut self, _name: &str, _t: u64) -> u64 {
+        0
+    }
+}
+
+pub struct Pool;
+
+impl Pool {
+    pub fn for_each_mut(&self, _items: &mut [u64]) {}
+}
+
+pub fn bad(pool: &Pool, spans: &mut SpanRecorder, items: &mut [u64]) {
+    pool.for_each_mut(items, |i, _slot| {
+        spans.open("shard", i as u64);
+    });
+}
+
+pub fn good(pool: &Pool, spans: &mut SpanRecorder, items: &mut [u64]) {
+    pool.for_each_mut(items, |_i, slot| {
+        *slot += 1;
+    });
+    for (i, _slot) in items.iter().enumerate() {
+        spans.open("shard", i as u64);
+    }
+}
+
+pub fn tolerated(pool: &Pool, spans: &mut SpanRecorder, items: &mut [u64]) {
+    pool.for_each_mut(items, |i, _slot| {
+        // ppc-lint: allow(shard-join-order): fixture — shard-local recorder merged post-join
+        spans.open("shard", i as u64);
+    });
+}

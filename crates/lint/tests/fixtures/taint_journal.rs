@@ -1,0 +1,11 @@
+//! Taint fixture sink: `Journal::record*` feeds the journal fingerprint.
+
+pub struct Journal {
+    width: u64,
+}
+
+impl Journal {
+    pub fn record_width(&mut self, w: u64) {
+        self.width = self.width.wrapping_add(w);
+    }
+}

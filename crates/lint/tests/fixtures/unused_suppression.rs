@@ -1,0 +1,11 @@
+//! Stale-allow fixture: one live suppression, one stale.
+
+pub fn live(x: Option<u64>) -> u64 {
+    // ppc-lint: allow(panic-path): fixture — caller guarantees Some
+    x.unwrap()
+}
+
+pub fn stale(x: Option<u64>) -> u64 {
+    // ppc-lint: allow(panic-path): fixture — nothing below panics any more
+    x.unwrap_or(0)
+}

@@ -224,6 +224,7 @@ impl WorkerPool {
         // Spinning only pays when every worker owns a hardware thread;
         // oversubscribed (or single-core) machines go straight to
         // yield/park so waiters never starve the thread doing the work.
+        // ppc-lint: allow(fingerprint-taint): selects spin-vs-park only; the width-invariance gate pins all fingerprints across worker counts
         let hw = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
@@ -469,6 +470,7 @@ unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 fn default_workers() -> usize {
+    // ppc-lint: allow(fingerprint-taint): picks the pool width only; results are width-invariant by construction (static chunking, index-order joins)
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)

@@ -8,9 +8,14 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Static pass: determinism/safety lint over every crate (see DESIGN §11).
-# Writes LINT_report.json; exits non-zero on any unsuppressed violation.
-cargo run --release -p ppc-lint -- --workspace --json
+# Static pass: determinism/safety lint over every crate (see DESIGN §11
+# and §16 for the call-graph taint pass). Writes LINT_report.json; exits
+# non-zero on any unsuppressed violation, and --deny turns stale allow
+# directives into errors too. The runtime line lands in the CI log via
+# the tool's stderr (`lint-runtime: ...`).
+cargo run --release -p ppc-lint -- --workspace --json --deny
+grep -q '"schema": "ppc-lint/v2"' LINT_report.json \
+    || { echo "LINT_report.json is not ppc-lint/v2" >&2; exit 1; }
 
 # Dynamic pass: same seed must yield bit-identical journals, power
 # traces, span trees and metrics registries across worker-pool widths —
