@@ -15,6 +15,10 @@
 //!   fingerprint (the observability layer must replay bit-identically
 //!   too — a nondeterministic attribute or counter is a trace you
 //!   cannot diff);
+//! * the three fleet-health fingerprints — rollup tree, quantile
+//!   sketches (node power + modeled stage latency), SLO alert journal —
+//!   pinning the health plane's per-shard sketch merge and burn-rate
+//!   evaluation across widths, modes and branches;
 //! * finished-job and applied-command counts.
 //!
 //! The same experiment also runs under both evaluation modes — the dense
@@ -52,18 +56,28 @@ struct RunDigest {
     trace: u64,
     spans: u64,
     metrics: u64,
+    rollup: u64,
+    sketch: u64,
+    alerts: u64,
     finished: usize,
     commands: u64,
+    /// Control cycles the health plane folded (vacuity check only).
+    health_cycles: u64,
 }
 
 fn digest(sim: &ClusterSim) -> RunDigest {
+    let hf = sim.health_fingerprints();
     RunDigest {
         journal: sim.journal().fingerprint(),
         trace: sim.true_power().fingerprint(),
         spans: sim.span_fingerprint(),
         metrics: sim.metrics_fingerprint(),
+        rollup: hf.rollup,
+        sketch: hf.sketch,
+        alerts: hf.alerts,
         finished: sim.finished().len(),
         commands: sim.commands_applied(),
+        health_cycles: sim.health().rollup().facility().cycles,
     }
 }
 
@@ -178,11 +192,14 @@ fn main() -> ExitCode {
         };
         println!(
             "determinism gate: {label:16} journal={:016x} trace={:016x} spans={:016x} \
-             metrics={:016x} finished={} commands={}",
+             metrics={:016x} rollup={:016x} sketch={:016x} alerts={:016x} finished={} commands={}",
             digest.journal,
             digest.trace,
             digest.spans,
             digest.metrics,
+            digest.rollup,
+            digest.sketch,
+            digest.alerts,
             digest.finished,
             digest.commands
         );
@@ -194,6 +211,10 @@ fn main() -> ExitCode {
             None => {
                 if digest.commands == 0 {
                     eprintln!("determinism gate: no commands applied — gate would be vacuous");
+                    failed = true;
+                }
+                if digest.health_cycles == 0 {
+                    eprintln!("determinism gate: health plane observed no cycles — health fingerprints would be vacuous");
                     failed = true;
                 }
                 baseline = Some(digest);
@@ -243,11 +264,14 @@ fn main() -> ExitCode {
         };
         println!(
             "determinism gate: {label:16} journal={:016x} trace={:016x} spans={:016x} \
-             metrics={:016x} finished={} commands={}",
+             metrics={:016x} rollup={:016x} sketch={:016x} alerts={:016x} finished={} commands={}",
             digest.journal,
             digest.trace,
             digest.spans,
             digest.metrics,
+            digest.rollup,
+            digest.sketch,
+            digest.alerts,
             digest.finished,
             digest.commands
         );
@@ -268,6 +292,10 @@ fn main() -> ExitCode {
                     eprintln!("determinism gate: hierarchical run applied no commands — gate would be vacuous");
                     failed = true;
                 }
+                if digest.health_cycles == 0 {
+                    eprintln!("determinism gate: hierarchical health plane observed no cycles — health fingerprints would be vacuous");
+                    failed = true;
+                }
                 hier_baseline = Some(digest);
             }
             Some(b) if *b != digest => {
@@ -282,8 +310,8 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!(
-            "determinism gate: ok — journal, trace, span and metrics hashes identical across \
-             runs, pool widths, evaluation modes and control-plane architectures"
+            "determinism gate: ok — journal, trace, span, metrics and health hashes identical \
+             across runs, pool widths, evaluation modes and control-plane architectures"
         );
         ExitCode::SUCCESS
     }

@@ -19,7 +19,7 @@ use ppc_core::manager::ManagerStats;
 use ppc_core::{ManagerConfig, NodeSets, PolicyKind, PowerManager, PowerState};
 use ppc_faults::FaultInjection;
 use ppc_metrics::{AvailabilityReport, RunMetrics};
-use ppc_obs::ObsReport;
+use ppc_obs::{HealthReport, ObsReport};
 use ppc_simkit::{SimDuration, TimeSeries};
 use ppc_telemetry::cost::ManagementCostModel;
 use ppc_workload::JobRecord;
@@ -140,6 +140,9 @@ pub struct ExperimentOutcome {
     /// Observability summary: span/metrics fingerprints, instrument
     /// values, flight-recorder snapshots.
     pub obs: ObsReport,
+    /// Fleet health summary: rollup/sketch/alert fingerprints, dwell
+    /// fractions, coverage floor, power distributions, alert counts.
+    pub health: HealthReport,
 }
 
 /// Runs one experiment (training + measurement) and computes its metrics.
@@ -273,6 +276,7 @@ pub fn run_experiment_full(config: &ExperimentConfig) -> (ExperimentOutcome, Clu
         availability,
         journal_dropped: sim.journal().dropped(),
         obs: sim.obs().report(),
+        health: sim.health().report(),
     };
     (outcome, sim)
 }

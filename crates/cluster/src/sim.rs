@@ -51,7 +51,9 @@ use ppc_metrics::{AvailabilityInputs, AvailabilityReport};
 use ppc_node::node::Node;
 use ppc_node::{Level, NodeId, OperatingState, PowerModel};
 use ppc_obs::{
-    AttrValue, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, ObsHub, SpanRecorder,
+    AttrValue, CounterHandle, CycleObservation, GaugeHandle, HealthFingerprints, HealthPlane,
+    HistogramHandle, MetricsRegistry, ObsHub, QuantileSketch, SpanRecorder, StageWork, ZoneMap,
+    ZoneState,
 };
 use ppc_simkit::journal::{Journal, Severity};
 use ppc_simkit::par::WorkerPool;
@@ -150,6 +152,10 @@ struct ObsInstruments {
     metered_power_w: GaugeHandle,
     /// Journal events evicted by the bounded ring so far.
     journal_dropped: GaugeHandle,
+    /// SLO alerts currently firing.
+    health_alerts_open: GaugeHandle,
+    /// SLO alert open/resolve edges emitted, cumulative.
+    health_alert_edges: CounterHandle,
 }
 
 impl ObsInstruments {
@@ -167,6 +173,8 @@ impl ObsInstruments {
             selection_size: m.histogram("selection_size", &Self::SELECTION_BOUNDS),
             metered_power_w: m.gauge("metered_power_w"),
             journal_dropped: m.gauge("journal_events_dropped"),
+            health_alerts_open: m.gauge("health_alerts_open"),
+            health_alert_edges: m.counter("health_alert_edges_total"),
         }
     }
 }
@@ -271,6 +279,15 @@ pub struct ClusterSim {
     /// Per-rack true power snapshot taken at the top of the control
     /// cycle (multi-rack hierarchy only).
     scratch_rack_true: Vec<f64>,
+    /// Per-rack collector coverage surfaced from the multi-rack fan-out
+    /// for the health rollup (multi-rack hierarchy only).
+    scratch_rack_cov: Vec<f64>,
+    /// Per-rack Green/Yellow/Red states mapped into rollup zones
+    /// (multi-rack hierarchy only).
+    scratch_rack_zone: Vec<ZoneState>,
+    /// Fleet health plane: hierarchical rollups, quantile sketches and
+    /// SLO burn-rate alerting. Fingerprinted into the determinism gate.
+    health: HealthPlane,
     true_power: TimeSeries,
     finished: Vec<JobRecord>,
     cost_meter: CycleCostMeter,
@@ -450,6 +467,9 @@ impl ClusterSim {
             hier_i: None,
             rack_obs: Vec::new(),
             scratch_rack_true: Vec::new(),
+            scratch_rack_cov: Vec::new(),
+            scratch_rack_zone: Vec::new(),
+            health: HealthPlane::new(ZoneMap::single_rack()),
             true_power: TimeSeries::new(),
             finished: Vec::new(),
             cost_meter: CycleCostMeter::new(),
@@ -652,6 +672,12 @@ impl ClusterSim {
         self.columns.set_shards(shards);
         if !hierarchy.is_single_rack() {
             self.hier_i = Some(HierInstruments::register(&mut self.obs.metrics, racks));
+            // The health rollup mirrors the delegation topology. A
+            // single-rack hierarchy keeps the flat single-zone map so its
+            // health fingerprints stay bit-equal to the flat manager's.
+            let topo = hierarchy.topology();
+            let map = ZoneMap::new((0..racks).map(|r| topo.row_of_rack(r) as u32).collect());
+            self.health = HealthPlane::new(map);
         }
         self.rack_obs = vec![Vec::new(); racks];
         self.hierarchy = Some(hierarchy);
@@ -684,6 +710,23 @@ impl ClusterSim {
             .as_ref()
             .map(|m| m.config().p_provision_w)
             .or_else(|| self.hierarchy.as_ref().map(|h| h.config().p_provision_w))
+    }
+
+    /// The fleet health plane (rollups, sketches, SLO alert journal).
+    pub fn health(&self) -> &HealthPlane {
+        &self.health
+    }
+
+    /// Enables or disables health-plane observation (the bench harness
+    /// measures rollup overhead by differencing the two).
+    pub fn set_health_enabled(&mut self, enabled: bool) {
+        self.health.set_enabled(enabled);
+    }
+
+    /// The health plane's three determinism-gate fingerprints
+    /// (rollup tree / sketches / alert journal).
+    pub fn health_fingerprints(&self) -> HealthFingerprints {
+        self.health.fingerprints()
     }
 
     /// The cluster spec.
@@ -1658,6 +1701,41 @@ impl ClusterSim {
                 .flight
                 .trigger(now, "red-entry", &self.obs.spans, &self.obs.metrics);
         }
+
+        // Fleet health plane: the budget architecture has no racks or
+        // provision figure, so the single zone tracks the metered power
+        // against the controller's own high watermark.
+        let tick = self.tick_index + 1;
+        if self.health.wants_node_sample(tick) {
+            self.health.observe_node_power(self.columns.power_w());
+        }
+        let facility_budget_w = self
+            .budget_controller
+            .as_ref()
+            .map(|c| c.thresholds().p_high_w())
+            .unwrap_or(0.0);
+        let facility_state = zone_state_of(state);
+        let work = StageWork {
+            samples: self.scratch_views.len() as u64,
+            commands: commands.len() as u64,
+            racks: 1,
+        };
+        let state1 = [facility_state];
+        let power1 = [metered_w];
+        let budget1 = [facility_budget_w];
+        let cov1 = [1.0];
+        let obs = CycleObservation {
+            rack_state: &state1,
+            rack_power_w: &power1,
+            rack_budget_w: &budget1,
+            rack_coverage: &cov1,
+            facility_state,
+            facility_power_w: metered_w,
+            facility_budget_w,
+            facility_coverage: 1.0,
+        };
+        let base = self.health.observe_cycle(now, &obs, &work);
+        self.publish_health_edges(now, base);
     }
 
     /// Runs the sampling agents and the manager's control cycle, applying
@@ -1897,6 +1975,18 @@ impl ClusterSim {
         let spans = &mut self.obs.spans;
         let rack_obs = &mut self.rack_obs;
         let rack_true = &self.scratch_rack_true;
+        let rack_cov = &mut self.scratch_rack_cov;
+        // Fleet node-power sketch sampling (every NODE_SKETCH_PERIOD
+        // ticks; the cadence keys off the deterministic tick index). In
+        // the multi-rack fan-out each rack slot sketches its own
+        // contiguous power-column slice in parallel and the shards merge
+        // serially post-join — sketch merge is exactly associative, so
+        // the result is bit-identical to serial observation at any pool
+        // width. The flat path observes the dense column serially below.
+        let want_node_sample = self.health.wants_node_sample(tick);
+        let node_power: Option<&[f64]> =
+            (want_node_sample && hier_multi).then(|| self.columns.power_w());
+        let mut shard_sketch = QuantileSketch::new();
         let pool: &WorkerPool = match self.pool.as_deref() {
             Some(p) => p,
             None => WorkerPool::global(),
@@ -1964,6 +2054,9 @@ impl ClusterSim {
                             fleet_true_w,
                             true,
                             rack_obs,
+                            node_power,
+                            &mut shard_sketch,
+                            rack_cov,
                             pool,
                             now,
                             spans,
@@ -2082,6 +2175,9 @@ impl ClusterSim {
                             fleet_true_w,
                             rebuild,
                             rack_obs,
+                            node_power,
+                            &mut shard_sketch,
+                            rack_cov,
                             pool,
                             now,
                             spans,
@@ -2188,6 +2284,127 @@ impl ClusterSim {
                 .flight
                 .trigger(now, "red-entry", &self.obs.spans, &self.obs.metrics);
         }
+
+        // Fleet health plane: fold the cycle into the rollup tree, stage
+        // sketches and SLO rules, after the root span closed so an
+        // alert-triggered flight snapshot captures the complete cycle.
+        if want_node_sample {
+            if hier_multi {
+                self.health.merge_node_shard(&shard_sketch);
+            } else {
+                self.health.observe_node_power(self.columns.power_w());
+            }
+        }
+        // The facility-level coverage mirrors what the controller itself
+        // consumed: fresh candidates over all candidates under faults,
+        // 1.0 otherwise (`fs.fresh` was rebuilt this cycle above).
+        let facility_coverage = match self.faults.as_ref() {
+            Some(fs) => {
+                let candidates = self
+                    .manager
+                    .as_ref()
+                    .map(|m| m.sets())
+                    .or_else(|| self.hierarchy.as_ref().map(|h| h.sets()))
+                    // ppc-lint: allow(panic-path): control_cycle() runs only with a controller attached (see step())
+                    .expect("checked by caller")
+                    .candidates();
+                if candidates.is_empty() {
+                    1.0
+                } else {
+                    fs.fresh.len() as f64 / candidates.len() as f64
+                }
+            }
+            None => 1.0,
+        };
+        let facility_budget_w = self.provision_in_force_w().unwrap_or(0.0);
+        let facility_state = zone_state_of(outcome.state);
+        let work = StageWork {
+            samples: logical_samples,
+            commands: outcome.commands.len() as u64,
+            racks: if hier_multi {
+                self.scratch_rack_true.len() as u64
+            } else {
+                1
+            },
+        };
+        let base = if hier_multi {
+            self.scratch_rack_zone.clear();
+            // ppc-lint: allow(panic-path): hier_multi implies a hierarchy is attached
+            let h = self.hierarchy.as_ref().expect("checked above");
+            for &s in h.last_rack_states() {
+                self.scratch_rack_zone.push(zone_state_of(s));
+            }
+            let obs = CycleObservation {
+                rack_state: &self.scratch_rack_zone,
+                rack_power_w: &self.scratch_rack_true,
+                rack_budget_w: h.rack_budget_w(),
+                rack_coverage: &self.scratch_rack_cov,
+                facility_state,
+                facility_power_w: metered_w,
+                facility_budget_w,
+                facility_coverage,
+            };
+            self.health.observe_cycle(now, &obs, &work)
+        } else {
+            // The flat manager and the single-rack hierarchy feed one
+            // zone from the facility values only, so both architectures
+            // produce bit-identical health fingerprints.
+            let state1 = [facility_state];
+            let power1 = [metered_w];
+            let budget1 = [facility_budget_w];
+            let cov1 = [facility_coverage];
+            let obs = CycleObservation {
+                rack_state: &state1,
+                rack_power_w: &power1,
+                rack_budget_w: &budget1,
+                rack_coverage: &cov1,
+                facility_state,
+                facility_power_w: metered_w,
+                facility_budget_w,
+                facility_coverage,
+            };
+            self.health.observe_cycle(now, &obs, &work)
+        };
+        self.publish_health_edges(now, base);
+    }
+
+    /// Journals every new SLO alert edge, bumps the alert instruments,
+    /// and snapshots the flight recorder on each alert *opening* — the
+    /// black box captures the cycle that breached the objective, not
+    /// just Red entries.
+    fn publish_health_edges(&mut self, now: SimTime, base: usize) {
+        for i in base..self.health.alerts().len() {
+            let ev = self.health.alerts()[i];
+            let opened = ev.edge == ppc_obs::AlertEdge::Open;
+            let severity = if opened {
+                Severity::Warn
+            } else {
+                Severity::Info
+            };
+            self.journal.record_with(now, severity, "alert", || {
+                format!(
+                    "slo {} {} on {}: value {:.3} vs threshold {:.3}",
+                    ev.rule,
+                    if opened { "open" } else { "resolve" },
+                    ev.zone.label(),
+                    ev.value,
+                    ev.threshold
+                )
+            });
+            self.obs.metrics.inc(self.obs_i.health_alert_edges, 1);
+            if opened {
+                self.obs.flight.trigger(
+                    now,
+                    format!("slo:{}", ev.rule),
+                    &self.obs.spans,
+                    &self.obs.metrics,
+                );
+            }
+        }
+        self.obs.metrics.set(
+            self.obs_i.health_alerts_open,
+            self.health.slo().open_alerts() as f64,
+        );
     }
 
     /// Sends one throttling command to a node, routing around faults.
@@ -2331,7 +2548,22 @@ struct RackSlot<'a> {
     obs: &'a [JobObservation],
     metered_w: f64,
     coverage: f64,
+    /// The rack's contiguous node-power column slice (empty outside
+    /// node-sketch sampling ticks).
+    power: &'a [f64],
+    /// Per-shard node-power sketch, merged serially post-join.
+    sketch: QuantileSketch,
     out: Option<CycleOutcome>,
+}
+
+/// Projects the controller's Green/Yellow/Red classification into the
+/// health rollup's zone states.
+fn zone_state_of(s: PowerState) -> ZoneState {
+    match s {
+        PowerState::Green => ZoneState::Green,
+        PowerState::Yellow => ZoneState::Yellow,
+        PowerState::Red => ZoneState::Red,
+    }
 }
 
 /// Runs the multi-rack hierarchical control cycle: split the global job
@@ -2357,6 +2589,9 @@ fn hier_multi_control(
     fleet_true_w: f64,
     resplit: bool,
     rack_obs: &mut Vec<Vec<JobObservation>>,
+    node_power: Option<&[f64]>,
+    node_sketch: &mut QuantileSketch,
+    coverage_out: &mut Vec<f64>,
     pool: &WorkerPool,
     now: SimTime,
     spans: &mut SpanRecorder,
@@ -2407,16 +2642,26 @@ fn hier_multi_control(
             }
         }
     }
+    coverage_out.clear();
+    coverage_out.extend_from_slice(&coverage_rack);
     let mut slots: Vec<RackSlot> = hier
         .subs_mut()
         .iter_mut()
         .zip(rack_obs.iter())
         .zip(metered_rack.iter().zip(&coverage_rack))
-        .map(|((mgr, obs), (&metered_w, &coverage))| RackSlot {
+        .enumerate()
+        .map(|(r, ((mgr, obs), (&metered_w, &coverage)))| RackSlot {
             mgr,
             obs,
             metered_w,
             coverage,
+            power: node_power
+                .map(|p| {
+                    let range = topology.rack_nodes(r);
+                    &p[range.start as usize..range.end as usize]
+                })
+                .unwrap_or(&[]),
+            sketch: QuantileSketch::new(),
             out: None,
         })
         .collect();
@@ -2427,6 +2672,12 @@ fn hier_multi_control(
             &NodesView(nodes),
             slot.coverage,
         ));
+        // Sketch building inside the fan-out is legal: `observe` touches
+        // only the slot's own sketch, and the fingerprint-bearing merge
+        // happens serially after the join.
+        if !slot.power.is_empty() {
+            slot.sketch.observe_slice(slot.power);
+        }
     });
     // Serial post-join bookkeeping, in rack order. Span budget: one nested
     // span per *interesting* rack only (non-Green or commanding) — a pure
@@ -2460,6 +2711,14 @@ fn hier_multi_control(
     spans.attr("yellow", AttrValue::U64(yellow));
     spans.attr("red", AttrValue::U64(red));
     spans.close(now);
+    if node_power.is_some() {
+        // Serial post-join merge in rack order (any order would do —
+        // sketch merge is commutative — but rack order keeps the
+        // discipline uniform with the rest of the rollup).
+        for slot in &slots {
+            node_sketch.merge(&slot.sketch);
+        }
+    }
     drop(slots);
     hier.rollup(outcomes)
 }
@@ -2693,13 +2952,19 @@ mod tests {
         h
     }
 
-    /// All four determinism fingerprints plus the coarse outcome counters.
-    fn digest(sim: &ClusterSim) -> (u64, u64, u64, u64, usize, u64) {
+    /// All determinism fingerprints (journal, trace, spans, metrics,
+    /// health rollup/sketches/alerts) plus the coarse outcome counters.
+    #[allow(clippy::type_complexity)]
+    fn digest(sim: &ClusterSim) -> (u64, u64, u64, u64, u64, u64, u64, usize, u64) {
+        let hf = sim.health_fingerprints();
         (
             sim.journal().fingerprint(),
             fnv1a_bits(sim.true_power().values()),
             sim.span_fingerprint(),
             sim.metrics_fingerprint(),
+            hf.rollup,
+            hf.sketch,
+            hf.alerts,
             sim.finished().len(),
             sim.commands_applied(),
         )

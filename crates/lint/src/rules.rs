@@ -20,11 +20,12 @@ pub enum CrateClass {
     /// Experiment drivers and benchmarks: prints results, times runs, and
     /// may panic on malformed CLI input; only determinism rules apply.
     Bench,
-    /// Observability: the span recorder, metrics registry and exporters
-    /// feed determinism fingerprints, so every rule applies — except that
-    /// the dedicated self-profiling module (`crates/obs/src/profile.rs`)
-    /// may read wall clocks; that one-file carve-out lives in the
-    /// scanner.
+    /// Observability: the span recorder, metrics registry, exporters and
+    /// the fleet health plane (`rollup`, `sketch`, `slo`, `timeseries`,
+    /// `hub`) feed determinism fingerprints, so every rule applies —
+    /// except that the dedicated self-profiling module
+    /// (`crates/obs/src/profile.rs`) may read wall clocks; that one-file
+    /// carve-out lives in the scanner.
     Obs,
     /// Host-side tooling (this linter): panic/print hygiene only.
     Tool,

@@ -195,6 +195,14 @@ pub fn sink_label(node: &FnNode) -> Option<&'static str> {
         Some("MetricsRegistry") if matches!(node.name.as_str(), "inc" | "set" | "observe") => {
             Some("metrics fingerprint")
         }
+        // Health-plane fingerprints join the determinism gate (DESIGN
+        // §17): the rollup tree, quantile sketch, SLO engine and ring
+        // series each fold their full state.
+        Some("QuantileSketch" | "RollupTree" | "SloEngine" | "RingSeries")
+            if node.name == "fingerprint" =>
+        {
+            Some("health fingerprint")
+        }
         _ if node.name == "fingerprint" || node.name == "digest_of" => Some("gate fingerprint"),
         _ => None,
     }
@@ -506,6 +514,44 @@ pub fn sample(m: &HashMap<u32, f64>, j: &mut ppc_simkit::Journal) {
         assert!(hits.iter().any(|(k, _)| *k == SourceKind::FloatReduce));
         let hits = detect_sources("let v = series.values().to_vec();");
         assert!(hits.is_empty(), "projection without reduction is clean");
+    }
+
+    #[test]
+    fn health_plane_fingerprints_are_labeled_sinks() {
+        let u = units(&[(
+            "crates/obs/src/sketch.rs",
+            "\
+pub struct QuantileSketch;
+impl QuantileSketch {
+    pub fn fingerprint(&self) -> u64 { 0 }
+}
+pub struct SloEngine;
+impl SloEngine {
+    pub fn fingerprint(&self) -> u64 { 0 }
+}
+pub fn leak(s: &QuantileSketch) -> u64 {
+    let t = SystemTime::now();
+    s.fingerprint()
+}
+",
+        )]);
+        let g = graph::build(&u);
+        let labels: Vec<_> = find_sinks(&g)
+            .into_iter()
+            .filter_map(|i| sink_label(&g.nodes[i]))
+            .collect();
+        assert!(
+            labels
+                .iter()
+                .filter(|&&l| l == "health fingerprint")
+                .count()
+                >= 2,
+            "sketch and slo fingerprints must classify as health sinks: {labels:?}"
+        );
+        // And a wall-clock source reaching one is a reportable path.
+        let paths = taint_paths(&u, &g);
+        assert_eq!(paths.len(), 1, "{paths:?}");
+        assert_eq!(paths[0].source.kind, SourceKind::WallClock);
     }
 
     #[test]

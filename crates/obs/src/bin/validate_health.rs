@@ -1,0 +1,35 @@
+//! CI helper: schema-check a health JSONL stream produced by
+//! `--health-out`.
+//!
+//! Usage: `validate_health <file.jsonl>`. Exits 0 and prints a one-line
+//! summary on success; exits 1 with the first schema violation
+//! otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_health <health.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_health: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ppc_obs::validate_health(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: ok ({} meta, {} zones, {} alerts)",
+                summary.meta_lines, summary.zone_lines, summary.alert_lines
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_health: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

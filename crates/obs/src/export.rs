@@ -17,7 +17,10 @@
 //! Exporters never mutate recorder state and fingerprints are rendered
 //! as fixed-width hex strings (JSON numbers cannot hold all `u64`s).
 
+use crate::hub::HealthPlane;
 use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::rollup::ZoneStats;
+use crate::slo::AlertEdge;
 use crate::span::{AttrValue, SpanRecord, SpanRecorder};
 use serde::Value;
 use std::fmt::Write as _;
@@ -165,22 +168,25 @@ pub fn jsonl(spans: &SpanRecorder, metrics: &MetricsRegistry) -> String {
 }
 
 /// Renders the metrics registry in the Prometheus text exposition
-/// format (`# TYPE` headers, `_bucket`/`_sum`/`_count` histogram
-/// series with cumulative `le` labels).
+/// format (`# HELP` + `# TYPE` headers, `_bucket`/`_sum`/`_count`
+/// histogram series with cumulative `le` labels).
 pub fn prometheus(metrics: &MetricsRegistry) -> String {
     let mut out = String::new();
     for dump in metrics.dump() {
         let name = &dump.name;
         match &dump.value {
             MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# HELP {name} deterministic ppc counter");
                 let _ = writeln!(out, "# TYPE {name} counter");
                 let _ = writeln!(out, "{name} {v}");
             }
             MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# HELP {name} deterministic ppc gauge");
                 let _ = writeln!(out, "# TYPE {name} gauge");
                 let _ = writeln!(out, "{name} {v}");
             }
             MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# HELP {name} deterministic ppc histogram");
                 let _ = writeln!(out, "# TYPE {name} histogram");
                 let mut cumulative = 0u64;
                 for (bound, count) in h.bounds.iter().zip(&h.counts) {
@@ -195,6 +201,358 @@ pub fn prometheus(metrics: &MetricsRegistry) -> String {
         }
     }
     out
+}
+
+/// `+inf`/`nan` cannot be carried by JSON or Prometheus samples; empty
+/// -run sentinels render as 0.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Renders the health plane as Prometheus text with a
+/// `{rack="..",row=".."}` label dimension: per-rack and per-row rollup
+/// gauges/counters plus a cumulative-bucket (`le`-labeled) histogram of
+/// each rack's per-cycle power distribution, straight from its quantile
+/// sketch.
+pub fn prometheus_health(health: &HealthPlane) -> String {
+    let mut out = String::new();
+    let tree = health.rollup();
+    let map = tree.map();
+
+    let _ = writeln!(
+        out,
+        "# HELP ppc_rack_power_watts rack power at the latest control cycle"
+    );
+    let _ = writeln!(out, "# TYPE ppc_rack_power_watts gauge");
+    for (r, z) in tree.racks().iter().enumerate() {
+        let row = map.row_of(r);
+        let _ = writeln!(
+            out,
+            "ppc_rack_power_watts{{rack=\"{r}\",row=\"{row}\"}} {}",
+            z.last_power_w
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ppc_rack_budget_watts delegated rack budget at the latest cycle"
+    );
+    let _ = writeln!(out, "# TYPE ppc_rack_budget_watts gauge");
+    for (r, z) in tree.racks().iter().enumerate() {
+        let row = map.row_of(r);
+        let _ = writeln!(
+            out,
+            "ppc_rack_budget_watts{{rack=\"{r}\",row=\"{row}\"}} {}",
+            z.last_budget_w
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ppc_rack_red_dwell_cycles control cycles the rack spent Red"
+    );
+    let _ = writeln!(out, "# TYPE ppc_rack_red_dwell_cycles counter");
+    for (r, z) in tree.racks().iter().enumerate() {
+        let row = map.row_of(r);
+        let _ = writeln!(
+            out,
+            "ppc_rack_red_dwell_cycles{{rack=\"{r}\",row=\"{row}\"}} {}",
+            z.dwell[2]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ppc_row_power_watts row power at the latest control cycle"
+    );
+    let _ = writeln!(out, "# TYPE ppc_row_power_watts gauge");
+    for (row, z) in tree.rows().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "ppc_row_power_watts{{row=\"{row}\"}} {}",
+            z.last_power_w
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ppc_facility_power_watts facility power at the latest cycle"
+    );
+    let _ = writeln!(out, "# TYPE ppc_facility_power_watts gauge");
+    let _ = writeln!(
+        out,
+        "ppc_facility_power_watts {}",
+        tree.facility().last_power_w
+    );
+    let _ = writeln!(out, "# HELP ppc_alerts_open SLO alerts currently firing");
+    let _ = writeln!(out, "# TYPE ppc_alerts_open gauge");
+    let _ = writeln!(out, "ppc_alerts_open {}", health.slo().open_alerts());
+    let _ = writeln!(
+        out,
+        "# HELP ppc_alert_edges_total SLO open/resolve edges emitted"
+    );
+    let _ = writeln!(out, "# TYPE ppc_alert_edges_total counter");
+    let _ = writeln!(out, "ppc_alert_edges_total {}", health.slo().total_edges());
+
+    // Labeled cumulative-bucket series from the per-rack power sketch.
+    let _ = writeln!(
+        out,
+        "# HELP ppc_rack_power_dist_watts per-cycle rack power distribution"
+    );
+    let _ = writeln!(out, "# TYPE ppc_rack_power_dist_watts histogram");
+    for (r, z) in tree.racks().iter().enumerate() {
+        let row = map.row_of(r);
+        let labels = format!("rack=\"{r}\",row=\"{row}\"");
+        let mut cumulative = z.power_sketch.low_count();
+        for (_, upper, count) in z.power_sketch.buckets() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "ppc_rack_power_dist_watts_bucket{{{labels},le=\"{upper}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ppc_rack_power_dist_watts_bucket{{{labels},le=\"+Inf\"}} {}",
+            z.power_sketch.count()
+        );
+        let _ = writeln!(
+            out,
+            "ppc_rack_power_dist_watts_sum{{{labels}}} {}",
+            z.power_sketch.sum()
+        );
+        let _ = writeln!(
+            out,
+            "ppc_rack_power_dist_watts_count{{{labels}}} {}",
+            z.power_sketch.count()
+        );
+    }
+    out
+}
+
+fn zone_line(kind: &str, index: u64, row: Option<u64>, z: &ZoneStats) -> Value {
+    let mut fields = vec![
+        ("type".into(), Value::String("zone".into())),
+        ("zone".into(), Value::String(kind.into())),
+        ("index".into(), serde_json::value_of(&index)),
+    ];
+    if let Some(row) = row {
+        fields.push(("row".into(), serde_json::value_of(&row)));
+    }
+    fields.extend([
+        ("cycles".into(), serde_json::value_of(&z.cycles)),
+        ("dwell_green".into(), serde_json::value_of(&z.dwell[0])),
+        ("dwell_yellow".into(), serde_json::value_of(&z.dwell[1])),
+        ("dwell_red".into(), serde_json::value_of(&z.dwell[2])),
+        ("state".into(), Value::String(z.last_state.name().into())),
+        ("power_w".into(), serde_json::value_of(&z.last_power_w)),
+        ("budget_w".into(), serde_json::value_of(&z.last_budget_w)),
+        ("coverage".into(), serde_json::value_of(&z.last_coverage)),
+        ("peak_power_w".into(), serde_json::value_of(&z.peak_power_w)),
+        (
+            "min_headroom_w".into(),
+            serde_json::value_of(&finite_or_zero(z.min_headroom_w)),
+        ),
+        ("min_coverage".into(), serde_json::value_of(&z.min_coverage)),
+        (
+            "p50_w".into(),
+            serde_json::value_of(&z.power_sketch.quantile(0.5).unwrap_or(0.0)),
+        ),
+        (
+            "p99_w".into(),
+            serde_json::value_of(&z.power_sketch.quantile(0.99).unwrap_or(0.0)),
+        ),
+        (
+            "series_stride".into(),
+            serde_json::value_of(&z.series.stride()),
+        ),
+        (
+            "series_len".into(),
+            serde_json::value_of(&(z.series.samples().len() as u64)),
+        ),
+    ]);
+    Value::Object(fields)
+}
+
+/// Renders the health plane as a JSONL stream: one `health_meta` header
+/// (fingerprints, counts), one `zone` line per rack/row/facility
+/// rollup, and one `alert` line per journal edge. [`validate_health`]
+/// checks exactly this shape; CI runs it over `--health-out` output.
+pub fn health_jsonl(health: &HealthPlane) -> String {
+    let mut out = String::new();
+    let fp = health.fingerprints();
+    let report = health.report();
+    let meta = Value::Object(vec![
+        ("type".into(), Value::String("health_meta".into())),
+        (
+            "rollup_fingerprint".into(),
+            Value::String(format!("{:016x}", fp.rollup)),
+        ),
+        (
+            "sketch_fingerprint".into(),
+            Value::String(format!("{:016x}", fp.sketch)),
+        ),
+        (
+            "alert_fingerprint".into(),
+            Value::String(format!("{:016x}", fp.alerts)),
+        ),
+        ("cycles".into(), serde_json::value_of(&report.cycles)),
+        ("racks".into(), serde_json::value_of(&report.racks)),
+        ("rows".into(), serde_json::value_of(&report.rows)),
+        (
+            "alert_edges".into(),
+            serde_json::value_of(&report.alert_edges),
+        ),
+        (
+            "alerts_open".into(),
+            serde_json::value_of(&report.alerts_open),
+        ),
+        (
+            "alerts_dropped".into(),
+            serde_json::value_of(&report.alerts_dropped),
+        ),
+    ]);
+    push_json_line(&mut out, &meta);
+    let tree = health.rollup();
+    let map = tree.map();
+    for (r, z) in tree.racks().iter().enumerate() {
+        let line = zone_line("rack", r as u64, Some(map.row_of(r) as u64), z);
+        push_json_line(&mut out, &line);
+    }
+    for (row, z) in tree.rows().iter().enumerate() {
+        push_json_line(&mut out, &zone_line("row", row as u64, None, z));
+    }
+    push_json_line(&mut out, &zone_line("facility", 0, None, tree.facility()));
+    for e in health.alerts() {
+        let edge = match e.edge {
+            AlertEdge::Open => "open",
+            AlertEdge::Resolve => "resolve",
+        };
+        let line = Value::Object(vec![
+            ("type".into(), Value::String("alert".into())),
+            ("seq".into(), serde_json::value_of(&e.seq)),
+            ("at_ms".into(), serde_json::value_of(&e.at.as_millis())),
+            ("rule".into(), Value::String(e.rule.to_string())),
+            ("zone".into(), Value::String(e.zone.label())),
+            ("edge".into(), Value::String(edge.into())),
+            ("value".into(), serde_json::value_of(&e.value)),
+            ("threshold".into(), serde_json::value_of(&e.threshold)),
+        ]);
+        push_json_line(&mut out, &line);
+    }
+    out
+}
+
+/// Summary returned by a successful [`validate_health`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthJsonlSummary {
+    /// `health_meta` header lines seen (must be ≥ 1).
+    pub meta_lines: usize,
+    /// `zone` lines seen (must be ≥ 3: rack + row + facility).
+    pub zone_lines: usize,
+    /// `alert` lines seen.
+    pub alert_lines: usize,
+}
+
+fn require_f64(obj: &Value, key: &str, line_no: usize) -> Result<f64, String> {
+    require(obj, key, line_no)?
+        .as_f64()
+        .ok_or_else(|| format!("line {line_no}: `{key}` must be a number"))
+}
+
+/// Schema-checks a health JSONL stream produced by [`health_jsonl`].
+/// CI runs this (via the `validate_health` binary) over the faulted
+/// smoke experiment's `--health-out` output.
+pub fn validate_health(text: &str) -> Result<HealthJsonlSummary, String> {
+    let mut summary = HealthJsonlSummary {
+        meta_lines: 0,
+        zone_lines: 0,
+        alert_lines: 0,
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {line_no}: invalid JSON: {}", e.0))?;
+        match require_str(&value, "type", line_no)? {
+            "health_meta" => {
+                for key in [
+                    "rollup_fingerprint",
+                    "sketch_fingerprint",
+                    "alert_fingerprint",
+                ] {
+                    let fp = require_str(&value, key, line_no)?;
+                    if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(format!("line {line_no}: `{key}` must be 16 hex digits"));
+                    }
+                }
+                for key in ["cycles", "racks", "rows", "alert_edges", "alerts_dropped"] {
+                    require_u64(&value, key, line_no)?;
+                }
+                summary.meta_lines += 1;
+            }
+            "zone" => {
+                let kind = require_str(&value, "zone", line_no)?;
+                if !matches!(kind, "rack" | "row" | "facility") {
+                    return Err(format!("line {line_no}: unknown zone kind `{kind}`"));
+                }
+                if kind == "rack" {
+                    require_u64(&value, "row", line_no)?;
+                }
+                for key in [
+                    "index",
+                    "cycles",
+                    "dwell_green",
+                    "dwell_yellow",
+                    "dwell_red",
+                ] {
+                    require_u64(&value, key, line_no)?;
+                }
+                let state = require_str(&value, "state", line_no)?;
+                if !matches!(state, "green" | "yellow" | "red") {
+                    return Err(format!("line {line_no}: unknown zone state `{state}`"));
+                }
+                for key in ["power_w", "budget_w", "coverage", "min_coverage"] {
+                    require_f64(&value, key, line_no)?;
+                }
+                let cov = require_f64(&value, "coverage", line_no)?;
+                if !(0.0..=1.0).contains(&cov) {
+                    return Err(format!("line {line_no}: coverage {cov} outside 0..=1"));
+                }
+                summary.zone_lines += 1;
+            }
+            "alert" => {
+                require_u64(&value, "seq", line_no)?;
+                require_u64(&value, "at_ms", line_no)?;
+                if require_str(&value, "rule", line_no)?.is_empty() {
+                    return Err(format!("line {line_no}: alert rule must be non-empty"));
+                }
+                require_str(&value, "zone", line_no)?;
+                let edge = require_str(&value, "edge", line_no)?;
+                if !matches!(edge, "open" | "resolve") {
+                    return Err(format!("line {line_no}: unknown alert edge `{edge}`"));
+                }
+                require_f64(&value, "value", line_no)?;
+                require_f64(&value, "threshold", line_no)?;
+                summary.alert_lines += 1;
+            }
+            other => {
+                return Err(format!("line {line_no}: unknown record type `{other}`"));
+            }
+        }
+    }
+    if summary.meta_lines == 0 {
+        return Err("stream has no `health_meta` header line".to_string());
+    }
+    if summary.zone_lines < 3 {
+        return Err(format!(
+            "stream has {} zone lines; expected at least rack + row + facility",
+            summary.zone_lines
+        ));
+    }
+    Ok(summary)
 }
 
 /// Summary returned by a successful [`validate_jsonl`] pass.
@@ -374,11 +732,111 @@ mod tests {
     fn prometheus_text_has_cumulative_buckets() {
         let (_, metrics) = sample();
         let text = prometheus(&metrics);
+        assert!(text.contains("# HELP commands_applied deterministic ppc counter"));
         assert!(text.contains("# TYPE commands_applied counter"));
         assert!(text.contains("commands_applied 2"));
         assert!(text.contains("selection_size_bucket{le=\"1\"} 0"));
         assert!(text.contains("selection_size_bucket{le=\"4\"} 1"));
         assert!(text.contains("selection_size_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("selection_size_count 1"));
+        // Every instrument gets a HELP alongside its TYPE.
+        assert_eq!(
+            text.matches("# HELP").count(),
+            text.matches("# TYPE").count()
+        );
+
+        // Labeled rollup series: the health exporter emits the same
+        // cumulative-bucket discipline under {rack,row} labels.
+        let health = sample_health();
+        let labeled = prometheus_health(&health);
+        assert!(labeled.contains("# TYPE ppc_rack_power_dist_watts histogram"));
+        assert!(labeled.contains("ppc_rack_power_watts{rack=\"0\",row=\"0\"}"));
+        assert!(labeled.contains("ppc_row_power_watts{row=\"0\"}"));
+        let bucket_lines: Vec<&str> = labeled
+            .lines()
+            .filter(|l| l.starts_with("ppc_rack_power_dist_watts_bucket{rack=\"0\",row=\"0\""))
+            .collect();
+        assert!(
+            bucket_lines.len() >= 2,
+            "expected labeled bucket series, got: {labeled}"
+        );
+        // Buckets are cumulative and end at the +Inf total.
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        let inf = bucket_lines.last().unwrap();
+        assert!(inf.contains("le=\"+Inf\""));
+        assert!(labeled.contains("ppc_rack_power_dist_watts_count{rack=\"0\",row=\"0\"} 3"));
+    }
+
+    fn sample_health() -> HealthPlane {
+        use crate::hub::StageWork;
+        use crate::rollup::{CycleObservation, ZoneMap, ZoneState};
+        let mut health = HealthPlane::new(ZoneMap::single_rack());
+        for (i, power) in [100.0, 140.0, 180.0].iter().enumerate() {
+            let state = if *power > 150.0 {
+                ZoneState::Red
+            } else {
+                ZoneState::Green
+            };
+            health.observe_cycle(
+                ppc_simkit::SimTime::from_secs(i as u64),
+                &CycleObservation {
+                    rack_state: &[state],
+                    rack_power_w: &[*power],
+                    rack_budget_w: &[160.0],
+                    rack_coverage: &[1.0],
+                    facility_state: state,
+                    facility_power_w: *power,
+                    facility_budget_w: 160.0,
+                    facility_coverage: 1.0,
+                },
+                &StageWork {
+                    samples: 4,
+                    commands: 1,
+                    racks: 1,
+                },
+            );
+        }
+        health.observe_node_power(&[25.0, 26.0, 27.0, 28.0]);
+        health
+    }
+
+    #[test]
+    fn health_jsonl_round_trips_through_validator() {
+        let health = sample_health();
+        let text = health_jsonl(&health);
+        let summary = validate_health(&text).expect("generated health JSONL must validate");
+        assert_eq!(summary.meta_lines, 1);
+        // Single-rack plane: one rack + one row + facility.
+        assert_eq!(summary.zone_lines, 3);
+        assert_eq!(summary.alert_lines, health.alerts().len());
+    }
+
+    #[test]
+    fn health_validator_rejects_malformed_streams() {
+        assert!(validate_health("not json").is_err());
+        assert!(validate_health("{\"type\":\"mystery\"}").is_err());
+        // No meta header.
+        let headless = "{\"type\":\"alert\",\"seq\":0,\"at_ms\":1,\"rule\":\"r\",\
+                        \"zone\":\"facility\",\"edge\":\"open\",\"value\":1.0,\"threshold\":0.5}";
+        assert!(validate_health(headless)
+            .unwrap_err()
+            .contains("health_meta"));
+        // Bad fingerprint length.
+        let bad_meta = "{\"type\":\"health_meta\",\"rollup_fingerprint\":\"abc\",\
+                        \"sketch_fingerprint\":\"0000000000000000\",\
+                        \"alert_fingerprint\":\"0000000000000000\",\"cycles\":0,\
+                        \"racks\":1,\"rows\":1,\"alert_edges\":0,\"alerts_open\":0,\
+                        \"alerts_dropped\":0}";
+        assert!(validate_health(bad_meta).unwrap_err().contains("16 hex"));
+        // A valid stream mutated to an unknown edge fails.
+        let good = health_jsonl(&sample_health());
+        let mutated = good.replace("\"open\"", "\"fired\"");
+        if mutated != good {
+            assert!(validate_health(&mutated).is_err());
+        }
     }
 }

@@ -17,27 +17,49 @@
 //!   text exporters, plus the JSONL schema validator CI runs.
 //! * [`flight`] — a bounded black-box recorder snapshotting the last N
 //!   spans + registry on Red-state entry or fault activation.
-//! * [`hub`] — the per-simulation bundle ([`ObsHub`]) and the
-//!   serializable end-of-run [`ObsReport`].
+//! * [`hub`] — the per-simulation bundle ([`ObsHub`]), the serializable
+//!   end-of-run [`ObsReport`], and the fleet [`HealthPlane`] with its
+//!   [`HealthReport`].
+//! * [`rollup`] — the facility → row → rack health rollup tree
+//!   (dwell, power, headroom, coverage per zone; O(racks) memory).
+//! * [`sketch`] — the mergeable integer-bucketed quantile sketch whose
+//!   per-shard merge is bit-identical to serial observation.
+//! * [`slo`] — declarative SLO rules, dual-window burn-rate evaluation
+//!   and the deterministic alert journal.
+//! * [`timeseries`] — fixed-memory ring series with power-of-two
+//!   downsampling, backing per-zone power history.
 //! * [`profile`] — wall-clock self-cost measurement; the one module
 //!   exempt from the no-wall-clock rule, and never fingerprinted.
 //!
-//! Span-tree and registry FNV-1a fingerprints join `Journal::fingerprint`
-//! in CI's determinism gate.
+//! Span-tree, registry, rollup, sketch and alert FNV-1a fingerprints
+//! join `Journal::fingerprint` in CI's determinism gate.
 
 pub mod export;
 pub mod flight;
 pub mod hub;
 pub mod metrics;
 pub mod profile;
+pub mod rollup;
+pub mod sketch;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
-pub use export::{chrome_trace, jsonl, prometheus, validate_jsonl, JsonlSummary};
+pub use export::{
+    chrome_trace, health_jsonl, jsonl, prometheus, prometheus_health, validate_health,
+    validate_jsonl, HealthJsonlSummary, JsonlSummary,
+};
 pub use flight::{FlightRecorder, FlightSnapshot};
-pub use hub::{ObsHub, ObsReport};
+pub use hub::{
+    HealthFingerprints, HealthPlane, HealthReport, ObsHub, ObsReport, StageWork, NODE_SKETCH_PERIOD,
+};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramDump, HistogramHandle, MetricDump, MetricValue,
     MetricsRegistry,
 };
 pub use profile::{StageCost, StageProfiler};
+pub use rollup::{CycleObservation, RollupTree, ZoneMap, ZoneState, ZoneStats};
+pub use sketch::{QuantileSketch, SketchSummary, RELATIVE_ERROR_BOUND};
+pub use slo::{default_rules, render_alerts, AlertEdge, AlertEvent, SloEngine, SloRule, ZoneId};
 pub use span::{AttrValue, SpanDump, SpanId, SpanRecord, SpanRecorder};
+pub use timeseries::RingSeries;

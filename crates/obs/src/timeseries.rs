@@ -1,0 +1,162 @@
+//! Fixed-memory ring series with power-of-two downsampling.
+//!
+//! The rollup tree retains a power history per zone. Keeping every tick
+//! would be O(ticks) per zone; instead [`RingSeries`] holds at most a
+//! fixed number of samples and, whenever the buffer fills, halves it by
+//! averaging adjacent pairs and doubling the *stride* (raw pushes per
+//! retained sample). Memory is therefore constant per zone while the
+//! series always spans the whole run, at geometrically coarsening
+//! resolution — the classic power-of-two downsampling scheme.
+//!
+//! Everything is a pure function of the pushed values in push order
+//! (fixed-order f64 averaging, no wall clock, no allocation churn), so
+//! the series fingerprint joins the determinism gate.
+
+use ppc_simkit::hash::Fnv1a;
+
+/// Bounded, self-downsampling series of f64 samples. See module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSeries {
+    /// Retention bound (power of two ≥ 2).
+    cap: usize,
+    /// Raw pushes folded into one retained sample.
+    stride: u64,
+    /// Retained samples, oldest first.
+    samples: Vec<f64>,
+    /// Partial-bucket accumulator (sum of pending raw pushes).
+    acc: f64,
+    /// Raw pushes pending in `acc`.
+    acc_n: u64,
+    /// Total raw pushes ever.
+    pushed: u64,
+}
+
+impl RingSeries {
+    /// A series retaining at most `cap` samples (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(cap: usize) -> Self {
+        RingSeries {
+            cap: cap.next_power_of_two().max(2),
+            stride: 1,
+            samples: Vec::new(),
+            acc: 0.0,
+            acc_n: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Pushes one raw sample.
+    pub fn push(&mut self, v: f64) {
+        self.pushed += 1;
+        self.acc += v;
+        self.acc_n += 1;
+        if self.acc_n == self.stride {
+            self.samples.push(self.acc / self.stride as f64);
+            self.acc = 0.0;
+            self.acc_n = 0;
+            if self.samples.len() == self.cap {
+                self.compress();
+            }
+        }
+    }
+
+    /// Halves the buffer by averaging adjacent pairs and doubles the
+    /// stride. In place: the rollup tree owns one series per zone, so
+    /// an allocating compress would churn O(zones) allocations every
+    /// `cap` cycles.
+    fn compress(&mut self) {
+        let half = self.samples.len() / 2;
+        for i in 0..half {
+            self.samples[i] = (self.samples[2 * i] + self.samples[2 * i + 1]) / 2.0;
+        }
+        self.samples.truncate(half);
+        self.stride *= 2;
+    }
+
+    /// Retained samples, oldest first (each the mean of [`stride`]
+    /// raw pushes).
+    ///
+    /// [`stride`]: RingSeries::stride
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Raw pushes per retained sample.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total raw pushes ever.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// FNV-1a over the full series state (stride, push count, retained
+    /// sample bits and the pending partial bucket).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.stride);
+        h.write_u64(self.pushed);
+        h.write_u64(self.samples.len() as u64);
+        for &s in &self.samples {
+            h.write_f64(s);
+        }
+        h.write_f64(self.acc);
+        h.write_u64(self.acc_n);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_stays_bounded_while_span_grows() {
+        let mut s = RingSeries::new(8);
+        for i in 0..10_000u32 {
+            s.push(f64::from(i));
+        }
+        assert!(s.samples().len() < 8);
+        assert_eq!(s.pushed(), 10_000);
+        // Stride must have doubled repeatedly to cover the run.
+        assert!(s.stride() >= 10_000 / 8);
+        assert!(s.stride().is_power_of_two());
+    }
+
+    #[test]
+    fn downsampling_preserves_the_mean() {
+        let mut s = RingSeries::new(4);
+        for i in 0..64u32 {
+            s.push(f64::from(i));
+        }
+        // 64 pushes through cap 4 → stride 32, two full samples.
+        assert_eq!(s.stride(), 32);
+        assert_eq!(s.samples(), &[15.5, 47.5]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_state_exactly() {
+        let mut a = RingSeries::new(4);
+        let mut b = RingSeries::new(4);
+        for i in 0..100u32 {
+            a.push(f64::from(i) * 0.5);
+            b.push(f64::from(i) * 0.5);
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.push(1.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn capacity_is_normalized() {
+        assert_eq!(RingSeries::new(0).capacity(), 2);
+        assert_eq!(RingSeries::new(3).capacity(), 4);
+        assert_eq!(RingSeries::new(8).capacity(), 8);
+    }
+}

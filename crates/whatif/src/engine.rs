@@ -104,6 +104,8 @@ impl WhatIfEngine {
                 .attr("admit", AttrValue::U64(u64::from(answer.admit)));
             self.spans
                 .attr("peak_power_w", AttrValue::F64(answer.peak_power_w));
+            self.spans
+                .attr("alerts_opened", AttrValue::U64(answer.alerts_opened as u64));
             self.spans.close(at);
             self.metrics.inc(self.queries_total, 1);
             if answer.admit {
@@ -143,6 +145,7 @@ pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
     let t0 = sim.now();
     let stats0 = sim.control_stats();
     let finished0 = sim.finished().len();
+    let alert_events0 = sim.health().slo().events().len();
 
     let mut injected: Vec<JobId> = Vec::new();
     let deny_reason = apply(&mut sim, &req.query, &mut injected).err();
@@ -182,6 +185,15 @@ pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
         _ => 0,
     };
 
+    // Health impact: the branch carries the snapshot's health plane, so
+    // edges appended past the branch point are the hypothetical's own.
+    let slo = sim.health().slo();
+    let alerts_opened = slo.events()[alert_events0..]
+        .iter()
+        .filter(|e| e.edge == ppc_obs::AlertEdge::Open)
+        .count();
+    let alerts_open_at_horizon = slo.open_alerts();
+
     let admit = deny_reason.is_none() && red_secs == 0.0 && jobs_pending == 0;
     WhatIfAnswer {
         query: req.query.clone(),
@@ -199,6 +211,8 @@ pub fn evaluate(mut sim: ClusterSim, req: &WhatIfRequest) -> WhatIfAnswer {
         jobs_finished,
         jobs_pending,
         commands_applied,
+        alerts_opened,
+        alerts_open_at_horizon,
     }
 }
 

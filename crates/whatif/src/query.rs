@@ -145,6 +145,11 @@ pub struct WhatIfAnswer {
     pub jobs_pending: usize,
     /// Throttling commands applied over the horizon (SLO pressure).
     pub commands_applied: u64,
+    /// Health-plane SLO alerts that *opened* during the horizon (burn
+    /// rate, cap overshoot, coverage, starvation — see `ppc-obs::slo`).
+    pub alerts_opened: usize,
+    /// Alerts still firing (open, unresolved) at the horizon.
+    pub alerts_open_at_horizon: u64,
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! ppc run [--policy MPC] [--nodes 16] [--paper] [--cap N] [--provision F]
 //!         [--training-mins M] [--measure-mins M] [--seed S] [--backfill]
 //!         [--critical-frac F] [--trace-out FILE] [--metrics-out FILE]
-//!         [--json]
+//!         [--health-out FILE] [--json]
 //! ppc sweep [--policy MPC] [--sizes 0,8,16,...] [--paper]
 //! ppc policies
 //! ```
@@ -23,7 +23,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ppc run [--policy MPC|MPC-C|LPC|LPC-C|BFP|HRI|HRI-C|none] [--nodes N]\n          [--paper] [--cap N] [--provision FRAC] [--training-mins M]\n          [--measure-mins M] [--seed S] [--backfill] [--critical-frac F]\n          [--trace FILE] [--faults RATE] [--trace-out FILE]\n          [--metrics-out FILE] [--json]\n  ppc sweep [--policy MPC] [--sizes 0,8,16,32,48,64,96,128] [--paper]\n  ppc policies\n\n  --trace-out writes the control-cycle span tree: Chrome trace_event\n  JSON (load in Perfetto / chrome://tracing), or a JSONL event stream\n  if FILE ends in .jsonl. --metrics-out writes a Prometheus-style text\n  dump of the deterministic instruments plus self-profile comments."
+        "usage:\n  ppc run [--policy MPC|MPC-C|LPC|LPC-C|BFP|HRI|HRI-C|none] [--nodes N]\n          [--paper] [--cap N] [--provision FRAC] [--training-mins M]\n          [--measure-mins M] [--seed S] [--backfill] [--critical-frac F]\n          [--trace FILE] [--faults RATE] [--trace-out FILE]\n          [--metrics-out FILE] [--health-out FILE] [--json]\n  ppc sweep [--policy MPC] [--sizes 0,8,16,32,48,64,96,128] [--paper]\n  ppc policies\n\n  --trace-out writes the control-cycle span tree: Chrome trace_event\n  JSON (load in Perfetto / chrome://tracing), or a JSONL event stream\n  if FILE ends in .jsonl. --metrics-out writes a Prometheus-style text\n  dump of the deterministic instruments plus self-profile comments.\n  --health-out writes the fleet health JSONL stream (per-zone rollups\n  and the SLO alert journal; validated in CI by validate_health)."
     );
     exit(2)
 }
@@ -180,6 +180,10 @@ fn cmd_run(args: &Args) {
             ));
         }
         write_or_die(path, &text, "metrics");
+    }
+    if let Some(path) = args.get("--health-out") {
+        let text = ppc::obs::health_jsonl(sim.health());
+        write_or_die(path, &text, "health");
     }
     if args.flag("--json") {
         println!("{}", outcome_to_json(&out));
